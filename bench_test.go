@@ -1,0 +1,354 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/experiments"
+	"repro/internal/fluid"
+	"repro/internal/ior"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/swf"
+)
+
+// Every table and figure of the paper's evaluation has a benchmark here
+// that regenerates it. The first iteration of each benchmark prints the
+// reproduced table (so `go test -bench .` emits the same rows/series the
+// paper reports); key headline numbers are attached as custom metrics.
+//
+// Run: go test -bench=. -benchmem
+
+var printOnce sync.Map
+
+func printTable(b *testing.B, tbl *experiments.Table) {
+	if _, loaded := printOnce.LoadOrStore(tbl.ID, true); !loaded {
+		fmt.Println()
+		_ = tbl.Render(os.Stdout)
+	}
+}
+
+func colMax(t *experiments.Table, col string) float64 {
+	m := 0.0
+	for _, v := range t.Column(col) {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// benchTrace keeps Fig. 1 benches fast while preserving distribution shape.
+var benchTrace = experiments.TraceConfig{Seed: 20090101, Days: 60}
+
+func BenchmarkFig1aJobSizes(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig1a(benchTrace)
+	}
+	printTable(b, tbl)
+	cdf := tbl.Column("cdf_pct")
+	cores := tbl.Column("cores")
+	for i := range cores {
+		if cores[i] == 2048 {
+			b.ReportMetric(cdf[i], "%jobs<=2048cores")
+		}
+	}
+}
+
+func BenchmarkFig1bConcurrency(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig1b(benchTrace)
+	}
+	printTable(b, tbl)
+}
+
+func BenchmarkProbabilityIO(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.ProbIO(benchTrace)
+	}
+	printTable(b, tbl)
+	mus := tbl.Column("mu_pct")
+	ps := tbl.Column("prob_pct")
+	for i := range mus {
+		if mus[i] == 5 {
+			b.ReportMetric(ps[i], "P(IO)%@mu=5%")
+		}
+	}
+}
+
+func BenchmarkFig2DeltaGraph(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig2(13)
+	}
+	printTable(b, tbl)
+	b.ReportMetric(colMax(tbl, "timeA_s"), "peak_s")
+}
+
+func BenchmarkFig3Caching(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig3(10)
+	}
+	printTable(b, tbl)
+	// Collapse ratio: worst interfered iteration vs alone.
+	alone := tbl.Column("alone_MiBps")
+	shared := tbl.Column("interfered_MiBps")
+	worst := alone[0]
+	for i := range shared {
+		if shared[i] < worst {
+			worst = shared[i]
+		}
+	}
+	b.ReportMetric(alone[0]/worst, "cache_collapse_x")
+}
+
+func BenchmarkFig4Aggregate(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig4()
+	}
+	printTable(b, tbl)
+	cores := tbl.Column("coresB")
+	slow := tbl.Column("slowdownB")
+	for i := range cores {
+		if cores[i] == 8 {
+			b.ReportMetric(slow[i], "slowdownB@8cores_x")
+		}
+	}
+}
+
+func BenchmarkFig6SizeSweep(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig6(11)
+	}
+	printTable(b, tbl)
+	b.ReportMetric(colMax(tbl, "factorB"), "worst_factorB_x")
+}
+
+func BenchmarkFig7aFCFS(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig7a(13)
+	}
+	printTable(b, tbl)
+	b.ReportMetric(colMax(tbl, "tB_fcfs"), "worst_tB_fcfs_s")
+}
+
+func BenchmarkFig7bLowInterference(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig7b(13)
+	}
+	printTable(b, tbl)
+	peak := colMax(tbl, "tA_interfere")
+	expect := colMax(tbl, "tA_expected")
+	b.ReportMetric(peak/expect, "peak_vs_expected")
+}
+
+func BenchmarkFig8aCollective(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig8a(17)
+	}
+	printTable(b, tbl)
+	b.ReportMetric(colMax(tbl, "tB_fcfs")-colMax(tbl, "tB_interfere"), "fcfs_penalty_s")
+}
+
+func BenchmarkFig8bPhases(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig8b()
+	}
+	printTable(b, tbl)
+	comm := tbl.Column("commA_s")
+	write := tbl.Column("writeA_s")
+	b.ReportMetric(comm[1]/comm[0], "comm_impact_x")
+	b.ReportMetric(write[1]/write[0], "write_impact_x")
+}
+
+func BenchmarkFig9Policies(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig9(21)
+	}
+	printTable(b, tbl)
+	b.ReportMetric(colMax(tbl, "fB_fcfs"), "worst_fB_fcfs_x")
+	b.ReportMetric(colMax(tbl, "fB_interrupt"), "worst_fB_interrupt_x")
+}
+
+func BenchmarkFig10Granularity(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig10(21)
+	}
+	printTable(b, tbl)
+	b.ReportMetric(colMax(tbl, "tB_fileIRQ"), "worst_tB_file_s")
+	b.ReportMetric(colMax(tbl, "tB_roundIRQ"), "worst_tB_round_s")
+}
+
+func BenchmarkFig11Dynamic(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig11(21)
+	}
+	printTable(b, tbl)
+	base := tbl.Column("percore_interfere_s")
+	dyn := tbl.Column("percore_calciom_s")
+	var saved float64
+	for i := range base {
+		saved += base[i] - dyn[i]
+	}
+	b.ReportMetric(saved/float64(len(base)), "avg_saving_s_per_core")
+}
+
+func BenchmarkFig12Delay(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.Fig12(15)
+	}
+	printTable(b, tbl)
+}
+
+func BenchmarkAblationServerScheduler(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.AblationServerScheduler()
+	}
+	printTable(b, tbl)
+}
+
+func BenchmarkAblationGranularity(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.AblationGranularity()
+	}
+	printTable(b, tbl)
+}
+
+func BenchmarkAblationMessageLatency(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.AblationMessageLatency()
+	}
+	printTable(b, tbl)
+}
+
+func BenchmarkAblationCollectiveBuffer(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.AblationCollectiveBuffer()
+	}
+	printTable(b, tbl)
+}
+
+// --- Microbenchmarks of the substrate ---------------------------------
+
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(1, func() {})
+	}
+	eng.Run()
+}
+
+func BenchmarkEngineProcSleep(b *testing.B) {
+	eng := sim.NewEngine()
+	eng.Go("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	eng.Run()
+}
+
+func BenchmarkFluidContention(b *testing.B) {
+	// 64 concurrent jobs repeatedly joining/leaving one resource.
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		r := fluid.NewResource(eng, "r", 1e9)
+		for j := 0; j < 64; j++ {
+			eng.At(float64(j)*0.01, func() {
+				r.Submit("j", 1e7, 1, 0, nil)
+			})
+		}
+		eng.Run()
+	}
+}
+
+func BenchmarkPFSWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		fs := pfs.New(eng, pfs.Config{Servers: 16, StripeBytes: 1 << 20, ServerBW: 1 << 30})
+		f := fs.Create("f")
+		eng.Go("w", func(p *sim.Proc) {
+			f.Write(p, pfs.Request{App: "a", Length: 1 << 30, Weight: 64})
+		})
+		eng.Run()
+	}
+}
+
+func BenchmarkScenarioRun(b *testing.B) {
+	sc := experiments.SurveyorPlatform()
+	w := ior.Workload{Pattern: ior.Contiguous, BlockSize: 32 << 20, BlocksPerProc: 1, ReqBytes: 4 << 20}
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
+		{Name: "B", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Run(delta.FCFS, []float64{0, 5})
+	}
+}
+
+func BenchmarkSWFGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		swf.Generate(swf.GenConfig{Seed: int64(i), Days: 30})
+	}
+}
+
+func BenchmarkSWFConcurrency(b *testing.B) {
+	tr := swf.Generate(swf.GenConfig{Seed: 1, Days: 60})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swf.ConcurrencyDistribution(tr)
+	}
+}
+
+func BenchmarkMachineStudy(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.MachineStudy(80)
+	}
+	printTable(b, tbl)
+	over := tbl.Column("overhead_pct")
+	b.ReportMetric(over[0], "uncoordinated_overhead_%")
+	b.ReportMetric(over[1], "fcfs_overhead_%")
+}
+
+func BenchmarkExtensionAdaptive(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.ExtensionAdaptive()
+	}
+	printTable(b, tbl)
+	sums := tbl.Column("sum_factors")
+	b.ReportMetric(sums[0]-sums[1], "factor_saving")
+}
+
+func BenchmarkAblationNetworkModel(b *testing.B) {
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = experiments.AblationNetworkModel()
+	}
+	printTable(b, tbl)
+}

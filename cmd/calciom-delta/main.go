@@ -1,0 +1,163 @@
+// Command calciom-delta runs a custom two-application ∆-graph experiment:
+// pick a platform, application sizes, a workload, and coordination policies,
+// sweep the start offset dt, and print the measured I/O times as a table and
+// an ASCII plot.
+//
+// Example:
+//
+//	calciom-delta -platform rennes -procs-a 744 -procs-b 24 \
+//	    -mib-per-proc 16 -pattern strided -policies interfere,fcfs,interrupt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/experiments"
+	"repro/internal/ior"
+	"repro/internal/textplot"
+)
+
+const miB = int64(1) << 20
+
+func main() {
+	cfgFile := flag.String("config", "", "JSON scenario file (overrides platform/app flags; see examples/scenario.json)")
+	platform := flag.String("platform", "rennes", "platform: rennes | nancy | surveyor")
+	procsA := flag.Int("procs-a", 336, "processes of application A")
+	procsB := flag.Int("procs-b", 336, "processes of application B")
+	mibPerProc := flag.Int64("mib-per-proc", 16, "MiB written per process")
+	pattern := flag.String("pattern", "contiguous", "pattern: contiguous | strided")
+	policies := flag.String("policies", "interfere,fcfs", "comma-separated: interfere|fcfs|interrupt|dynamic|delay")
+	dtMin := flag.Float64("dt-min", -15, "minimum dt (seconds)")
+	dtMax := flag.Float64("dt-max", 15, "maximum dt (seconds)")
+	points := flag.Int("points", 21, "sweep points")
+	factors := flag.Bool("factors", false, "plot interference factors instead of times")
+	flag.Parse()
+
+	var sc delta.Scenario
+	if *cfgFile != "" {
+		var err error
+		sc, err = config.Load(*cfgFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(sc.Apps) != 2 {
+			fatalf("config must define exactly 2 apps for a ∆-graph, got %d", len(sc.Apps))
+		}
+		runSweeps(sc, *policies, *dtMin, *dtMax, *points, *factors)
+		return
+	}
+
+	var coresPerNode int
+	sc, coresPerNode = pickPlatform(*platform)
+
+	w := ior.Workload{
+		BlockSize:     2 * miB,
+		BlocksPerProc: int(*mibPerProc / 2),
+		CB:            ior.CollectiveBuffering{BufBytes: 16 * miB},
+	}
+	switch *pattern {
+	case "contiguous":
+		w.Pattern = ior.Contiguous
+		w.BlockSize = *mibPerProc * miB
+		w.BlocksPerProc = 1
+		w.ReqBytes = 2 * miB
+	case "strided":
+		w.Pattern = ior.Strided
+	default:
+		fatalf("unknown pattern %q", *pattern)
+	}
+
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: *procsA, Nodes: nodes(*procsA, coresPerNode), W: w, Gran: ior.PerRound},
+		{Name: "B", Procs: *procsB, Nodes: nodes(*procsB, coresPerNode), W: w, Gran: ior.PerRound},
+	}
+	fmt.Printf("platform=%s A=%d procs B=%d procs %s %d MiB/proc\n\n",
+		sc.Name, *procsA, *procsB, *pattern, *mibPerProc)
+	runSweeps(sc, *policies, *dtMin, *dtMax, *points, *factors)
+}
+
+// runSweeps sweeps every requested policy and prints tables plus one plot.
+func runSweeps(sc delta.Scenario, policies string, dtMin, dtMax float64, points int, factors bool) {
+	dts := make([]float64, points)
+	for i := range dts {
+		dts[i] = dtMin + (dtMax-dtMin)*float64(i)/float64(points-1)
+	}
+
+	var plotSeries []textplot.Series
+	for _, pname := range strings.Split(policies, ",") {
+		factory, ok := pickPolicy(strings.TrimSpace(pname))
+		if !ok {
+			fatalf("unknown policy %q", pname)
+		}
+		s := sc.Sweep(factory, dts)
+		fmt.Printf("policy %-12s soloA=%.3fs soloB=%.3fs\n", s.Policy, s.SoloA, s.SoloB)
+		fmt.Printf("%8s  %10s  %10s  %8s  %8s\n", "dt", "timeA", "timeB", "factorA", "factorB")
+		for i := range dts {
+			fmt.Printf("%8.2f  %10.3f  %10.3f  %8.3f  %8.3f\n",
+				dts[i], s.TimeA[i], s.TimeB[i], s.FactorA[i], s.FactorB[i])
+		}
+		fmt.Println()
+		ya, yb := s.TimeA, s.TimeB
+		if factors {
+			ya, yb = s.FactorA, s.FactorB
+		}
+		plotSeries = append(plotSeries,
+			textplot.Series{Name: "A/" + s.Policy, Y: ya},
+			textplot.Series{Name: "B/" + s.Policy, Y: yb},
+		)
+	}
+
+	ylabel := "write time (s)"
+	if factors {
+		ylabel = "interference factor"
+	}
+	fmt.Println(textplot.Line("∆-graph: "+ylabel+" vs dt", dts, plotSeries, 72, 18))
+}
+
+func pickPlatform(name string) (delta.Scenario, int) {
+	switch name {
+	case "rennes":
+		return experiments.RennesPlatform(), experiments.RennesCoresPerNode
+	case "nancy":
+		return experiments.NancyPlatform(false), experiments.NancyCoresPerNode
+	case "surveyor":
+		return experiments.SurveyorPlatform(), experiments.SurveyorCoresPerNode
+	}
+	fatalf("unknown platform %q", name)
+	return delta.Scenario{}, 0
+}
+
+func pickPolicy(name string) (delta.PolicyFactory, bool) {
+	switch name {
+	case "interfere", "uncoordinated":
+		return delta.Uncoordinated, true
+	case "fcfs":
+		return delta.FCFS, true
+	case "interrupt":
+		return delta.Interrupt, true
+	case "dynamic":
+		return delta.Dynamic(core.CPUSecondsWasted{}, false), true
+	case "delay":
+		return delta.Delay(0.5), true
+	}
+	return nil, false
+}
+
+func nodes(procs, perNode int) int {
+	n := procs / perNode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

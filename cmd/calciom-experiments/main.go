@@ -1,0 +1,85 @@
+// Command calciom-experiments regenerates every table and figure of the
+// CALCioM paper's evaluation on the simulated platforms and prints them as
+// text tables (optionally also CSV files).
+//
+// Usage:
+//
+//	calciom-experiments                 # run everything to stdout
+//	calciom-experiments -list           # list experiment IDs
+//	calciom-experiments -run fig9       # run one experiment
+//	calciom-experiments -out results/   # also write <id>.txt and <id>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	out := flag.String("out", "", "directory to write <id>.txt and <id>.csv files")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		e := experiments.ByID(*run)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{*e}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		tbl := e.Run()
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *out != "" {
+			if err := writeFiles(*out, tbl.ID, tbl); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeFiles(dir, id string, tbl *experiments.Table) error {
+	txt, err := os.Create(filepath.Join(dir, id+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := tbl.Render(txt); err != nil {
+		return err
+	}
+	csvf, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvf.Close()
+	return tbl.WriteCSV(csvf)
+}

@@ -1,0 +1,127 @@
+// Command calciom-sim executes one two-application scenario and narrates it:
+// the event timeline, every CALCioM arbitration decision, and the final
+// per-application outcome. Useful for understanding what a policy actually
+// does at a given dt.
+//
+// Example:
+//
+//	calciom-sim -platform surveyor -policy dynamic -dt 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/experiments"
+	"repro/internal/ior"
+	"repro/internal/metrics"
+	"repro/internal/timeline"
+)
+
+const miB = int64(1) << 20
+
+func main() {
+	platform := flag.String("platform", "surveyor", "platform: rennes | nancy | surveyor")
+	policy := flag.String("policy", "dynamic", "policy: interfere|fcfs|interrupt|dynamic|delay|none")
+	dt := flag.Float64("dt", 5, "start offset of application B (seconds)")
+	procs := flag.Int("procs", 2048, "processes per application")
+	filesA := flag.Int("files-a", 4, "files written by A")
+	filesB := flag.Int("files-b", 1, "files written by B")
+	mibPerProc := flag.Int64("mib-per-proc", 4, "MiB per process per file")
+	flag.Parse()
+
+	sc, perNode := pick(*platform)
+	mk := func(files int) ior.Workload {
+		return ior.Workload{
+			Pattern:       ior.Contiguous,
+			BlockSize:     *mibPerProc * miB,
+			BlocksPerProc: 1,
+			Files:         files,
+			ReqBytes:      miB,
+		}
+	}
+	nodes := *procs / perNode
+	if nodes < 1 {
+		nodes = 1
+	}
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: *procs, Nodes: nodes, W: mk(*filesA), Gran: ior.PerRound},
+		{Name: "B", Procs: *procs, Nodes: nodes, W: mk(*filesB), Gran: ior.PerRound},
+	}
+
+	factory, ok := pickPolicy(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	soloA, soloB := sc.Solo(0), sc.Solo(1)
+	fmt.Printf("scenario: %s, 2x%d procs; A: %d files, B: %d files, %d MiB/proc\n",
+		sc.Name, *procs, *filesA, *filesB, *mibPerProc)
+	fmt.Printf("solo times: A=%.3fs B=%.3fs; dt=%.2fs; policy=%s\n\n", soloA, soloB, *dt, *policy)
+
+	starts := []float64{0, *dt}
+	if *dt < 0 {
+		starts = []float64{-*dt, 0}
+	}
+	rec := &timeline.Recorder{}
+	res := sc.RunWithTimeline(factory, starts, rec)
+
+	if len(res.Decisions) > 0 {
+		fmt.Println("arbitration decisions:")
+		for _, d := range res.Decisions {
+			fmt.Printf("  t=%8.3f  allowed=%-8v  %s\n", d.Time, d.Allowed, d.Reason)
+		}
+		fmt.Println()
+	}
+
+	rep := metrics.Report{Apps: []metrics.AppResult{
+		{Name: "A", Cores: *procs, IOTime: res.IOTime[0], AloneTime: soloA},
+		{Name: "B", Cores: *procs, IOTime: res.IOTime[1], AloneTime: soloB},
+	}}
+	fmt.Println("outcome:")
+	fmt.Println(rep)
+	fmt.Printf("makespan: %.3fs\n", res.Makespan)
+	for i, st := range res.Stats {
+		for p, ph := range st.Phases {
+			fmt.Printf("  %s phase %d: start=%.3f end=%.3f comm=%.3f write=%.3f (%.1f MiB/s)\n",
+				sc.Apps[i].Name, p, ph.Start, ph.End, ph.CommTime, ph.WriteTime,
+				ph.Throughput()/float64(miB))
+		}
+	}
+	fmt.Println()
+	fmt.Print(rec.Gantt(90))
+}
+
+func pick(name string) (delta.Scenario, int) {
+	switch name {
+	case "rennes":
+		return experiments.RennesPlatform(), experiments.RennesCoresPerNode
+	case "nancy":
+		return experiments.NancyPlatform(false), experiments.NancyCoresPerNode
+	case "surveyor":
+		return experiments.SurveyorPlatform(), experiments.SurveyorCoresPerNode
+	}
+	fmt.Fprintf(os.Stderr, "unknown platform %q\n", name)
+	os.Exit(2)
+	return delta.Scenario{}, 0
+}
+
+func pickPolicy(name string) (delta.PolicyFactory, bool) {
+	switch name {
+	case "none", "interfere":
+		return delta.Uncoordinated, true
+	case "fcfs":
+		return delta.FCFS, true
+	case "interrupt":
+		return delta.Interrupt, true
+	case "dynamic":
+		return delta.Dynamic(core.CPUSecondsWasted{}, false), true
+	case "delay":
+		return delta.Delay(0.5), true
+	}
+	return nil, false
+}

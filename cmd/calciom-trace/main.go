@@ -1,0 +1,84 @@
+// Command calciom-trace analyzes a job trace in Standard Workload Format
+// the way the paper's Section II does: job-size distribution (Fig. 1a),
+// concurrent-job distribution (Fig. 1b), and the probability that another
+// application is doing I/O at any instant.
+//
+// With -file it reads a real SWF trace (e.g. ANL-Intrepid-2009-1.swf from
+// the Parallel Workload Archive); without, it generates the calibrated
+// synthetic Intrepid-like trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/swf"
+	"repro/internal/textplot"
+)
+
+func main() {
+	file := flag.String("file", "", "SWF trace file (empty: synthetic Intrepid-like)")
+	days := flag.Float64("days", 243, "synthetic trace length in days")
+	seed := flag.Int64("seed", 20090101, "synthetic trace seed")
+	mu := flag.Float64("mu", 0.05, "E[µ]: fraction of time an app spends in I/O")
+	plot := flag.Bool("plot", true, "render ASCII charts")
+	flag.Parse()
+
+	var tr *swf.Trace
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err = swf.Parse(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (%d jobs)\n\n", *file, len(tr.Jobs))
+	} else {
+		tr = swf.Generate(swf.GenConfig{Seed: *seed, Days: *days})
+		fmt.Printf("trace: synthetic Intrepid-like, %d jobs over %.0f days (seed %d)\n\n",
+			len(tr.Jobs), *days, *seed)
+	}
+
+	// Fig. 1a.
+	fmt.Println("job-size distribution (Fig. 1a):")
+	fmt.Printf("%10s  %8s  %8s  %9s  %9s\n", "cores<=", "%jobs", "CDF%", "%time", "timeCDF%")
+	buckets := swf.SizeDistribution(tr)
+	var labels []string
+	var shares []float64
+	for _, b := range buckets {
+		fmt.Printf("%10d  %8.2f  %8.2f  %9.2f  %9.2f\n",
+			b.Cores, 100*b.Share, 100*b.CDF, 100*b.TimeShare, 100*b.TimeCDF)
+		labels = append(labels, fmt.Sprintf("%d", b.Cores))
+		shares = append(shares, 100*b.Share)
+	}
+	fmt.Printf("median job size: %d cores\n\n", swf.MedianJobSize(tr))
+	if *plot {
+		fmt.Println(textplot.Bar("% of jobs by size bucket", labels, shares, 40))
+	}
+
+	// Fig. 1b.
+	dist := swf.ConcurrencyDistribution(tr)
+	fmt.Println("concurrent-jobs distribution (Fig. 1b):")
+	fmt.Printf("mean concurrency: %.2f\n", swf.MeanConcurrency(tr))
+	if *plot {
+		var xs []float64
+		var ys []float64
+		for k, p := range dist {
+			xs = append(xs, float64(k))
+			ys = append(ys, p)
+		}
+		fmt.Println(textplot.Line("proportion of time vs #concurrent jobs", xs,
+			[]textplot.Series{{Name: "P(X=k)", Y: ys}}, 64, 12))
+	}
+
+	// §II-B probability.
+	fmt.Printf("P(another app is doing I/O) at E[µ]=%.0f%%: %.1f%%\n",
+		100**mu, 100*swf.ProbOtherDoingIO(tr, *mu))
+	fmt.Println("(paper: 64% at E[µ]=5% on the Intrepid trace)")
+}

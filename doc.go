@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	CALCioM: Mitigating I/O Interference in HPC Systems through
+//	Cross-Application Coordination — Dorier, Antoniu, Ross, Kimpe,
+//	Ibrahim. IPDPS 2014.
+//
+// The library lives under internal/: a deterministic discrete-event engine
+// (sim), a fluid contention model (fluid), storage targets with write-back
+// caches (disk), a striped parallel file system (pfs), an MPI-like
+// application model (mpi), the IOR-derived benchmark (ior), the CALCioM
+// coordination layer itself (core), machine-wide efficiency metrics
+// (metrics), the ∆-graph harness (delta), SWF workload-trace tooling (swf),
+// and the per-figure experiment reproductions (experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this
+// directory regenerates every table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,205 @@
+// Package config serializes experiment scenarios to and from JSON so the
+// command-line tools can run user-defined setups without recompilation.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/delta"
+	"repro/internal/ior"
+	"repro/internal/pfs"
+)
+
+// Workload mirrors ior.Workload with JSON-friendly field names and MiB
+// units.
+type Workload struct {
+	Pattern       string  `json:"pattern"` // "contiguous" | "strided"
+	BlockMiB      int64   `json:"block_mib"`
+	BlocksPerProc int     `json:"blocks_per_proc"`
+	Files         int     `json:"files,omitempty"`
+	ReqMiB        int64   `json:"req_mib,omitempty"`
+	Aggregators   int     `json:"aggregators,omitempty"`
+	CBBufMiB      int64   `json:"cb_buf_mib,omitempty"`
+	Phases        int     `json:"phases,omitempty"`
+	ComputeTime   float64 `json:"compute_time_s,omitempty"`
+	Adaptive      bool    `json:"adaptive,omitempty"`
+	Access        string  `json:"access,omitempty"` // "write" (default) | "read"
+}
+
+// App mirrors delta.AppSpec.
+type App struct {
+	Name        string   `json:"name"`
+	Procs       int      `json:"procs"`
+	Nodes       int      `json:"nodes,omitempty"`
+	Granularity string   `json:"granularity,omitempty"` // "phase" | "file" | "round"
+	Workload    Workload `json:"workload"`
+}
+
+// FS mirrors pfs.Config in MiB units.
+type FS struct {
+	Servers     int     `json:"servers"`
+	StripeKiB   int64   `json:"stripe_kib"`
+	ServerMiBps float64 `json:"server_mibps"`
+	CacheMiBps  float64 `json:"cache_mibps,omitempty"`
+	CacheMiB    float64 `json:"cache_mib,omitempty"`
+	Policy      string  `json:"policy,omitempty"` // "share" | "fifo" | "exclusive"
+	TrueNetwork bool    `json:"true_network,omitempty"`
+}
+
+// Scenario is the JSON form of delta.Scenario.
+type Scenario struct {
+	Name            string  `json:"name"`
+	FS              FS      `json:"fs"`
+	ProcNICMiBps    float64 `json:"proc_nic_mibps"`
+	CommMiBpsPerCPU float64 `json:"comm_mibps_per_proc,omitempty"`
+	CommAlpha       float64 `json:"comm_alpha_s,omitempty"`
+	CoordLatency    float64 `json:"coord_latency_s,omitempty"`
+	Apps            []App   `json:"apps"`
+}
+
+const miB = float64(1 << 20)
+
+// Parse reads a JSON scenario.
+func Parse(r io.Reader) (delta.Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return delta.Scenario{}, fmt.Errorf("config: %w", err)
+	}
+	return s.Build()
+}
+
+// Load reads a JSON scenario from a file.
+func Load(path string) (delta.Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return delta.Scenario{}, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Build converts to the runtime scenario, validating everything.
+func (s Scenario) Build() (delta.Scenario, error) {
+	fsPolicy, err := parseFSPolicy(s.FS.Policy)
+	if err != nil {
+		return delta.Scenario{}, err
+	}
+	sc := delta.Scenario{
+		Name: s.Name,
+		FS: pfs.Config{
+			Servers:     s.FS.Servers,
+			StripeBytes: s.FS.StripeKiB << 10,
+			ServerBW:    s.FS.ServerMiBps * miB,
+			CacheBW:     s.FS.CacheMiBps * miB,
+			CacheBytes:  s.FS.CacheMiB * miB,
+			Policy:      fsPolicy,
+		},
+		ProcNIC:       s.ProcNICMiBps * miB,
+		CommBWPerProc: s.CommMiBpsPerCPU * miB,
+		CommAlpha:     s.CommAlpha,
+		CoordLatency:  s.CoordLatency,
+		TrueNetwork:   s.FS.TrueNetwork,
+	}
+	if err := sc.FS.Validate(); err != nil {
+		return delta.Scenario{}, err
+	}
+	if sc.ProcNIC <= 0 {
+		return delta.Scenario{}, fmt.Errorf("config: proc_nic_mibps must be positive")
+	}
+	if len(s.Apps) == 0 {
+		return delta.Scenario{}, fmt.Errorf("config: need at least one app")
+	}
+	for _, a := range s.Apps {
+		spec, err := a.build()
+		if err != nil {
+			return delta.Scenario{}, err
+		}
+		sc.Apps = append(sc.Apps, spec)
+	}
+	return sc, nil
+}
+
+func (a App) build() (delta.AppSpec, error) {
+	if a.Name == "" || a.Procs <= 0 {
+		return delta.AppSpec{}, fmt.Errorf("config: app needs a name and positive procs")
+	}
+	w, err := a.Workload.build()
+	if err != nil {
+		return delta.AppSpec{}, fmt.Errorf("config: app %s: %w", a.Name, err)
+	}
+	gran, err := parseGranularity(a.Granularity)
+	if err != nil {
+		return delta.AppSpec{}, fmt.Errorf("config: app %s: %w", a.Name, err)
+	}
+	return delta.AppSpec{Name: a.Name, Procs: a.Procs, Nodes: a.Nodes, W: w, Gran: gran}, nil
+}
+
+func (w Workload) build() (ior.Workload, error) {
+	out := ior.Workload{
+		BlockSize:     w.BlockMiB << 20,
+		BlocksPerProc: w.BlocksPerProc,
+		Files:         w.Files,
+		ReqBytes:      w.ReqMiB << 20,
+		CB:            ior.CollectiveBuffering{Aggregators: w.Aggregators, BufBytes: w.CBBufMiB << 20},
+		Phases:        w.Phases,
+		ComputeTime:   w.ComputeTime,
+		Adaptive:      w.Adaptive,
+	}
+	switch w.Pattern {
+	case "", "contiguous":
+		out.Pattern = ior.Contiguous
+	case "strided":
+		out.Pattern = ior.Strided
+	default:
+		return out, fmt.Errorf("unknown pattern %q", w.Pattern)
+	}
+	switch w.Access {
+	case "", "write":
+		out.Access = ior.WriteAccess
+	case "read":
+		out.Access = ior.ReadAccess
+	default:
+		return out, fmt.Errorf("unknown access %q", w.Access)
+	}
+	if out.BlockSize <= 0 || out.BlocksPerProc <= 0 {
+		return out, fmt.Errorf("block_mib and blocks_per_proc must be positive")
+	}
+	return out, nil
+}
+
+func parseGranularity(s string) (ior.Granularity, error) {
+	switch s {
+	case "", "round":
+		return ior.PerRound, nil
+	case "file":
+		return ior.PerFile, nil
+	case "phase":
+		return ior.PerPhase, nil
+	}
+	return 0, fmt.Errorf("unknown granularity %q", s)
+}
+
+func parseFSPolicy(s string) (pfs.SchedPolicy, error) {
+	switch s {
+	case "", "share":
+		return pfs.Share, nil
+	case "fifo":
+		return pfs.FIFO, nil
+	case "exclusive":
+		return pfs.Exclusive, nil
+	}
+	return 0, fmt.Errorf("config: unknown fs policy %q", s)
+}
+
+// Dump serializes a JSON form of the scenario description (not the runtime
+// scenario — round-tripping units back would lose intent).
+func Dump(w io.Writer, s Scenario) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

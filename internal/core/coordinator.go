@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Coordinator is the per-application endpoint of the coordination layer —
+// the role rank 0 plays in the paper's prototype. It exposes the CALCioM
+// API (Prepare/Complete/Inform/Check/Wait/Release) plus a small Session
+// convenience wrapper used by the I/O drivers.
+//
+// CALCioM deliberately gives applications no lock and no way to force
+// another application to stop: Check and Wait only observe the
+// authorization state that arbitration produces, and an interrupted
+// application pauses itself at its next coordination point.
+type Coordinator struct {
+	layer *Layer
+	name  string
+	cores int
+
+	infoStack []Info
+
+	state      State
+	arrival    float64
+	authorized bool
+	waiting    *sim.Resumer
+
+	bytesTotal float64
+	bytesDone  float64
+	files      int
+	rounds     int
+	aloneBW    float64
+
+	// Accounting for metrics: total time spent between Begin and End of
+	// phases (observed I/O time including coordination waits), and time
+	// spent waiting/paused.
+	phaseStart float64
+	ioTime     float64
+	waitTime   float64
+	phases     int
+}
+
+// Name returns the application name.
+func (c *Coordinator) Name() string { return c.name }
+
+// Cores returns the application's core count.
+func (c *Coordinator) Cores() int { return c.cores }
+
+// State returns the coordinator's protocol state.
+func (c *Coordinator) State() State { return c.state }
+
+// IOTime returns accumulated wall time inside I/O phases (incl. waits).
+func (c *Coordinator) IOTime() float64 { return c.ioTime }
+
+// WaitTime returns accumulated time spent blocked in Wait.
+func (c *Coordinator) WaitTime() float64 { return c.waitTime }
+
+// view snapshots the coordinator for arbitration.
+func (c *Coordinator) view() AppView {
+	return AppView{
+		Name:       c.name,
+		Cores:      c.cores,
+		State:      c.state,
+		Arrival:    c.arrival,
+		BytesTotal: c.bytesTotal,
+		BytesDone:  c.bytesDone,
+		Files:      c.files,
+		Rounds:     c.rounds,
+		AloneBW:    c.aloneBW,
+	}
+}
+
+// Prepare stacks information about the upcoming I/O accesses, as the paper's
+// Prepare(MPI_Info) does. Recognized keys update the view the policies see.
+func (c *Coordinator) Prepare(info Info) {
+	c.infoStack = append(c.infoStack, info.Clone())
+	c.applyInfo()
+}
+
+// Complete unstacks the most recent Prepare.
+func (c *Coordinator) Complete() {
+	if len(c.infoStack) == 0 {
+		panic(fmt.Sprintf("core: %s: Complete without Prepare", c.name))
+	}
+	c.infoStack = c.infoStack[:len(c.infoStack)-1]
+	c.applyInfo()
+}
+
+// applyInfo folds the info stack (later entries win) into the typed view.
+func (c *Coordinator) applyInfo() {
+	c.bytesTotal, c.files, c.rounds, c.aloneBW = 0, 0, 0, 0
+	for _, in := range c.infoStack {
+		if v := in.Float(KeyBytesTotal, -1); v >= 0 {
+			c.bytesTotal = v
+		}
+		if v := in.Int(KeyFiles, -1); v >= 0 {
+			c.files = int(v)
+		}
+		if v := in.Int(KeyRounds, -1); v >= 0 {
+			c.rounds = int(v)
+		}
+		if v := in.Float(KeyAloneBW, -1); v >= 0 {
+			c.aloneBW = v
+		}
+		if v := in.Int(KeyCores, -1); v > 0 {
+			c.cores = int(v)
+		}
+	}
+}
+
+// Inform announces the application's intent (or continued intent) to do I/O
+// to all other applications. Non-blocking: the information travels with the
+// layer's message latency and triggers arbitration.
+func (c *Coordinator) Inform(p *sim.Proc) {
+	if c.state == Idle {
+		c.state = Waiting
+		c.arrival = p.Now()
+		c.bytesDone = 0
+		c.phaseStart = p.Now()
+		c.phases++
+	}
+	c.layer.poke()
+}
+
+// Check reports whether the application is currently authorized to access
+// the file system. It never blocks: an application free to reorganize its
+// work can poll Check and do something else when denied.
+func (c *Coordinator) Check() bool { return c.authorized }
+
+// SystemBusy reports whether any *other* application is currently in an
+// I/O phase (wanting, writing or paused). The paper's §III-C offers the
+// coordination API to applications precisely so they "can observe the load
+// of the storage stack at any point in the program and decide to schedule
+// their operations differently — for instance, starting a new iteration of
+// computation and coming back to the I/O phase later".
+func (c *Coordinator) SystemBusy() bool {
+	for _, o := range c.layer.coords {
+		if o != c && o.state != Idle {
+			return true
+		}
+	}
+	return false
+}
+
+// Wait blocks until the application is authorized, then marks it Active.
+func (c *Coordinator) Wait(p *sim.Proc) {
+	if c.state == Idle {
+		panic(fmt.Sprintf("core: %s: Wait before Inform", c.name))
+	}
+	start := p.Now()
+	for !c.authorized {
+		c.state = Waiting
+		r := p.Suspend()
+		c.waiting = r
+		r.Park()
+		c.waiting = nil
+	}
+	c.state = Active
+	c.waitTime += p.Now() - start
+}
+
+// Release ends one step of the I/O access: it reports progress, lets the
+// layer re-evaluate the global strategy, and responds to pending requests
+// from other applications. A new Inform is required before the next access
+// step, per the paper's API contract.
+func (c *Coordinator) Release(p *sim.Proc) {
+	if c.state != Active {
+		panic(fmt.Sprintf("core: %s: Release while %v", c.name, c.state))
+	}
+	c.state = Waiting
+	c.layer.poke()
+}
+
+// Progress records bytes written so far in this phase. Called by the I/O
+// driver; the value rides along with the next Inform/Release message.
+func (c *Coordinator) Progress(bytesDone float64) {
+	if bytesDone > c.bytesDone {
+		c.bytesDone = bytesDone
+	}
+}
+
+// End terminates the I/O phase entirely: the application becomes invisible
+// to arbitration until its next Inform.
+func (c *Coordinator) End(p *sim.Proc) {
+	c.state = Idle
+	c.authorized = false
+	c.ioTime += p.Now() - c.phaseStart
+	c.layer.poke()
+}
+
+// Session bundles the common call sequences a driver needs at its
+// coordination points.
+type Session struct {
+	C *Coordinator
+}
+
+// NewSession wraps a coordinator.
+func NewSession(c *Coordinator) *Session { return &Session{C: c} }
+
+// Begin opens an I/O phase: Prepare + Inform + Wait.
+func (s *Session) Begin(p *sim.Proc, info Info) {
+	s.C.Prepare(info)
+	s.C.Inform(p)
+	s.C.Wait(p)
+}
+
+// Yield is a coordination point between atomic accesses: Release + Inform +
+// Wait. If arbitration has revoked authorization (an interruption), the call
+// blocks until access is granted back; otherwise it costs only the
+// coordination messages.
+func (s *Session) Yield(p *sim.Proc) {
+	s.C.Release(p)
+	s.C.Inform(p)
+	s.C.Wait(p)
+}
+
+// End closes the phase: Release + Complete + End.
+func (s *Session) End(p *sim.Proc) {
+	s.C.Release(p)
+	s.C.Complete()
+	s.C.End(p)
+}

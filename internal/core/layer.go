@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// State is a coordinator's position in the coordination protocol.
+type State int
+
+const (
+	// Idle: not in an I/O phase; invisible to arbitration.
+	Idle State = iota
+	// Waiting: has informed the layer and is waiting for authorization
+	// (either fresh, or paused mid-phase after an interruption).
+	Waiting
+	// Active: authorized and inside an I/O step.
+	Active
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Waiting:
+		return "waiting"
+	case Active:
+		return "active"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// AppView is the snapshot of one application's declared state handed to a
+// Policy for arbitration. All knowledge comes from the app's Prepare info
+// and its progress reports — the layer has no privileged information, which
+// mirrors the paper's design: coordination works only from what applications
+// share.
+type AppView struct {
+	Name       string
+	Cores      int
+	State      State
+	Arrival    float64 // when this I/O phase first informed the layer
+	BytesTotal float64 // declared bytes for the phase
+	BytesDone  float64 // progress reported at Release points
+	Files      int
+	Rounds     int
+	AloneBW    float64 // declared solo bandwidth; 0 = unknown
+}
+
+// Remaining returns the declared bytes still to write.
+func (v AppView) Remaining() float64 {
+	r := v.BytesTotal - v.BytesDone
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Decision is a policy's arbitration outcome.
+type Decision struct {
+	// Allowed maps application name -> authorized to access the file
+	// system. Missing names are treated as not allowed.
+	Allowed map[string]bool
+	// RecheckAfter, when positive, asks the layer to re-arbitrate after
+	// that many seconds even if nothing changes (used by delay policies).
+	RecheckAfter float64
+	// Reason is a human-readable explanation, kept in the decision log.
+	Reason string
+}
+
+// AllowAll builds a decision authorizing every listed app.
+func AllowAll(apps []AppView, reason string) Decision {
+	d := Decision{Allowed: make(map[string]bool, len(apps)), Reason: reason}
+	for _, a := range apps {
+		d.Allowed[a.Name] = true
+	}
+	return d
+}
+
+// AllowOnly builds a decision authorizing exactly one app.
+func AllowOnly(name, reason string) Decision {
+	return Decision{Allowed: map[string]bool{name: true}, Reason: reason}
+}
+
+// Policy arbitrates file-system access among the applications currently in
+// an I/O phase. Arbitrate is called whenever the set or progress of
+// participating applications changes. The views are sorted by arrival time
+// (ties by name) before the call.
+type Policy interface {
+	Name() string
+	Arbitrate(now float64, apps []AppView) Decision
+}
+
+// DecisionRecord is a logged arbitration outcome.
+type DecisionRecord struct {
+	Time    float64
+	Policy  string
+	Allowed []string // sorted
+	Reason  string
+}
+
+// Layer is the shared coordination medium: the stand-in for the common
+// communicator the paper's prototype builds by launching all instances in
+// one mpirun. Coordinators register here and every state change triggers an
+// arbitration after the configured message latency.
+type Layer struct {
+	eng     *sim.Engine
+	policy  Policy
+	latency float64
+	coords  []*Coordinator
+	log     []DecisionRecord
+	recheck *sim.Event
+}
+
+// NewLayer creates a coordination layer with the given policy and one-way
+// coordination message latency in seconds (the paper implements this as MPI
+// messages between rank-0 coordinators; a millisecond is typical).
+func NewLayer(eng *sim.Engine, policy Policy, latency float64) *Layer {
+	if policy == nil {
+		panic("core: nil policy")
+	}
+	if latency < 0 {
+		panic("core: negative latency")
+	}
+	return &Layer{eng: eng, policy: policy, latency: latency}
+}
+
+// Policy returns the active policy.
+func (l *Layer) Policy() Policy { return l.policy }
+
+// Latency returns the one-way message latency.
+func (l *Layer) Latency() float64 { return l.latency }
+
+// Log returns the arbitration decision log.
+func (l *Layer) Log() []DecisionRecord { return l.log }
+
+// Register creates a coordinator for an application. Cores is the size of
+// the job, used by machine-wide efficiency metrics.
+func (l *Layer) Register(name string, cores int) *Coordinator {
+	for _, c := range l.coords {
+		if c.name == name {
+			panic(fmt.Sprintf("core: duplicate coordinator %q", name))
+		}
+	}
+	c := &Coordinator{layer: l, name: name, cores: cores}
+	l.coords = append(l.coords, c)
+	return c
+}
+
+// views collects the arbitration inputs: all non-idle coordinators, sorted
+// by (arrival, name).
+func (l *Layer) views() []AppView {
+	var vs []AppView
+	for _, c := range l.coords {
+		if c.state == Idle {
+			continue
+		}
+		vs = append(vs, c.view())
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Arrival != vs[j].Arrival {
+			return vs[i].Arrival < vs[j].Arrival
+		}
+		return vs[i].Name < vs[j].Name
+	})
+	return vs
+}
+
+// poke schedules an arbitration after the message latency. Every protocol
+// action (Inform, Release, End) calls it.
+func (l *Layer) poke() {
+	l.eng.Schedule(l.latency, l.arbitrate)
+}
+
+func (l *Layer) arbitrate() {
+	vs := l.views()
+	if l.recheck != nil {
+		l.eng.Cancel(l.recheck)
+		l.recheck = nil
+	}
+	if len(vs) == 0 {
+		return
+	}
+	dec := l.policy.Arbitrate(l.eng.Now(), vs)
+
+	var allowed []string
+	for name, ok := range dec.Allowed {
+		if ok {
+			allowed = append(allowed, name)
+		}
+	}
+	sort.Strings(allowed)
+	l.log = append(l.log, DecisionRecord{
+		Time: l.eng.Now(), Policy: l.policy.Name(), Allowed: allowed, Reason: dec.Reason,
+	})
+	l.eng.Tracef("calciom: policy=%s allowed=%v reason=%s", l.policy.Name(), allowed, dec.Reason)
+
+	for _, c := range l.coords {
+		if c.state == Idle {
+			continue
+		}
+		was := c.authorized
+		c.authorized = dec.Allowed[c.name]
+		if c.authorized && !was && c.waiting != nil {
+			// Authorization message travels back to the application.
+			r := c.waiting
+			l.eng.Schedule(l.latency, r.Resume)
+		}
+	}
+	if dec.RecheckAfter > 0 {
+		l.recheck = l.eng.Schedule(dec.RecheckAfter, l.arbitrate)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PriorityPolicy authorizes the waiting application with the highest
+// operator-assigned priority; ties fall back to arrival order. Applications
+// without an assigned priority default to zero. This models a
+// system-provided entity enforcing site policy (the centralized variant the
+// paper's §III-B leaves open).
+type PriorityPolicy struct {
+	// Priorities maps application name -> priority (higher wins).
+	Priorities map[string]int
+}
+
+// Name implements Policy.
+func (PriorityPolicy) Name() string { return "priority" }
+
+// Arbitrate implements Policy.
+func (p PriorityPolicy) Arbitrate(now float64, apps []AppView) Decision {
+	best := apps[0]
+	bestPrio := p.Priorities[best.Name]
+	for _, a := range apps[1:] {
+		if prio := p.Priorities[a.Name]; prio > bestPrio {
+			best, bestPrio = a, prio
+		}
+	}
+	return AllowOnly(best.Name, fmt.Sprintf("priority %d", bestPrio))
+}
+
+// FairSharePolicy time-slices the file system between the applications that
+// want it: the app that has consumed the least I/O service so far gets the
+// next quantum. This is the "fair sharing of throughput" strawman the
+// paper's introduction argues against — each application gets the same
+// quality of service, and machine-wide efficiency suffers; the experiments
+// quantify by how much.
+type FairSharePolicy struct {
+	// Quantum is the re-arbitration period in seconds (default 1).
+	Quantum float64
+}
+
+// Name implements Policy.
+func (FairSharePolicy) Name() string { return "fairshare" }
+
+// Arbitrate implements Policy. Consumed service is approximated by the
+// progress each application has reported (bytes done): the app with the
+// least progress fraction is served next.
+func (f FairSharePolicy) Arbitrate(now float64, apps []AppView) Decision {
+	type cand struct {
+		name string
+		frac float64
+	}
+	cands := make([]cand, 0, len(apps))
+	for _, a := range apps {
+		frac := 0.0
+		if a.BytesTotal > 0 {
+			frac = a.BytesDone / a.BytesTotal
+		}
+		cands = append(cands, cand{a.Name, frac})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].frac != cands[j].frac {
+			return cands[i].frac < cands[j].frac
+		}
+		return cands[i].name < cands[j].name
+	})
+	q := f.Quantum
+	if q <= 0 {
+		q = 1
+	}
+	dec := AllowOnly(cands[0].name, fmt.Sprintf("least served (%.0f%% done)", 100*cands[0].frac))
+	if len(apps) > 1 {
+		dec.RecheckAfter = q
+	}
+	return dec
+}

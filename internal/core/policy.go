@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// InterferePolicy lets every application access the file system at once:
+// the uncoordinated baseline ("let them interfere").
+type InterferePolicy struct{}
+
+// Name implements Policy.
+func (InterferePolicy) Name() string { return "interfere" }
+
+// Arbitrate implements Policy.
+func (InterferePolicy) Arbitrate(now float64, apps []AppView) Decision {
+	return AllowAll(apps, "interference allowed")
+}
+
+// FCFSPolicy serializes accesses first-come-first-served: the application
+// whose I/O phase arrived first holds the file system until its phase ends;
+// later arrivals wait (paper §III-A1, Fig. 5b).
+type FCFSPolicy struct{}
+
+// Name implements Policy.
+func (FCFSPolicy) Name() string { return "fcfs" }
+
+// Arbitrate implements Policy. Views arrive sorted by (arrival, name).
+func (FCFSPolicy) Arbitrate(now float64, apps []AppView) Decision {
+	head := apps[0]
+	return AllowOnly(head.Name, fmt.Sprintf("%s arrived first (t=%.3f)", head.Name, head.Arrival))
+}
+
+// InterruptPolicy serializes in the opposite direction: the most recent
+// arrival preempts whoever is accessing; the interrupted application resumes
+// when the newcomer finishes (paper §III-A2, Fig. 5c). Preemption takes
+// effect at the interrupted application's next coordination point.
+type InterruptPolicy struct{}
+
+// Name implements Policy.
+func (InterruptPolicy) Name() string { return "interrupt" }
+
+// Arbitrate implements Policy.
+func (InterruptPolicy) Arbitrate(now float64, apps []AppView) Decision {
+	newest := apps[len(apps)-1]
+	return AllowOnly(newest.Name, fmt.Sprintf("%s arrived last (t=%.3f)", newest.Name, newest.Arrival))
+}
+
+// DelayPolicy implements the Fig. 12 tradeoff: when interference is mild,
+// full serialization wastes time, so a newcomer is merely delayed until the
+// current holder's estimated remaining time drops below Overlap times the
+// newcomer's own solo time, and then both are allowed to overlap.
+//
+// Overlap = 0 degenerates to FCFS; Overlap = +Inf to interference.
+type DelayPolicy struct {
+	Overlap float64    // fraction of the newcomer's solo time allowed to overlap
+	Model   *PerfModel // estimation model (required)
+}
+
+// Name implements Policy.
+func (d DelayPolicy) Name() string { return fmt.Sprintf("delay(%.2f)", d.Overlap) }
+
+// Arbitrate implements Policy.
+func (d DelayPolicy) Arbitrate(now float64, apps []AppView) Decision {
+	if d.Model == nil {
+		panic("core: DelayPolicy needs a PerfModel")
+	}
+	if len(apps) == 1 {
+		return AllowAll(apps, "single application")
+	}
+	// The earliest arrival is the holder; later arrivals overlap only
+	// inside their allowed window.
+	holder := apps[0]
+	remHold := d.Model.SoloTime(holder, holder.Remaining())
+	allowed := map[string]bool{holder.Name: true}
+	recheck := math.Inf(1)
+	for _, a := range apps[1:] {
+		window := d.Overlap * d.Model.SoloTime(a, a.Remaining())
+		if remHold <= window {
+			allowed[a.Name] = true
+			continue
+		}
+		// Not yet: re-examine when the holder should be within range.
+		if wait := remHold - window; wait < recheck {
+			recheck = wait
+		}
+	}
+	dec := Decision{Allowed: allowed, Reason: fmt.Sprintf("holder %s rem=%.2fs", holder.Name, remHold)}
+	if !math.IsInf(recheck, 1) && recheck > 0 {
+		dec.RecheckAfter = recheck
+	}
+	return dec
+}

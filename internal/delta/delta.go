@@ -1,0 +1,264 @@
+// Package delta is the experiment harness for the paper's ∆-graphs:
+// application A starts an I/O phase at a reference time, application B at an
+// offset dt, and the observed I/O time (or interference factor I = T/T_alone)
+// of each is plotted against dt, for each coordination policy.
+package delta
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/fluid"
+	"repro/internal/ior"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+)
+
+// AppSpec describes one application in a scenario.
+type AppSpec struct {
+	Name  string
+	Procs int
+	Nodes int // 0 = one proc per node
+	W     ior.Workload
+	Gran  ior.Granularity
+}
+
+// Scenario is a full experimental setup: platform constants plus the
+// applications. One Scenario value is immutable and reusable; every Run
+// builds a fresh engine from it.
+type Scenario struct {
+	Name          string
+	FS            pfs.Config
+	ProcNIC       float64 // per-process injection bandwidth (bytes/s)
+	CommBWPerProc float64 // per-process collective-comm bandwidth (bytes/s)
+	CommAlpha     float64 // interconnect latency for collectives (s)
+	CoordLatency  float64 // CALCioM message latency (s)
+	Apps          []AppSpec
+
+	// TrueNetwork switches the contention model from per-server sharing
+	// with static injection caps to an explicit fabric (per-app NIC links
+	// plus per-server links) under global max-min fairness. Used by the
+	// network-model ablation.
+	TrueNetwork bool
+}
+
+// PolicyFactory builds a fresh policy for one run; the model carries the
+// scenario's platform constants. A nil PolicyFactory means "no coordination
+// layer at all" (the uncoordinated baseline).
+type PolicyFactory func(m *core.PerfModel) core.Policy
+
+// Predefined factories.
+var (
+	Uncoordinated PolicyFactory // nil: no layer
+	Interfere     PolicyFactory = func(*core.PerfModel) core.Policy { return core.InterferePolicy{} }
+	FCFS          PolicyFactory = func(*core.PerfModel) core.Policy { return core.FCFSPolicy{} }
+	Interrupt     PolicyFactory = func(*core.PerfModel) core.Policy { return core.InterruptPolicy{} }
+)
+
+// Dynamic returns a factory for CALCioM's adaptive policy under a metric.
+func Dynamic(metric core.Metric, allowInterfere bool) PolicyFactory {
+	return func(m *core.PerfModel) core.Policy {
+		return core.DynamicPolicy{Metric: metric, Model: m, AllowInterfere: allowInterfere}
+	}
+}
+
+// Delay returns a factory for the Fig. 12 delay/overlap tradeoff policy.
+func Delay(overlap float64) PolicyFactory {
+	return func(m *core.PerfModel) core.Policy {
+		return core.DelayPolicy{Overlap: overlap, Model: m}
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	IOTime    []float64 // per app: observed I/O time summed over phases
+	Stats     []*ior.Stats
+	Decisions []core.DecisionRecord
+	Makespan  float64 // last I/O completion time
+}
+
+// Model returns the performance model for the scenario's platform.
+func (sc Scenario) Model() *core.PerfModel {
+	return &core.PerfModel{
+		FSBandwidth: float64(sc.FS.Servers) * sc.FS.ServerBW,
+		ProcNIC:     sc.ProcNIC,
+	}
+}
+
+// Run executes the scenario once with each app's I/O phase starting at the
+// given absolute time.
+func (sc Scenario) Run(factory PolicyFactory, starts []float64) Result {
+	return sc.RunWithTimeline(factory, starts, nil)
+}
+
+// RunWithTimeline is Run with an optional interval recorder for Gantt
+// rendering. The recorder must not be shared between concurrent runs.
+func (sc Scenario) RunWithTimeline(factory PolicyFactory, starts []float64, rec *timeline.Recorder) Result {
+	if len(starts) != len(sc.Apps) {
+		panic("delta: starts length mismatch")
+	}
+	eng := sim.NewEngine()
+	fsCfg := sc.FS
+	if sc.TrueNetwork {
+		fsCfg.Fabric = fabric.New(eng)
+	}
+	fs := pfs.New(eng, fsCfg)
+	plat := &mpi.Platform{
+		Eng:           eng,
+		FS:            fs,
+		ProcNIC:       sc.ProcNIC,
+		CommBWPerProc: sc.CommBWPerProc,
+		CommAlpha:     sc.CommAlpha,
+	}
+	var layer *core.Layer
+	if factory != nil {
+		layer = core.NewLayer(eng, factory(sc.Model()), sc.CoordLatency)
+	}
+	runners := make([]*ior.Runner, len(sc.Apps))
+	for i, as := range sc.Apps {
+		app := plat.NewApp(as.Name, as.Procs, as.Nodes)
+		var sess *core.Session
+		if layer != nil {
+			sess = core.NewSession(layer.Register(as.Name, as.Procs))
+		}
+		runners[i] = ior.NewRunner(app, as.W, sess, as.Gran)
+		runners[i].Timeline = rec
+		runners[i].Start(starts[i])
+	}
+	end := eng.Run()
+
+	res := Result{Makespan: end}
+	for _, r := range runners {
+		res.IOTime = append(res.IOTime, r.Stats.TotalIOTime())
+		res.Stats = append(res.Stats, &r.Stats)
+	}
+	if layer != nil {
+		res.Decisions = layer.Log()
+	}
+	return res
+}
+
+// Solo runs application i alone (starting at 0, uncoordinated) and returns
+// its observed I/O time — the T_alone calibration for interference factors.
+func (sc Scenario) Solo(i int) float64 {
+	solo := sc
+	solo.Apps = []AppSpec{sc.Apps[i]}
+	return solo.Run(nil, []float64{0}).IOTime[0]
+}
+
+// Series is a swept ∆-graph for a two-application scenario under one policy.
+type Series struct {
+	Policy  string
+	DT      []float64
+	TimeA   []float64 // observed I/O time of app A (starts at max(0,-dt))
+	TimeB   []float64 // observed I/O time of app B (starts at max(0,+dt))
+	FactorA []float64 // TimeA / SoloA
+	FactorB []float64
+	SoloA   float64
+	SoloB   float64
+	// CPUPerCore is the machine-wide f/Σcores for each dt (Fig. 11 axis).
+	CPUPerCore []float64
+}
+
+// policyName resolves a factory's display name.
+func policyName(sc Scenario, factory PolicyFactory) string {
+	if factory == nil {
+		return "uncoordinated"
+	}
+	return factory(sc.Model()).Name()
+}
+
+// Sweep runs the two-app scenario at every dt under the policy. dt > 0
+// means B starts after A, matching the paper's convention. Runs execute in
+// parallel across OS threads; each point is its own deterministic engine.
+func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
+	if len(sc.Apps) != 2 {
+		panic(fmt.Sprintf("delta: Sweep needs exactly 2 apps, got %d", len(sc.Apps)))
+	}
+	s := Series{
+		Policy: policyName(sc, factory),
+		DT:     append([]float64(nil), dts...),
+		SoloA:  sc.Solo(0),
+		SoloB:  sc.Solo(1),
+	}
+	n := len(dts)
+	s.TimeA = make([]float64, n)
+	s.TimeB = make([]float64, n)
+	s.FactorA = make([]float64, n)
+	s.FactorB = make([]float64, n)
+	s.CPUPerCore = make([]float64, n)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for k, dt := range dts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int, dt float64) {
+			defer func() { <-sem; wg.Done() }()
+			startA, startB := 0.0, dt
+			if dt < 0 {
+				startA, startB = -dt, 0
+			}
+			res := sc.Run(factory, []float64{startA, startB})
+			s.TimeA[k] = res.IOTime[0]
+			s.TimeB[k] = res.IOTime[1]
+			s.FactorA[k] = res.IOTime[0] / s.SoloA
+			s.FactorB[k] = res.IOTime[1] / s.SoloB
+			rep := metrics.Report{Apps: []metrics.AppResult{
+				{Name: sc.Apps[0].Name, Cores: sc.Apps[0].Procs, IOTime: res.IOTime[0], AloneTime: s.SoloA},
+				{Name: sc.Apps[1].Name, Cores: sc.Apps[1].Procs, IOTime: res.IOTime[1], AloneTime: s.SoloB},
+			}}
+			s.CPUPerCore[k] = rep.CPUSecondsPerCore()
+		}(k, dt)
+	}
+	wg.Wait()
+	return s
+}
+
+// Expected computes the paper's analytic "expected interference" ∆-graph:
+// each application's I/O phase is treated as a unit of service equal to its
+// solo time, and overlapping phases progress under equal proportional
+// sharing (two overlapped apps each run at half speed). This is the
+// piecewise-linear ∆ the graphs are named after: a peak of 2x the solo time
+// at dt = 0, decaying to the solo time once the offset exceeds the phase
+// length. Real systems can interfere less than this model (Figs. 7b, 8a —
+// comm phases and injection limits leave headroom) or more (cache effects,
+// Fig. 3).
+func (sc Scenario) Expected(dts []float64) Series {
+	if len(sc.Apps) != 2 {
+		panic("delta: Expected needs exactly 2 apps")
+	}
+	s := Series{
+		Policy: "expected",
+		DT:     append([]float64(nil), dts...),
+		SoloA:  sc.Solo(0),
+		SoloB:  sc.Solo(1),
+	}
+	flows := []fluid.Flow{
+		{Work: s.SoloA, Weight: 1},
+		{Work: s.SoloB, Weight: 1},
+	}
+	for _, dt := range dts {
+		startA, startB := 0.0, dt
+		if dt < 0 {
+			startA, startB = -dt, 0
+		}
+		fin := fluid.StaggeredFinishTimes(1, flows, []float64{startA, startB})
+		ta := fin[0] - startA
+		tb := fin[1] - startB
+		s.TimeA = append(s.TimeA, ta)
+		s.TimeB = append(s.TimeB, tb)
+		s.FactorA = append(s.FactorA, ta/s.SoloA)
+		s.FactorB = append(s.FactorB, tb/s.SoloB)
+		f := (float64(sc.Apps[0].Procs)*ta + float64(sc.Apps[1].Procs)*tb) /
+			float64(sc.Apps[0].Procs+sc.Apps[1].Procs)
+		s.CPUPerCore = append(s.CPUPerCore, f)
+	}
+	return s
+}

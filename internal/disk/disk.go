@@ -1,0 +1,165 @@
+// Package disk models a storage target with an optional write-back cache in
+// front of a slower persistent medium.
+//
+// Writes land in the cache at CacheBW as long as dirty bytes stay below
+// CacheBytes; a background drain empties the cache at DiskBW. When the cache
+// fills, ingest capacity collapses to the drain rate — exactly the cliff that
+// CALCioM's Figure 3 demonstrates when two applications' write bursts
+// overlap. With CacheBytes == 0 the store is a plain disk at DiskBW
+// (the paper's Grid'5000 configuration disables the cache for this reason).
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+	"repro/internal/sim"
+)
+
+// Params configures a Store.
+type Params struct {
+	DiskBW     float64 // bytes/s sustained by the persistent medium (> 0)
+	CacheBW    float64 // bytes/s ingest while cache has room (0 disables cache)
+	CacheBytes float64 // cache capacity in bytes (0 disables cache)
+}
+
+// Store is a storage target. All access happens in scheduler context.
+type Store struct {
+	eng  *sim.Engine
+	name string
+	p    Params
+	res  *fluid.Resource
+
+	dirty      float64
+	lastT      float64
+	ingestRate float64 // rate as of lastT
+	full       bool
+
+	crossing *sim.Event // pending fill/empty threshold event
+}
+
+// New creates a store. CacheBW and CacheBytes must both be set (or both
+// zero); a cache with no capacity or no speed is a configuration error.
+func New(eng *sim.Engine, name string, p Params) *Store {
+	if p.DiskBW <= 0 {
+		panic(fmt.Sprintf("disk: DiskBW must be positive, got %v", p.DiskBW))
+	}
+	if (p.CacheBW == 0) != (p.CacheBytes == 0) {
+		panic("disk: CacheBW and CacheBytes must be both zero or both set")
+	}
+	if p.CacheBW != 0 && p.CacheBW < p.DiskBW {
+		panic("disk: cache slower than disk makes no sense")
+	}
+	s := &Store{eng: eng, name: name, p: p, lastT: eng.Now()}
+	s.res = fluid.NewResource(eng, name, s.ingestCapacity())
+	if s.cached() {
+		s.res.OnRateChange = s.onRateChange
+	}
+	return s
+}
+
+func (s *Store) cached() bool { return s.p.CacheBytes > 0 }
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.name }
+
+// Resource exposes the ingest resource; callers submit write jobs to it.
+func (s *Store) Resource() *fluid.Resource { return s.res }
+
+// DiskBW returns the persistent-medium bandwidth.
+func (s *Store) DiskBW() float64 { return s.p.DiskBW }
+
+// Dirty returns the dirty byte count, integrated to the current time.
+func (s *Store) Dirty() float64 {
+	s.advanceDirty()
+	return s.dirty
+}
+
+// ingestCapacity returns the resource capacity for the current cache state.
+func (s *Store) ingestCapacity() float64 {
+	if !s.cached() || s.full {
+		return s.p.DiskBW
+	}
+	return s.p.CacheBW
+}
+
+// advanceDirty integrates dirty bytes since lastT at the recorded ingest
+// rate, minus the continuous drain at DiskBW.
+func (s *Store) advanceDirty() {
+	now := s.eng.Now()
+	dt := now - s.lastT
+	if dt <= 0 {
+		s.lastT = now
+		return
+	}
+	s.dirty += (s.ingestRate - s.p.DiskBW) * dt
+	if s.dirty < 0 {
+		s.dirty = 0
+	}
+	if s.dirty > s.p.CacheBytes {
+		s.dirty = s.p.CacheBytes
+	}
+	s.lastT = now
+}
+
+// onRateChange is called by the fluid resource after every reallocation.
+// It integrates dirty bytes at the old rate, adopts the new rate, updates
+// the fill state and schedules the next threshold crossing.
+func (s *Store) onRateChange(total float64) {
+	s.advanceDirty()
+	s.ingestRate = total
+	s.updateState()
+}
+
+func (s *Store) updateState() {
+	if s.crossing != nil {
+		s.eng.Cancel(s.crossing)
+		s.crossing = nil
+	}
+	net := s.ingestRate - s.p.DiskBW
+	switch {
+	case s.full:
+		// Cache pinned at capacity: ingest is clamped to DiskBW so dirty
+		// stays full while demand persists. It can only start draining
+		// when ingest drops below disk speed.
+		if net < 0 {
+			// Leave "full" as soon as we begin draining; restore cache
+			// speed so the next burst is absorbed again.
+			s.full = false
+			s.switchCapacity()
+			return
+		}
+	case net > 0:
+		if s.dirty >= s.p.CacheBytes {
+			s.full = true
+			s.switchCapacity()
+			return
+		}
+		dt := (s.p.CacheBytes - s.dirty) / net
+		s.crossing = s.eng.Schedule(dt, s.onFill)
+	}
+}
+
+func (s *Store) onFill() {
+	s.crossing = nil
+	s.advanceDirty()
+	if s.dirty >= s.p.CacheBytes*(1-1e-9) {
+		s.dirty = s.p.CacheBytes
+		s.full = true
+		s.switchCapacity()
+	} else {
+		s.updateState()
+	}
+}
+
+// switchCapacity applies the capacity implied by the fill state. SetCapacity
+// triggers a reallocation, which re-enters onRateChange; the state fields
+// are already consistent so the recursion settles immediately.
+func (s *Store) switchCapacity() {
+	s.res.SetCapacity(s.ingestCapacity())
+	if s.res.Capacity() == s.ingestCapacity() && s.crossing == nil {
+		// SetCapacity may have been a no-op (same value), in which case
+		// onRateChange did not run; make sure crossings are scheduled.
+		s.updateState()
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/ior"
+	"repro/internal/pfs"
+)
+
+// AblationServerScheduler contrasts server-side request scheduling (the
+// related-work approach CALCioM argues against) with application-level
+// coordination: the same Fig. 7a workload under per-server processor
+// sharing, per-server FIFO, and server-side app-exclusive service, all
+// uncoordinated, against CALCioM FCFS.
+func AblationServerScheduler() *Table {
+	t := &Table{
+		ID:      "ablation-server-sched",
+		Title:   "Server-side scheduling vs cross-application coordination (Fig. 7a workload, dt=5)",
+		Columns: []string{"mode", "timeA_s", "timeB_s", "sum_s"},
+		Notes: "modes: 0=share (interference), 1=per-server FIFO, 2=server app-exclusive,\n" +
+			"3=CALCioM FCFS. Server-side policies lack app knowledge; requests still interleave\n" +
+			"across servers, so only the coordination layer fully protects the first app",
+	}
+	for mode, setup := range []struct {
+		policy  pfs.SchedPolicy
+		factory delta.PolicyFactory
+	}{
+		{pfs.Share, delta.Uncoordinated},
+		{pfs.FIFO, delta.Uncoordinated},
+		{pfs.Exclusive, delta.Uncoordinated},
+		{pfs.Share, delta.FCFS},
+	} {
+		sc := surveyorContiguous(2048)
+		sc.FS.Policy = setup.policy
+		res := sc.Run(setup.factory, []float64{0, 5})
+		t.AddRow(float64(mode), res.IOTime[0], res.IOTime[1], res.IOTime[0]+res.IOTime[1])
+	}
+	return t
+}
+
+// AblationGranularity sweeps the placement of coordination calls
+// (phase / file / round) for the Fig. 10 interruption scenario, measuring
+// how quickly the big application can yield.
+func AblationGranularity() *Table {
+	t := &Table{
+		ID:      "ablation-granularity",
+		Title:   "Coordination-point granularity under interruption (Fig. 10 workload, dt=5)",
+		Columns: []string{"granularity", "timeA_s", "timeB_s"},
+		Notes:   "granularity: 0=phase (cannot interrupt), 1=file, 2=round; finer helps B",
+	}
+	for _, g := range []ior.Granularity{ior.PerPhase, ior.PerFile, ior.PerRound} {
+		sc := fig10Scenario(g)
+		res := sc.Run(delta.Interrupt, []float64{0, 5})
+		t.AddRow(float64(g), res.IOTime[0], res.IOTime[1])
+	}
+	return t
+}
+
+// AblationMessageLatency sweeps the coordination message latency to show
+// the dynamic policy's benefit is robust until latencies approach the round
+// time (Fig. 11 scenario at dt=2).
+func AblationMessageLatency() *Table {
+	t := &Table{
+		ID:      "ablation-latency",
+		Title:   "Sensitivity of CALCioM dynamic to coordination message latency (dt=2)",
+		Columns: []string{"latency_s", "percore_calciom_s", "percore_interfere_s"},
+		Notes:   "coordination stays profitable while latency << round time (~0.5s here)",
+	}
+	base := fig10Scenario(ior.PerRound)
+	interfere := base.Run(delta.Uncoordinated, []float64{0, 2})
+	perCore := func(res delta.Result) float64 {
+		return (2048*res.IOTime[0] + 2048*res.IOTime[1]) / 4096
+	}
+	for _, lat := range []float64{1e-4, 1e-3, 1e-2, 1e-1, 0.5} {
+		sc := fig10Scenario(ior.PerRound)
+		sc.CoordLatency = lat
+		res := sc.Run(delta.Dynamic(core.CPUSecondsWasted{}, false), []float64{0, 2})
+		t.AddRow(lat, perCore(res), perCore(interfere))
+	}
+	return t
+}
+
+// AblationCollectiveBuffer sweeps the collective-buffering buffer size on
+// the Fig. 8 workload: larger buffers mean fewer, longer rounds — less
+// coordination overhead but coarser interruption.
+func AblationCollectiveBuffer() *Table {
+	t := &Table{
+		ID:      "ablation-cb-buffer",
+		Title:   "Collective-buffering buffer size (Fig. 8 workload, interrupt at dt=5)",
+		Columns: []string{"buf_MiB", "rounds", "soloA_s", "timeA_s", "timeB_s"},
+		Notes:   "smaller buffers -> more rounds -> faster yields for the interrupted app",
+	}
+	for _, bufMiB := range []int64{4, 8, 16, 32, 64} {
+		sc := surveyorStrided()
+		for i := range sc.Apps {
+			sc.Apps[i].W.CB.BufBytes = bufMiB * MiB
+		}
+		solo := sc.Solo(0)
+		res := sc.Run(delta.Interrupt, []float64{0, 5})
+		// Recompute the round count for reporting.
+		aggs := nodesFor(2048, SurveyorCoresPerNode)
+		fileBytes := sc.Apps[0].W.FileBytes(2048)
+		rounds := (fileBytes + int64(aggs)*bufMiB*MiB - 1) / (int64(aggs) * bufMiB * MiB)
+		t.AddRow(float64(bufMiB), float64(rounds), solo, res.IOTime[0], res.IOTime[1])
+	}
+	return t
+}
+
+// AblationNetworkModel compares the default contention model (per-server
+// processor sharing with static per-request injection caps) against the
+// explicit-fabric model (per-app NIC links + per-server links under global
+// max-min fairness) on the Fig. 6 small-vs-big scenario. Agreement here
+// justifies the cheaper default model.
+func AblationNetworkModel() *Table {
+	t := &Table{
+		ID:      "ablation-network",
+		Title:   "Static injection caps vs explicit max-min fabric (Fig. 6 workload, N_B=24)",
+		Columns: []string{"true_network", "dt_s", "factorA", "factorB"},
+		Notes:   "both models must agree on the interference shape; fabric is ~2x slower to simulate",
+	}
+	for _, trueNet := range []bool{false, true} {
+		sc := rennesSplitScenario(24, 16*MiB)
+		sc.TrueNetwork = trueNet
+		dts := []float64{-5, 0, 5, 10, 15}
+		s := sc.Sweep(delta.Uncoordinated, dts)
+		flag := 0.0
+		if trueNet {
+			flag = 1
+		}
+		for i := range dts {
+			t.AddRow(flag, dts[i], s.FactorA[i], s.FactorB[i])
+		}
+	}
+	return t
+}

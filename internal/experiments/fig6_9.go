@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/delta"
+	"repro/internal/ior"
+)
+
+// rennesSplitScenario builds the Grid'5000 Rennes scenario used by Figs. 6
+// and 9: a 768-core budget split into A (768-n) and B (n), both writing a
+// strided pattern through collective buffering.
+func rennesSplitScenario(coresB int, perProcBytes int64) delta.Scenario {
+	sc := RennesPlatform()
+	coresA := 768 - coresB
+	w := ior.Workload{
+		Pattern:       ior.Strided,
+		BlockSize:     2 * MiB,
+		BlocksPerProc: int(perProcBytes / (2 * MiB)),
+		CB:            ior.CollectiveBuffering{BufBytes: 16 * MiB},
+	}
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: coresA, Nodes: nodesFor(coresA, RennesCoresPerNode), W: w, Gran: ior.PerRound},
+		{Name: "B", Procs: coresB, Nodes: nodesFor(coresB, RennesCoresPerNode), W: w, Gran: ior.PerRound},
+	}
+	return sc
+}
+
+// Fig6 reproduces Figure 6: ∆-graphs of the interference factor when 768
+// cores are split into applications of different sizes (B on 24..384 cores),
+// each process writing 16 MB (8 strides of 2 MB). The small application is
+// hurt dramatically (factor up to ~14 at 24 cores) when it arrives second.
+func Fig6(points int) *Table {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "∆-graphs of interference factor, 768 cores split A=(768-N) / B=N (Rennes)",
+		Columns: []string{"coresB", "dt_s", "factorA", "factorB"},
+		Notes:   "paper: factor up to 14 for the 24-core app; ~2 for the even split",
+	}
+	for _, nb := range []int{24, 48, 96, 192, 384} {
+		sc := rennesSplitScenario(nb, 16*MiB)
+		dts := linspace(-25, 25, points)
+		s := sc.Sweep(delta.Uncoordinated, dts)
+		for i := range dts {
+			t.AddRow(float64(nb), dts[i], s.FactorA[i], s.FactorB[i])
+		}
+	}
+	return t
+}
+
+// Fig9 reproduces Figure 9: the interference factor under the three static
+// policies (interfering, FCFS serialization, interruption) for a very uneven
+// split (744/24) and an even one (384/384), each process writing 8 MB
+// strided. FCFS is disastrous for a small app arriving second (b); the
+// interruption is the dual: bad for an equal-size first app (c).
+func Fig9(points int) *Table {
+	t := &Table{
+		ID:    "fig9",
+		Title: "Interference factor per policy: (A,B) = (744,24) and (384,384) on Rennes",
+		Columns: []string{"coresA", "coresB", "dt_s",
+			"fA_interfere", "fB_interfere",
+			"fA_fcfs", "fB_fcfs",
+			"fA_interrupt", "fB_interrupt"},
+		Notes: "paper Fig. 9: FCFS hurts small B arriving second; interruption hurts equal-size A",
+	}
+	for _, nb := range []int{24, 384} {
+		sc := rennesSplitScenario(nb, 8*MiB)
+		dts := linspace(-20, 20, points)
+		inter := sc.Sweep(delta.Uncoordinated, dts)
+		fcfs := sc.Sweep(delta.FCFS, dts)
+		irq := sc.Sweep(delta.Interrupt, dts)
+		for i := range dts {
+			t.AddRow(float64(768-nb), float64(nb), dts[i],
+				inter.FactorA[i], inter.FactorB[i],
+				fcfs.FactorA[i], fcfs.FactorB[i],
+				irq.FactorA[i], irq.FactorB[i])
+		}
+	}
+	return t
+}
+
+// Fig9Summary condenses Fig. 9 into the paper's qualitative claims, one row
+// per (split, policy): worst-case factor for each app across the sweep.
+func Fig9Summary(points int) *Table {
+	t := &Table{
+		ID:      "fig9-summary",
+		Title:   "Worst-case interference factor per policy across the ∆ sweep",
+		Columns: []string{"coresA", "coresB", "maxA_interfere", "maxB_interfere", "maxA_fcfs", "maxB_fcfs", "maxA_interrupt", "maxB_interrupt"},
+	}
+	full := Fig9(points)
+	splits := [][2]float64{{744, 24}, {384, 384}}
+	for _, sp := range splits {
+		maxes := make([]float64, 6)
+		for _, row := range full.Rows {
+			if row[0] != sp[0] {
+				continue
+			}
+			for c := 0; c < 6; c++ {
+				if row[3+c] > maxes[c] {
+					maxes[c] = row[3+c]
+				}
+			}
+		}
+		t.AddRow(sp[0], sp[1], maxes[0], maxes[1], maxes[2], maxes[3], maxes[4], maxes[5])
+	}
+	t.Notes = fmt.Sprintf("derived from fig9 with %d dt points per split", points)
+	return t
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/delta"
+	"repro/internal/ior"
+)
+
+// surveyorContiguous builds the Surveyor scenario of Fig. 7: two equal
+// applications writing 32 MB per process contiguously.
+func surveyorContiguous(procs int) delta.Scenario {
+	sc := SurveyorPlatform()
+	w := ior.Workload{
+		Pattern:       ior.Contiguous,
+		BlockSize:     32 * MiB,
+		BlocksPerProc: 1,
+		ReqBytes:      4 * MiB, // 8 requests per process
+	}
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: procs, Nodes: nodesFor(procs, SurveyorCoresPerNode), W: w, Gran: ior.PerRound},
+		{Name: "B", Procs: procs, Nodes: nodesFor(procs, SurveyorCoresPerNode), W: w, Gran: ior.PerRound},
+	}
+	return sc
+}
+
+// Fig7a reproduces Figure 7(a): 2x2048 cores on Surveyor, interfering vs
+// FCFS-serialized. Serialization leaves the first application untouched and
+// degrades only the second — better overall than mutual interference.
+func Fig7a(points int) *Table {
+	sc := surveyorContiguous(2048)
+	dts := linspace(-15, 15, points)
+	inter := sc.Sweep(delta.Uncoordinated, dts)
+	fcfs := sc.Sweep(delta.FCFS, dts)
+
+	t := &Table{
+		ID:      "fig7a",
+		Title:   "Surveyor 2x2048 procs, 32 MB/proc contiguous: interfering vs FCFS",
+		Columns: []string{"dt_s", "tA_interfere", "tB_interfere", "tA_fcfs", "tB_fcfs"},
+		Notes:   fmt.Sprintf("solo %.2fs; both apps saturate the FS so interference doubles times", inter.SoloA),
+	}
+	for i := range dts {
+		t.AddRow(dts[i], inter.TimeA[i], inter.TimeB[i], fcfs.TimeA[i], fcfs.TimeB[i])
+	}
+	return t
+}
+
+// Fig7b reproduces Figure 7(b): the same experiment at 2x1024 cores. The
+// smaller applications cannot saturate the file system alone, so measured
+// interference is much lower than the proportional-sharing expectation and
+// serializing is counterproductive for the second app.
+func Fig7b(points int) *Table {
+	sc := surveyorContiguous(1024)
+	dts := linspace(-14, 14, points)
+	inter := sc.Sweep(delta.Uncoordinated, dts)
+	fcfs := sc.Sweep(delta.FCFS, dts)
+	exp := sc.Expected(dts)
+
+	t := &Table{
+		ID:      "fig7b",
+		Title:   "Surveyor 2x1024 procs, 32 MB/proc contiguous: interference below expectation",
+		Columns: []string{"dt_s", "tA_interfere", "tB_interfere", "tA_fcfs", "tB_fcfs", "tA_expected", "tB_expected"},
+		Notes: fmt.Sprintf("solo %.2fs; injection-limited apps leave headroom, so interfering beats FCFS for B",
+			inter.SoloA),
+	}
+	for i := range dts {
+		t.AddRow(dts[i], inter.TimeA[i], inter.TimeB[i], fcfs.TimeA[i], fcfs.TimeB[i], exp.TimeA[i], exp.TimeB[i])
+	}
+	return t
+}
+
+// surveyorStrided builds the Fig. 8 scenario: 2x2048 cores writing 16 MB per
+// process in 16 blocks of 1 MB, strided, triggering collective buffering.
+func surveyorStrided() delta.Scenario {
+	sc := SurveyorPlatform()
+	w := ior.Workload{
+		Pattern:       ior.Strided,
+		BlockSize:     1 * MiB,
+		BlocksPerProc: 16,
+		CB:            ior.CollectiveBuffering{BufBytes: 16 * MiB},
+	}
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: 2048, Nodes: nodesFor(2048, SurveyorCoresPerNode), W: w, Gran: ior.PerRound},
+		{Name: "B", Procs: 2048, Nodes: nodesFor(2048, SurveyorCoresPerNode), W: w, Gran: ior.PerRound},
+	}
+	return sc
+}
+
+// Fig8a reproduces Figure 8(a): with collective buffering, the shuffle
+// rounds are immune to file-system contention, so two interfering
+// applications overlap their comm and write phases and finish *sooner* than
+// the expected write-sharing model — and FCFS serialization penalizes the
+// second application more than interference would.
+func Fig8a(points int) *Table {
+	sc := surveyorStrided()
+	dts := linspace(-40, 40, points)
+	inter := sc.Sweep(delta.Uncoordinated, dts)
+	fcfs := sc.Sweep(delta.FCFS, dts)
+	exp := sc.Expected(dts)
+
+	t := &Table{
+		ID:      "fig8a",
+		Title:   "Surveyor 2x2048 strided 16x1MB (two-phase I/O): interfering vs FCFS vs expected",
+		Columns: []string{"dt_s", "tA_interfere", "tB_interfere", "tA_fcfs", "tB_fcfs", "tA_expected", "tB_expected"},
+		Notes:   fmt.Sprintf("solo %.2fs; comm rounds don't contend, so serialization overpenalizes", inter.SoloA),
+	}
+	for i := range dts {
+		t.AddRow(dts[i], inter.TimeA[i], inter.TimeB[i], fcfs.TimeA[i], fcfs.TimeB[i], exp.TimeA[i], exp.TimeB[i])
+	}
+	return t
+}
+
+// Fig8b reproduces Figure 8(b): the decomposition of application A's phase
+// into communication and write time, alone and under interference at dt=0
+// and dt=10. Only the write phase suffers.
+func Fig8b() *Table {
+	sc := surveyorStrided()
+	t := &Table{
+		ID:      "fig8b",
+		Title:   "Phases of collective buffering under interference (app A)",
+		Columns: []string{"case_dt_s", "commA_s", "writeA_s", "totalA_s"},
+		Notes:   "case_dt = -1 means no interference (A alone); comm is nearly unaffected",
+	}
+	// Alone.
+	soloSc := sc
+	soloSc.Apps = sc.Apps[:1]
+	solo := soloSc.Run(delta.Uncoordinated, []float64{0})
+	ph := solo.Stats[0].Phases[0]
+	t.AddRow(-1, ph.CommTime, ph.WriteTime, ph.IOTime())
+
+	for _, dt := range []float64{0, 10} {
+		res := sc.Run(delta.Uncoordinated, []float64{0, dt})
+		ph := res.Stats[0].Phases[0]
+		t.AddRow(dt, ph.CommTime, ph.WriteTime, ph.IOTime())
+	}
+	return t
+}

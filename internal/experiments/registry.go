@@ -1,0 +1,53 @@
+package experiments
+
+// Experiment is a named, parameter-free experiment runner used by the CLI
+// and the benchmark harness. Points counts are the defaults used for the
+// recorded EXPERIMENTS.md tables.
+type Experiment struct {
+	ID    string
+	Paper string // what the paper shows
+	Run   func() *Table
+}
+
+// All returns every experiment in paper order, with default parameters.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1a", "Fig. 1a: distribution of job sizes on Intrepid", func() *Table { return Fig1a(DefaultTrace) }},
+		{"fig1b", "Fig. 1b: number of concurrent jobs by time unit", func() *Table { return Fig1b(DefaultTrace) }},
+		{"prob-io", "§II-B: probability another app is doing I/O", func() *Table { return ProbIO(DefaultTrace) }},
+		{"fig2", "Fig. 2: ∆-graph of two equal apps + expected model", func() *Table { return Fig2(25) }},
+		{"fig3", "Fig. 3: cache-enabled backend, periodic writers", func() *Table { return Fig3(10) }},
+		{"fig4", "Fig. 4: small app crushed by a big one", Fig4},
+		{"fig6", "Fig. 6: ∆-graphs across size splits", func() *Table { return Fig6(21) }},
+		{"fig7a", "Fig. 7a: FCFS vs interference, 2x2048", func() *Table { return Fig7a(31) }},
+		{"fig7b", "Fig. 7b: interference below expectation, 2x1024", func() *Table { return Fig7b(29) }},
+		{"fig8a", "Fig. 8a: collective buffering vs serialization", func() *Table { return Fig8a(33) }},
+		{"fig8b", "Fig. 8b: comm vs write phase impact", Fig8b},
+		{"fig9", "Fig. 9: three policies across size splits", func() *Table { return Fig9(41) }},
+		{"fig9-summary", "Fig. 9 (condensed): worst-case factors", func() *Table { return Fig9Summary(41) }},
+		{"fig10", "Fig. 10: interruption granularity (saw pattern)", func() *Table { return Fig10(41) }},
+		{"fig11", "Fig. 11: machine-wide metric, CALCioM dynamic", func() *Table { return Fig11(41) }},
+		{"fig12", "Fig. 12: delayed overlap tradeoff", func() *Table { return Fig12(29) }},
+		{"ablation-server-sched", "ablation: server-side scheduling vs coordination", AblationServerScheduler},
+		{"ablation-granularity", "ablation: coordination-point granularity", AblationGranularity},
+		{"ablation-latency", "ablation: message latency sensitivity", AblationMessageLatency},
+		{"ablation-cb-buffer", "ablation: collective-buffering buffer size", AblationCollectiveBuffer},
+		{"ablation-network", "ablation: static caps vs explicit max-min fabric", AblationNetworkModel},
+		{"machine-study", "extension: trace-driven whole-machine study", func() *Table { return MachineStudy(150) }},
+		{"extension-adaptive", "extension: application-side reorganization (§III-C)", ExtensionAdaptive},
+		{"extension-readwrite", "extension: read/write interference", func() *Table { return ExtensionReadWrite(13) }},
+		{"extension-diversity", "extension: §II-E workload diversity (CM1 vs NAMD)", ExtensionDiversity},
+		{"extension-fairshare", "extension: fairness strawman vs machine-wide metrics", ExtensionFairShare},
+	}
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}

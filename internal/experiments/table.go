@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is the uniform result format of every experiment: named columns and
+// float rows, with free-text notes recording what the paper shows and what
+// to compare.
+type Table struct {
+	ID      string // e.g. "fig2"
+	Title   string
+	Columns []string
+	Rows    [][]float64
+	Notes   string
+}
+
+// AddRow appends a row, validating the width.
+func (t *Table) AddRow(vals ...float64) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: %s: row width %d != %d columns", t.ID, len(vals), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, vals)
+}
+
+// Column returns the values of the named column.
+func (t *Table) Column(name string) []float64 {
+	for i, c := range t.Columns {
+		if c == name {
+			out := make([]float64, len(t.Rows))
+			for r, row := range t.Rows {
+				out[r] = row[i]
+			}
+			return out
+		}
+	}
+	panic(fmt.Sprintf("experiments: %s: no column %q", t.ID, name))
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	if t.Notes != "" {
+		for _, line := range strings.Split(t.Notes, "\n") {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := formatCell(v)
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for r := range t.Rows {
+		for i := range t.Columns {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cells[r][i])
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.Rows {
+		for i, v := range row {
+			rec[i] = formatCell(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 0):
+		return "inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}

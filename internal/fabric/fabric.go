@@ -1,0 +1,313 @@
+// Package fabric models a network fabric as a set of capacity-limited links
+// and flows that traverse several links at once, with rates assigned by
+// global max-min fairness (progressive filling). It generalizes the
+// single-resource model of internal/fluid: a flow from a client NIC through
+// a switch to a storage server is limited by its tightest link, and freed
+// capacity is redistributed among the remaining flows.
+//
+// The paper's platforms have exactly this structure — compute-node NICs, a
+// shared InfiniBand switch or BG/P tree, and storage servers — and the
+// simulator's default single-resource approximation (per-request static
+// rate caps) is validated against this model in the ablation benchmarks.
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Link is one capacity-limited element of the fabric.
+type Link struct {
+	fab      *Fabric
+	name     string
+	capacity float64
+	flows    map[*Flow]struct{}
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link capacity.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// SetCapacity changes the link capacity and reassigns all rates.
+func (l *Link) SetCapacity(c float64) {
+	if c < 0 {
+		panic("fabric: negative capacity")
+	}
+	l.fab.advance()
+	l.capacity = c
+	l.fab.reassign()
+}
+
+// Flow is a transfer crossing one or more links.
+type Flow struct {
+	fab       *Fabric
+	name      string
+	links     []*Link
+	weight    float64
+	remaining float64
+	total     float64
+	rate      float64
+	done      bool
+	cancelled bool
+	onDone    func()
+}
+
+// Name returns the flow name.
+func (f *Flow) Name() string { return f.name }
+
+// Rate returns the currently assigned rate.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done reports completion.
+func (f *Flow) Done() bool { return f.done }
+
+// Remaining returns the bytes left, integrated to the current time.
+func (f *Flow) Remaining() float64 {
+	if f.done || f.cancelled {
+		return 0
+	}
+	f.fab.advance()
+	return f.remaining
+}
+
+// Fabric owns the links and flows and assigns max-min fair rates.
+type Fabric struct {
+	eng        *sim.Engine
+	links      []*Link
+	flows      map[*Flow]struct{}
+	lastUpdate float64
+	completion *sim.Event
+}
+
+// New creates an empty fabric.
+func New(eng *sim.Engine) *Fabric {
+	return &Fabric{eng: eng, flows: make(map[*Flow]struct{}), lastUpdate: eng.Now()}
+}
+
+// NewLink adds a link with the given capacity.
+func (fb *Fabric) NewLink(name string, capacity float64) *Link {
+	if capacity < 0 {
+		panic(fmt.Sprintf("fabric: negative capacity %v", capacity))
+	}
+	l := &Link{fab: fb, name: name, capacity: capacity, flows: make(map[*Flow]struct{})}
+	fb.links = append(fb.links, l)
+	return l
+}
+
+// Start begins a transfer of `bytes` across the given links (all must
+// belong to this fabric). Weight scales the flow's share on every link it
+// crosses. onDone runs in scheduler context at completion.
+func (fb *Fabric) Start(name string, bytes, weight float64, links []*Link, onDone func()) *Flow {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("fabric: bad byte count %v", bytes))
+	}
+	if weight <= 0 {
+		panic("fabric: weight must be positive")
+	}
+	if len(links) == 0 {
+		panic("fabric: flow must cross at least one link")
+	}
+	f := &Flow{
+		fab: fb, name: name, links: links, weight: weight,
+		remaining: bytes, total: bytes, onDone: onDone,
+	}
+	fb.advance()
+	fb.flows[f] = struct{}{}
+	for _, l := range links {
+		if l.fab != fb {
+			panic("fabric: link belongs to a different fabric")
+		}
+		l.flows[f] = struct{}{}
+	}
+	fb.reassign()
+	return f
+}
+
+// Cancel removes an unfinished flow; its onDone never runs.
+func (f *Flow) Cancel() {
+	if f.done || f.cancelled {
+		return
+	}
+	f.fab.advance()
+	f.cancelled = true
+	f.fab.remove(f)
+	f.fab.reassign()
+}
+
+func (fb *Fabric) remove(f *Flow) {
+	delete(fb.flows, f)
+	for _, l := range f.links {
+		delete(l.flows, f)
+	}
+}
+
+func (fb *Fabric) advance() {
+	now := fb.eng.Now()
+	dt := now - fb.lastUpdate
+	if dt > 0 {
+		for f := range fb.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	fb.lastUpdate = now
+}
+
+func (f *Flow) eps() float64 {
+	e := f.total * 1e-9
+	if e < 1e-6 {
+		e = 1e-6
+	}
+	return e
+}
+
+// reassign completes finished flows, recomputes max-min rates and
+// schedules the next completion.
+func (fb *Fabric) reassign() {
+	var finished []*Flow
+	for f := range fb.flows {
+		if f.remaining <= f.eps() {
+			f.remaining = 0
+			f.done = true
+			f.rate = 0
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		fb.remove(f)
+	}
+
+	fb.progressiveFill()
+
+	if fb.completion != nil {
+		fb.eng.Cancel(fb.completion)
+		fb.completion = nil
+	}
+	next := math.Inf(1)
+	for f := range fb.flows {
+		if f.rate > 0 {
+			if t := f.remaining / f.rate; t < next {
+				next = t
+			}
+		}
+	}
+	if !math.IsInf(next, 1) {
+		fb.completion = fb.eng.Schedule(next, fb.onCompletion)
+	}
+
+	// Deterministic callback order: finished flows ran through a map, so
+	// sort by name+total for reproducibility.
+	sortFlows(finished)
+	for _, f := range finished {
+		if f.onDone != nil {
+			fn := f.onDone
+			fb.eng.Schedule(0, fn)
+		}
+	}
+}
+
+func (fb *Fabric) onCompletion() {
+	fb.completion = nil
+	fb.advance()
+	fb.reassign()
+}
+
+// progressiveFill implements weighted global max-min fairness: rates grow
+// proportionally to weights until a link saturates; flows crossing the
+// saturated link freeze, remaining capacity keeps filling the others.
+func (fb *Fabric) progressiveFill() {
+	type linkState struct {
+		remaining float64
+		active    int // unfrozen flows crossing the link
+		weight    float64
+	}
+	states := make(map[*Link]*linkState, len(fb.links))
+	for _, l := range fb.links {
+		states[l] = &linkState{remaining: l.capacity}
+	}
+	frozen := make(map[*Flow]bool, len(fb.flows))
+	for f := range fb.flows {
+		f.rate = 0
+		for _, l := range f.links {
+			states[l].active++
+			states[l].weight += f.weight
+		}
+	}
+	unfrozen := len(fb.flows)
+
+	for unfrozen > 0 {
+		// Find the link that saturates first: the one minimizing
+		// remaining / weight-of-active-flows.
+		level := math.Inf(1)
+		var tight *Link
+		for _, l := range fb.links {
+			st := states[l]
+			if st.active == 0 {
+				continue
+			}
+			if st.weight <= 0 {
+				continue
+			}
+			lv := st.remaining / st.weight
+			if lv < level {
+				level = lv
+				tight = l
+			}
+		}
+		if tight == nil || math.IsInf(level, 1) {
+			// No constraining link: remaining flows are unbounded. Give
+			// them infinite rate (they complete immediately).
+			for f := range fb.flows {
+				if !frozen[f] {
+					f.rate = math.Inf(1)
+				}
+			}
+			return
+		}
+		// Raise every unfrozen flow's rate by level*weight; freeze the
+		// flows on the tight link.
+		for f := range fb.flows {
+			if frozen[f] {
+				continue
+			}
+			inc := level * f.weight
+			f.rate += inc
+			for _, l := range f.links {
+				states[l].remaining -= inc
+				if states[l].remaining < 0 {
+					states[l].remaining = 0
+				}
+			}
+		}
+		for f := range tight.flows {
+			if frozen[f] {
+				continue
+			}
+			frozen[f] = true
+			unfrozen--
+			for _, l := range f.links {
+				states[l].active--
+				states[l].weight -= f.weight
+			}
+		}
+	}
+}
+
+func sortFlows(fs []*Flow) {
+	// Insertion sort by (name, total); n is tiny.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := fs[j-1], fs[j]
+			if a.name < b.name || (a.name == b.name && a.total <= b.total) {
+				break
+			}
+			fs[j-1], fs[j] = fs[j], fs[j-1]
+		}
+	}
+}

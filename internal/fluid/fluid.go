@@ -1,0 +1,309 @@
+// Package fluid implements a capacity-sharing ("fluid flow") resource model
+// on top of the sim engine.
+//
+// A Resource has a capacity in units/second (typically bytes/s). Jobs with a
+// fixed amount of work share that capacity by weighted max-min fairness
+// (water-filling): capacity is divided proportionally to job weights, except
+// that a job never receives more than its own rate cap; surplus from capped
+// jobs is redistributed to the others. Whenever the job set, a cap, or the
+// capacity changes, rates are recomputed, in-flight progress is integrated,
+// and the next completion event is rescheduled.
+//
+// This is the contention primitive of the whole simulator: a parallel file
+// system server under concurrent load is a Resource, and "interference" is
+// nothing more than jobs sharing its capacity.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Resource is a shared capacity. Not safe for concurrent use; all access
+// happens in scheduler context, which the sim engine serializes.
+type Resource struct {
+	eng        *sim.Engine
+	name       string
+	capacity   float64
+	jobs       []*Job
+	lastUpdate float64
+	completion *sim.Event
+
+	// OnRateChange, if non-nil, is invoked after every rate reallocation
+	// with the new total allocated rate. The disk cache model uses it to
+	// integrate dirty bytes.
+	OnRateChange func(totalRate float64)
+
+	totalRate float64
+}
+
+// Job is a unit of work being serviced by a Resource.
+type Job struct {
+	res       *Resource
+	name      string
+	total     float64
+	remaining float64
+	weight    float64
+	rateCap   float64 // 0 means uncapped
+	rate      float64
+	onDone    func()
+	done      bool
+	cancelled bool
+	started   float64
+}
+
+// NewResource creates a resource with the given capacity (units/second).
+func NewResource(eng *sim.Engine, name string, capacity float64) *Resource {
+	if capacity < 0 {
+		panic(fmt.Sprintf("fluid: negative capacity %v", capacity))
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity, lastUpdate: eng.Now()}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the current capacity.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// TotalRate returns the currently allocated aggregate rate.
+func (r *Resource) TotalRate() float64 { return r.totalRate }
+
+// Active returns the number of in-flight jobs.
+func (r *Resource) Active() int { return len(r.jobs) }
+
+// SetCapacity changes the capacity and reallocates rates.
+func (r *Resource) SetCapacity(c float64) {
+	if c < 0 {
+		panic(fmt.Sprintf("fluid: negative capacity %v", c))
+	}
+	if c == r.capacity {
+		return
+	}
+	r.advance()
+	r.capacity = c
+	r.reallocate()
+}
+
+// Submit adds a job of `work` units with the given fairness weight and rate
+// cap (0 = uncapped). onDone runs in scheduler context when the job's work
+// reaches zero. Work of zero completes on the next tick.
+func (r *Resource) Submit(name string, work, weight, rateCap float64, onDone func()) *Job {
+	if work < 0 || math.IsNaN(work) {
+		panic(fmt.Sprintf("fluid: bad work %v", work))
+	}
+	if weight <= 0 {
+		panic(fmt.Sprintf("fluid: weight must be positive, got %v", weight))
+	}
+	if rateCap < 0 {
+		panic(fmt.Sprintf("fluid: negative rate cap %v", rateCap))
+	}
+	j := &Job{
+		res: r, name: name, total: work, remaining: work,
+		weight: weight, rateCap: rateCap, onDone: onDone,
+		started: r.eng.Now(),
+	}
+	r.advance()
+	r.jobs = append(r.jobs, j)
+	r.reallocate()
+	return j
+}
+
+// Cancel removes an unfinished job from the resource. Its onDone callback
+// never runs. Cancelling a finished or cancelled job is a no-op.
+func (j *Job) Cancel() {
+	if j.done || j.cancelled {
+		return
+	}
+	r := j.res
+	r.advance()
+	j.cancelled = true
+	r.remove(j)
+	r.reallocate()
+}
+
+// SetWeight changes the job's fairness weight.
+func (j *Job) SetWeight(w float64) {
+	if w <= 0 {
+		panic("fluid: weight must be positive")
+	}
+	r := j.res
+	r.advance()
+	j.weight = w
+	r.reallocate()
+}
+
+// SetRateCap changes the job's rate cap (0 = uncapped).
+func (j *Job) SetRateCap(c float64) {
+	if c < 0 {
+		panic("fluid: negative rate cap")
+	}
+	r := j.res
+	r.advance()
+	j.rateCap = c
+	r.reallocate()
+}
+
+// Remaining returns the work left, accurate as of the current virtual time.
+func (j *Job) Remaining() float64 {
+	if j.done || j.cancelled {
+		return 0
+	}
+	j.res.advance()
+	j.res.reallocate()
+	return j.remaining
+}
+
+// Rate returns the currently allocated service rate.
+func (j *Job) Rate() float64 { return j.rate }
+
+// Done reports whether the job completed.
+func (j *Job) Done() bool { return j.done }
+
+// Started returns the submission time.
+func (j *Job) Started() float64 { return j.started }
+
+// Name returns the job name.
+func (j *Job) Name() string { return j.name }
+
+func (r *Resource) remove(j *Job) {
+	for i, x := range r.jobs {
+		if x == j {
+			r.jobs = append(r.jobs[:i], r.jobs[i+1:]...)
+			return
+		}
+	}
+}
+
+// advance integrates job progress from lastUpdate to now at current rates.
+func (r *Resource) advance() {
+	now := r.eng.Now()
+	dt := now - r.lastUpdate
+	if dt < 0 {
+		panic("fluid: time went backwards")
+	}
+	if dt > 0 {
+		for _, j := range r.jobs {
+			j.remaining -= j.rate * dt
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+	}
+	r.lastUpdate = now
+}
+
+// eps returns the completion tolerance for a job: float error accumulated
+// over repeated advances stays far below this.
+func (j *Job) eps() float64 {
+	e := j.total * 1e-9
+	if e < 1e-6 {
+		e = 1e-6
+	}
+	return e
+}
+
+// reallocate recomputes rates by water-filling and schedules the next
+// completion event. Jobs already at (or within tolerance of) zero work are
+// completed immediately.
+func (r *Resource) reallocate() {
+	// Complete anything that is effectively done first.
+	var finished []*Job
+	live := r.jobs[:0]
+	for _, j := range r.jobs {
+		if j.remaining <= j.eps() {
+			j.remaining = 0
+			j.done = true
+			j.rate = 0
+			finished = append(finished, j)
+		} else {
+			live = append(live, j)
+		}
+	}
+	r.jobs = live
+
+	r.waterFill()
+
+	// Schedule next completion.
+	if r.completion != nil {
+		r.eng.Cancel(r.completion)
+		r.completion = nil
+	}
+	next := math.Inf(1)
+	for _, j := range r.jobs {
+		if j.rate > 0 {
+			t := j.remaining / j.rate
+			if t < next {
+				next = t
+			}
+		}
+	}
+	if !math.IsInf(next, 1) {
+		r.completion = r.eng.Schedule(next, r.onCompletion)
+	}
+
+	if r.OnRateChange != nil {
+		r.OnRateChange(r.totalRate)
+	}
+	for _, j := range finished {
+		if j.onDone != nil {
+			// Run the callback via the event queue so completion side
+			// effects interleave deterministically with other events.
+			fn := j.onDone
+			r.eng.Schedule(0, fn)
+		}
+	}
+}
+
+func (r *Resource) onCompletion() {
+	r.completion = nil
+	r.advance()
+	r.reallocate()
+}
+
+// waterFill assigns rates by weighted max-min fairness under per-job caps.
+func (r *Resource) waterFill() {
+	for _, j := range r.jobs {
+		j.rate = 0
+	}
+	avail := r.capacity
+	uncapped := make([]*Job, len(r.jobs))
+	copy(uncapped, r.jobs)
+	for len(uncapped) > 0 && avail > 0 {
+		var wsum float64
+		for _, j := range uncapped {
+			wsum += j.weight
+		}
+		if wsum == 0 {
+			break
+		}
+		perWeight := avail / wsum
+		progressed := false
+		keep := uncapped[:0]
+		for _, j := range uncapped {
+			fair := perWeight * j.weight
+			if j.rateCap > 0 && j.rateCap < fair {
+				j.rate = j.rateCap
+				avail -= j.rateCap
+				progressed = true
+			} else {
+				keep = append(keep, j)
+			}
+		}
+		uncapped = keep
+		if !progressed {
+			for _, j := range uncapped {
+				j.rate = perWeight * j.weight
+			}
+			avail = 0
+			break
+		}
+	}
+	var total float64
+	for _, j := range r.jobs {
+		total += j.rate
+	}
+	r.totalRate = total
+}

@@ -1,0 +1,332 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*math.Max(1, scale)
+}
+
+func TestSingleJobFullRate(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	var done float64 = -1
+	r.Submit("j", 1000, 1, 0, func() { done = e.Now() })
+	e.Run()
+	if !almostEq(done, 10, 1e-9) {
+		t.Fatalf("completion at %v, want 10", done)
+	}
+}
+
+func TestEqualSharing(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	var t1, t2 float64
+	r.Submit("a", 1000, 1, 0, func() { t1 = e.Now() })
+	r.Submit("b", 1000, 1, 0, func() { t2 = e.Now() })
+	e.Run()
+	// Both share 50/50 and finish together at t=20.
+	if !almostEq(t1, 20, 1e-9) || !almostEq(t2, 20, 1e-9) {
+		t.Fatalf("completions %v %v, want 20 20", t1, t2)
+	}
+}
+
+func TestWeightedSharing(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	var tBig, tSmall float64
+	// Big gets 3/4 of capacity, small 1/4.
+	r.Submit("big", 300, 3, 0, func() { tBig = e.Now() })
+	r.Submit("small", 100, 1, 0, func() { tSmall = e.Now() })
+	e.Run()
+	if !almostEq(tBig, 4, 1e-9) || !almostEq(tSmall, 4, 1e-9) {
+		t.Fatalf("completions big=%v small=%v, want 4 4", tBig, tSmall)
+	}
+}
+
+func TestRateCapRedistribution(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	var tCapped, tFree float64
+	// Capped job limited to 10; the other should get 90.
+	r.Submit("capped", 100, 1, 10, func() { tCapped = e.Now() })
+	r.Submit("free", 900, 1, 0, func() { tFree = e.Now() })
+	e.Run()
+	if !almostEq(tCapped, 10, 1e-9) {
+		t.Fatalf("capped done at %v, want 10", tCapped)
+	}
+	if !almostEq(tFree, 10, 1e-9) {
+		t.Fatalf("free done at %v, want 10 (90 B/s for 900)", tFree)
+	}
+}
+
+func TestLateArrivalSlowsFirst(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	var tA, tB float64
+	r.Submit("a", 1000, 1, 0, func() { tA = e.Now() })
+	e.Schedule(5, func() {
+		r.Submit("b", 1000, 1, 0, func() { tB = e.Now() })
+	})
+	e.Run()
+	// A runs alone 5s (500 done), then shares: remaining 500 at 50 B/s -> 15.
+	if !almostEq(tA, 15, 1e-9) {
+		t.Fatalf("tA = %v, want 15", tA)
+	}
+	// B: 500 done by t=15, then alone: 500 at 100 -> t=20.
+	if !almostEq(tB, 20, 1e-9) {
+		t.Fatalf("tB = %v, want 20", tB)
+	}
+}
+
+func TestCancelReleasesShare(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	var tB float64
+	ja := r.Submit("a", 1e6, 1, 0, func() { t.Error("cancelled job completed") })
+	r.Submit("b", 1000, 1, 0, func() { tB = e.Now() })
+	e.Schedule(5, func() { ja.Cancel() })
+	e.Run()
+	// B gets 50 B/s for 5s (250), then full 100: (1000-250)/100 = 7.5 -> 12.5.
+	if !almostEq(tB, 12.5, 1e-9) {
+		t.Fatalf("tB = %v, want 12.5", tB)
+	}
+	if ja.Done() {
+		t.Fatal("cancelled job reports done")
+	}
+}
+
+func TestSetCapacity(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	var done float64
+	r.Submit("j", 1000, 1, 0, func() { done = e.Now() })
+	e.Schedule(5, func() { r.SetCapacity(50) })
+	e.Run()
+	// 500 at 100, then 500 at 50 -> 5 + 10 = 15.
+	if !almostEq(done, 15, 1e-9) {
+		t.Fatalf("done = %v, want 15", done)
+	}
+}
+
+func TestZeroCapacityStalls(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 0)
+	r.Submit("j", 1000, 1, 0, nil)
+	e.Schedule(10, func() { r.SetCapacity(100) })
+	var done float64
+	r.Submit("k", 500, 1, 0, func() { done = e.Now() })
+	e.Run()
+	// From t=10: 1500 total work, k has 500 weight-1 of 2 jobs: k at 50 B/s
+	// finishes at t=20; j continues.
+	if !almostEq(done, 20, 1e-9) {
+		t.Fatalf("done = %v, want 20", done)
+	}
+}
+
+func TestZeroWorkCompletesImmediately(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	fired := false
+	r.Submit("empty", 0, 1, 0, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("zero-work job never completed")
+	}
+}
+
+func TestSetWeightMidFlight(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	var tA float64
+	ja := r.Submit("a", 1000, 1, 0, func() { tA = e.Now() })
+	r.Submit("b", 1e9, 1, 0, nil)
+	e.Schedule(5, func() { ja.SetWeight(3) })
+	e.Schedule(20, func() {
+		// Drain: cancel b so the run ends.
+		for _, j := range []*Job{ja} {
+			_ = j
+		}
+	})
+	e.Run()
+	// a: 5s at 50 (250), then 75 B/s: (1000-250)/75 = 10 -> t=15.
+	if !almostEq(tA, 15, 1e-9) {
+		t.Fatalf("tA = %v, want 15", tA)
+	}
+}
+
+func TestRemainingQuery(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 100)
+	j := r.Submit("j", 1000, 1, 0, nil)
+	e.Schedule(3, func() {
+		if got := j.Remaining(); !almostEq(got, 700, 1e-9) {
+			t.Errorf("remaining = %v, want 700", got)
+		}
+	})
+	e.Run()
+	if j.Remaining() != 0 {
+		t.Fatalf("remaining after completion = %v", j.Remaining())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewResource(e, "r", 10)
+	for _, tc := range []struct {
+		name               string
+		work, weight, rcap float64
+	}{
+		{"negative work", -1, 1, 0},
+		{"zero weight", 1, 0, 0},
+		{"negative cap", 1, 1, -2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			r.Submit("x", tc.work, tc.weight, tc.rcap, nil)
+		}()
+	}
+}
+
+// Property: simulated completions match the analytic solver for concurrent
+// same-start jobs.
+func TestPropertySimMatchesSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		flows := make([]Flow, n)
+		for i := range flows {
+			flows[i] = Flow{
+				Work:   1 + rng.Float64()*1e6,
+				Weight: 1 + rng.Float64()*10,
+			}
+			if rng.Intn(2) == 0 {
+				flows[i].Cap = 1 + rng.Float64()*100
+			}
+		}
+		capacity := 10 + rng.Float64()*1000
+		want := FinishTimes(capacity, flows)
+
+		e := sim.NewEngine()
+		r := NewResource(e, "r", capacity)
+		got := make([]float64, n)
+		for i, fl := range flows {
+			i := i
+			r.Submit("j", fl.Work, fl.Weight, fl.Cap, func() { got[i] = e.Now() })
+		}
+		e.Run()
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-6) {
+				t.Logf("seed %d: job %d sim=%v solver=%v", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: work is conserved — the sum of completed work equals the input,
+// and completion times are consistent with capacity (total work / capacity
+// <= makespan when nothing is capped).
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		capacity := 50 + rng.Float64()*500
+		var total float64
+		flows := make([]Flow, n)
+		for i := range flows {
+			flows[i] = Flow{Work: 1 + rng.Float64()*1e5, Weight: 1 + rng.Float64()*5}
+			total += flows[i].Work
+		}
+		fin := FinishTimes(capacity, flows)
+		makespan := 0.0
+		for _, t := range fin {
+			if t > makespan {
+				makespan = t
+			}
+		}
+		// With no caps the resource is fully utilized until the last
+		// completion: makespan == total/capacity.
+		return almostEq(makespan, total/capacity, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: staggered solver agrees with simulated late arrivals.
+func TestPropertyStaggeredMatchesSim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		capacity := 10 + rng.Float64()*200
+		flows := make([]Flow, n)
+		starts := make([]float64, n)
+		for i := range flows {
+			flows[i] = Flow{Work: 1 + rng.Float64()*1e4, Weight: 1 + rng.Float64()*4}
+			if rng.Intn(3) == 0 {
+				flows[i].Cap = 1 + rng.Float64()*50
+			}
+			starts[i] = rng.Float64() * 20
+		}
+		want := StaggeredFinishTimes(capacity, flows, starts)
+
+		e := sim.NewEngine()
+		r := NewResource(e, "r", capacity)
+		got := make([]float64, n)
+		for i, fl := range flows {
+			i, fl := i, fl
+			e.At(starts[i], func() {
+				r.Submit("j", fl.Work, fl.Weight, fl.Cap, func() { got[i] = e.Now() })
+			})
+		}
+		e.Run()
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-6) {
+				t.Logf("seed %d: job %d sim=%v solver=%v", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinishTimesInfinity(t *testing.T) {
+	fin := FinishTimes(0, []Flow{{Work: 10, Weight: 1}})
+	if !math.IsInf(fin[0], 1) {
+		t.Fatalf("expected +Inf for zero capacity, got %v", fin[0])
+	}
+}
+
+func TestStaggeredSimpleOverlap(t *testing.T) {
+	// Two equal flows, second arrives at t=5: the paper's expected model.
+	flows := []Flow{{Work: 1000, Weight: 1}, {Work: 1000, Weight: 1}}
+	fin := StaggeredFinishTimes(100, flows, []float64{0, 5})
+	// A alone 5s -> 500 left shared at 50 -> done t=15.
+	// B: 500 done by 15, then alone -> t=20.
+	if !almostEq(fin[0], 15, 1e-9) || !almostEq(fin[1], 20, 1e-9) {
+		t.Fatalf("fin = %v, want [15 20]", fin)
+	}
+}

@@ -1,0 +1,149 @@
+package fluid
+
+import "math"
+
+// Flow describes one flow for the closed-form solver.
+type Flow struct {
+	Work   float64 // units of work to complete
+	Weight float64 // fairness weight (> 0)
+	Cap    float64 // max rate, 0 = uncapped
+}
+
+// FinishTimes computes, analytically, when each flow completes if all flows
+// start at t=0 on a resource of the given capacity under weighted max-min
+// sharing with caps — the same allocation rule the simulated Resource uses.
+// It returns one finish time per flow (math.Inf(1) if a flow can never
+// finish, e.g. zero capacity and zero cap).
+//
+// The algorithm steps from completion to completion: rates are constant
+// between completions, so each step advances to the earliest remaining
+// finish. O(n^2) in the number of flows.
+func FinishTimes(capacity float64, flows []Flow) []float64 {
+	n := len(flows)
+	finish := make([]float64, n)
+	rem := make([]float64, n)
+	active := make([]bool, n)
+	for i, f := range flows {
+		rem[i] = f.Work
+		active[i] = f.Work > 0
+		if !active[i] {
+			finish[i] = 0
+		}
+	}
+	now := 0.0
+	for {
+		rates := waterFillFlows(capacity, flows, rem, active)
+		// Earliest completion among active flows.
+		best := math.Inf(1)
+		for i := range flows {
+			if active[i] && rates[i] > 0 {
+				if t := rem[i] / rates[i]; t < best {
+					best = t
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			// Nothing can progress; everything still active never ends.
+			for i := range flows {
+				if active[i] {
+					finish[i] = math.Inf(1)
+				}
+			}
+			return finish
+		}
+		now += best
+		done := false
+		for i := range flows {
+			if !active[i] {
+				continue
+			}
+			rem[i] -= rates[i] * best
+			if rem[i] <= rem0eps(flows[i].Work) {
+				rem[i] = 0
+				active[i] = false
+				finish[i] = now
+				done = true
+			}
+		}
+		if !done {
+			// Numerical stall guard: force the minimum-remaining flow out.
+			mi, mv := -1, math.Inf(1)
+			for i := range flows {
+				if active[i] && rates[i] > 0 && rem[i] < mv {
+					mi, mv = i, rem[i]
+				}
+			}
+			if mi < 0 {
+				for i := range flows {
+					if active[i] {
+						finish[i] = math.Inf(1)
+					}
+				}
+				return finish
+			}
+			active[mi] = false
+			finish[mi] = now
+		}
+		all := true
+		for i := range flows {
+			if active[i] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return finish
+		}
+	}
+}
+
+func rem0eps(total float64) float64 {
+	e := total * 1e-9
+	if e < 1e-9 {
+		e = 1e-9
+	}
+	return e
+}
+
+// waterFillFlows mirrors Resource.waterFill for plain slices.
+func waterFillFlows(capacity float64, flows []Flow, rem []float64, active []bool) []float64 {
+	n := len(flows)
+	rates := make([]float64, n)
+	avail := capacity
+	idx := make([]int, 0, n)
+	for i := range flows {
+		if active[i] && rem[i] > 0 {
+			idx = append(idx, i)
+		}
+	}
+	for len(idx) > 0 && avail > 0 {
+		var wsum float64
+		for _, i := range idx {
+			wsum += flows[i].Weight
+		}
+		if wsum == 0 {
+			break
+		}
+		perWeight := avail / wsum
+		progressed := false
+		keep := idx[:0]
+		for _, i := range idx {
+			fair := perWeight * flows[i].Weight
+			if flows[i].Cap > 0 && flows[i].Cap < fair {
+				rates[i] = flows[i].Cap
+				avail -= flows[i].Cap
+				progressed = true
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		idx = keep
+		if !progressed {
+			for _, i := range idx {
+				rates[i] = perWeight * flows[i].Weight
+			}
+			break
+		}
+	}
+	return rates
+}

@@ -1,0 +1,112 @@
+package fluid
+
+import "math"
+
+// StaggeredFinishTimes generalizes FinishTimes to flows that start at
+// different times: flow i becomes active at starts[i] and completes when its
+// work is done under weighted max-min sharing with whoever else is active.
+// It returns absolute finish times (same clock as starts).
+//
+// This is the "expected" interference model of the paper's ∆-graphs: two
+// identical applications offset by dt sharing the file system
+// proportionally.
+func StaggeredFinishTimes(capacity float64, flows []Flow, starts []float64) []float64 {
+	n := len(flows)
+	if len(starts) != n {
+		panic("fluid: starts length mismatch")
+	}
+	finish := make([]float64, n)
+	rem := make([]float64, n)
+	arrived := make([]bool, n)
+	active := make([]bool, n)
+	for i, f := range flows {
+		rem[i] = f.Work
+		finish[i] = math.NaN()
+	}
+
+	now := math.Inf(1)
+	for _, s := range starts {
+		if s < now {
+			now = s
+		}
+	}
+
+	for {
+		// Activate arrivals.
+		for i := range flows {
+			if !arrived[i] && starts[i] <= now {
+				arrived[i] = true
+				if rem[i] <= 0 {
+					finish[i] = now
+				} else {
+					active[i] = true
+				}
+			}
+		}
+		// Done?
+		allDone := true
+		for i := range flows {
+			if !arrived[i] || active[i] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return finish
+		}
+
+		rates := waterFillFlows(capacity, flows, rem, active)
+
+		// Next event: earliest completion or next arrival.
+		next := math.Inf(1)
+		for i := range flows {
+			if active[i] && rates[i] > 0 {
+				if t := now + rem[i]/rates[i]; t < next {
+					next = t
+				}
+			}
+		}
+		for i := range flows {
+			if !arrived[i] && starts[i] > now && starts[i] < next {
+				next = starts[i]
+			}
+		}
+		if math.IsInf(next, 1) {
+			// Stalled flows can never finish.
+			for i := range flows {
+				if active[i] {
+					finish[i] = math.Inf(1)
+					active[i] = false
+				}
+			}
+			// Remaining arrivals may still progress alone.
+			stillArriving := false
+			for i := range flows {
+				if !arrived[i] {
+					stillArriving = true
+					if starts[i] > now {
+						next = math.Min(next, starts[i])
+					}
+				}
+			}
+			if !stillArriving {
+				return finish
+			}
+			now = next
+			continue
+		}
+
+		dt := next - now
+		for i := range flows {
+			if active[i] {
+				rem[i] -= rates[i] * dt
+				if rem[i] <= rem0eps(flows[i].Work) {
+					rem[i] = 0
+					active[i] = false
+					finish[i] = next
+				}
+			}
+		}
+		now = next
+	}
+}

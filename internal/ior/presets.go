@@ -1,0 +1,50 @@
+package ior
+
+// Presets for the application behaviours the paper's §II-E uses to motivate
+// workload diversity. They cannot be captured by a storage system that only
+// sees raw requests — which is exactly why CALCioM has applications declare
+// them.
+
+// CM1Workload models the CM1 atmospheric simulation on Blue Waters as the
+// paper describes it: synchronous snapshot files of 23 MB per core every
+// 3 minutes, collectively written.
+func CM1Workload(phases int) Workload {
+	return Workload{
+		Pattern:       Contiguous,
+		BlockSize:     23 << 20,
+		BlocksPerProc: 1,
+		ReqBytes:      4 << 20,
+		Phases:        phases,
+		ComputeTime:   180,
+	}
+}
+
+// NAMDWorkload models the NAMD chemistry simulation: trajectory writes of a
+// few bytes per core every second, funneled through a small set of output
+// processors. Per-core output is rounded up to a kilobyte so a phase is
+// representable; the point is the shape — tiny, frequent, asynchronous-ish
+// accesses from few writers.
+func NAMDWorkload(phases int) Workload {
+	return Workload{
+		Pattern:       Strided, // gathered to designated output procs
+		BlockSize:     1 << 10,
+		BlocksPerProc: 1,
+		CB:            CollectiveBuffering{Aggregators: 8, BufBytes: 1 << 20},
+		Phases:        phases,
+		ComputeTime:   1,
+	}
+}
+
+// CheckpointWorkload models a periodic defensive checkpoint: every core
+// dumps `mbPerCore` MiB every `period` seconds, the dominant I/O pattern of
+// leadership-class machines.
+func CheckpointWorkload(mbPerCore int64, period float64, phases int) Workload {
+	return Workload{
+		Pattern:       Contiguous,
+		BlockSize:     mbPerCore << 20,
+		BlocksPerProc: 1,
+		ReqBytes:      4 << 20,
+		Phases:        phases,
+		ComputeTime:   period,
+	}
+}

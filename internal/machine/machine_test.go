@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/ior"
+	"repro/internal/swf"
+)
+
+// stressedConfig is a machine under heavy I/O pressure, where coordination
+// matters: a 16 GiB/s file system against jobs writing 8 MiB/core every
+// 300 s.
+func stressedConfig() Config {
+	cfg := IntrepidConfig()
+	cfg.FS.Servers = 32
+	cfg.BytesPerCore = 8 << 20
+	cfg.PhasePeriod = 300
+	return cfg
+}
+
+func shortTrace() *swf.Trace {
+	tr := swf.Generate(swf.GenConfig{Seed: 42, Days: 1})
+	tr.Jobs = tr.Jobs[:80]
+	return tr
+}
+
+func TestUncoordinatedBaseline(t *testing.T) {
+	tr := shortTrace()
+	res := Run(stressedConfig(), tr, nil)
+	if res.JobsSimulated != 80 {
+		t.Fatalf("jobs = %d, want 80", res.JobsSimulated)
+	}
+	if res.Policy != "uncoordinated" {
+		t.Fatalf("policy = %q", res.Policy)
+	}
+	if res.Decisions != 0 {
+		t.Fatal("uncoordinated run should have no decisions")
+	}
+	// Interference must be visible in this regime.
+	if res.Overhead() < 0.10 {
+		t.Fatalf("overhead = %v, want >= 10%%", res.Overhead())
+	}
+	for _, j := range res.Jobs {
+		if j.Factor < 1-1e-6 {
+			t.Fatalf("job %d factor %v < 1", j.ID, j.Factor)
+		}
+		if j.IOTime <= 0 || j.SoloIO <= 0 {
+			t.Fatalf("job %d has empty I/O accounting", j.ID)
+		}
+		if j.Depart <= j.Arrive {
+			t.Fatalf("job %d departs before arriving", j.ID)
+		}
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	tr := shortTrace()
+	cfg := stressedConfig()
+	res := Run(cfg, tr, nil)
+	var want int64
+	for _, j := range tr.Jobs {
+		phases := int(j.Runtime / cfg.PhasePeriod)
+		if phases < 1 {
+			phases = 1
+		}
+		want += int64(phases) * int64(j.Procs) * cfg.BytesPerCore
+	}
+	if res.TotalIOBytes != want {
+		t.Fatalf("bytes = %d, want %d", res.TotalIOBytes, want)
+	}
+}
+
+func TestCoordinationReducesWaste(t *testing.T) {
+	tr := shortTrace()
+	cfg := stressedConfig()
+	base := Run(cfg, tr, nil)
+	fcfs := Run(cfg, tr, delta.FCFS)
+	if fcfs.Decisions == 0 {
+		t.Fatal("coordinated run logged no decisions")
+	}
+	// FCFS serialization must reduce machine-wide waste in the heavy
+	// regime (the paper's core claim at machine scale).
+	if fcfs.CPUSecWasted >= base.CPUSecWasted {
+		t.Fatalf("FCFS %v should beat uncoordinated %v", fcfs.CPUSecWasted, base.CPUSecWasted)
+	}
+	if fcfs.MeanFactor >= base.MeanFactor {
+		t.Fatalf("FCFS mean factor %v should beat %v", fcfs.MeanFactor, base.MeanFactor)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := shortTrace()
+	cfg := stressedConfig()
+	a := Run(cfg, tr, delta.FCFS)
+	b := Run(cfg, tr, delta.FCFS)
+	if a.CPUSecWasted != b.CPUSecWasted || a.MeanFactor != b.MeanFactor {
+		t.Fatal("machine study not deterministic")
+	}
+}
+
+func TestMaxJobsCap(t *testing.T) {
+	tr := shortTrace()
+	cfg := stressedConfig()
+	cfg.MaxJobs = 10
+	res := Run(cfg, tr, nil)
+	if res.JobsSimulated != 10 {
+		t.Fatalf("jobs = %d, want 10", res.JobsSimulated)
+	}
+}
+
+func TestLightLoadHasLittleInterference(t *testing.T) {
+	tr := shortTrace()
+	cfg := IntrepidConfig() // full 64 GiB/s file system, light I/O
+	res := Run(cfg, tr, nil)
+	if res.Overhead() > 0.10 {
+		t.Fatalf("light-load overhead = %v, want < 10%%", res.Overhead())
+	}
+}
+
+func TestGranularityConfig(t *testing.T) {
+	tr := shortTrace()
+	tr.Jobs = tr.Jobs[:20]
+	cfg := stressedConfig()
+	cfg.Gran = ior.PerPhase
+	res := Run(cfg, tr, delta.FCFS)
+	if res.JobsSimulated != 20 {
+		t.Fatalf("jobs = %d", res.JobsSimulated)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero period")
+		}
+	}()
+	Run(Config{FS: stressedConfig().FS, ProcNIC: 1}, shortTrace(), nil)
+}
+
+func TestResultString(t *testing.T) {
+	tr := shortTrace()
+	tr.Jobs = tr.Jobs[:5]
+	res := Run(stressedConfig(), tr, nil)
+	if s := res.String(); s == "" {
+		t.Fatal("empty summary")
+	}
+}

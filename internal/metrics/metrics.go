@@ -1,0 +1,96 @@
+// Package metrics computes the paper's evaluation quantities: per-application
+// interference factors and machine-wide efficiency metrics over a set of
+// concurrently running applications.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// AppResult is one application's outcome in one experiment run.
+type AppResult struct {
+	Name      string
+	Cores     int
+	IOTime    float64 // observed I/O phase time (waits included)
+	AloneTime float64 // calibrated solo time for the same work
+}
+
+// InterferenceFactor is the paper's I = T / T_alone (Section II-C); 1 means
+// no interference.
+func (a AppResult) InterferenceFactor() float64 {
+	if a.AloneTime <= 0 {
+		return math.NaN()
+	}
+	return a.IOTime / a.AloneTime
+}
+
+// Report aggregates one run.
+type Report struct {
+	Apps []AppResult
+}
+
+// SumInterference is Σ_X I_X, the metric §III-A4 proposes minimizing.
+func (r Report) SumInterference() float64 {
+	var s float64
+	for _, a := range r.Apps {
+		s += a.InterferenceFactor()
+	}
+	return s
+}
+
+// CPUSecondsWasted is f = Σ_X N_X · T_X (paper §IV-D): core-seconds spent
+// in I/O rather than computation.
+func (r Report) CPUSecondsWasted() float64 {
+	var s float64
+	for _, a := range r.Apps {
+		s += float64(a.Cores) * a.IOTime
+	}
+	return s
+}
+
+// CPUSecondsPerCore normalizes f by the total core count, the y-axis of the
+// paper's Fig. 11.
+func (r Report) CPUSecondsPerCore() float64 {
+	cores := 0
+	for _, a := range r.Apps {
+		cores += a.Cores
+	}
+	if cores == 0 {
+		return 0
+	}
+	return r.CPUSecondsWasted() / float64(cores)
+}
+
+// SumIOTime is Σ_X T_X.
+func (r Report) SumIOTime() float64 {
+	var s float64
+	for _, a := range r.Apps {
+		s += a.IOTime
+	}
+	return s
+}
+
+// MaxInterference returns the worst per-app factor — the "14× slowdown"
+// headline number of the paper is a MaxInterference value.
+func (r Report) MaxInterference() float64 {
+	m := math.Inf(-1)
+	for _, a := range r.Apps {
+		if f := a.InterferenceFactor(); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	s := ""
+	for _, a := range r.Apps {
+		s += fmt.Sprintf("%s[%d cores]: T=%.3fs Talone=%.3fs I=%.3f\n",
+			a.Name, a.Cores, a.IOTime, a.AloneTime, a.InterferenceFactor())
+	}
+	s += fmt.Sprintf("sumI=%.3f cpuSecWasted=%.1f perCore=%.3f",
+		r.SumInterference(), r.CPUSecondsWasted(), r.CPUSecondsPerCore())
+	return s
+}

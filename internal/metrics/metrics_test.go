@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Report {
+	return Report{Apps: []AppResult{
+		{Name: "A", Cores: 2048, IOTime: 20, AloneTime: 10},
+		{Name: "B", Cores: 24, IOTime: 14, AloneTime: 1},
+	}}
+}
+
+func TestInterferenceFactor(t *testing.T) {
+	a := AppResult{IOTime: 20, AloneTime: 10}
+	if got := a.InterferenceFactor(); got != 2 {
+		t.Fatalf("I = %v, want 2", got)
+	}
+	bad := AppResult{IOTime: 5}
+	if !math.IsNaN(bad.InterferenceFactor()) {
+		t.Fatal("expected NaN without alone time")
+	}
+}
+
+func TestMachineMetrics(t *testing.T) {
+	r := sample()
+	if got := r.SumInterference(); got != 16 {
+		t.Fatalf("sumI = %v, want 16", got)
+	}
+	if got := r.CPUSecondsWasted(); got != 2048*20+24*14 {
+		t.Fatalf("f = %v", got)
+	}
+	want := (2048*20.0 + 24*14.0) / 2072.0
+	if got := r.CPUSecondsPerCore(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("perCore = %v, want %v", got, want)
+	}
+	if got := r.SumIOTime(); got != 34 {
+		t.Fatalf("sumT = %v", got)
+	}
+	if got := r.MaxInterference(); got != 14 {
+		t.Fatalf("maxI = %v", got)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	var r Report
+	if r.CPUSecondsPerCore() != 0 {
+		t.Fatal("empty per-core should be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{"A[2048 cores]", "I=2.000", "sumI=16.000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}
+
+// Property: CPUSecondsWasted is linear in IOTime and per-core is a convex
+// combination bounded by min/max app time.
+func TestPropertyPerCoreBounds(t *testing.T) {
+	f := func(t1, t2 float64, c1, c2 uint8) bool {
+		if math.IsNaN(t1) || math.IsNaN(t2) {
+			return true
+		}
+		t1, t2 = math.Abs(t1), math.Abs(t2)
+		if t1 > 1e12 || t2 > 1e12 {
+			return true
+		}
+		n1, n2 := int(c1)+1, int(c2)+1
+		r := Report{Apps: []AppResult{
+			{Cores: n1, IOTime: t1, AloneTime: 1},
+			{Cores: n2, IOTime: t2, AloneTime: 1},
+		}}
+		pc := r.CPUSecondsPerCore()
+		lo, hi := math.Min(t1, t2), math.Max(t1, t2)
+		return pc >= lo-1e-9 && pc <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

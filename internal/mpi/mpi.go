@@ -1,0 +1,129 @@
+// Package mpi provides a minimal MPI-like application model for the
+// simulator: applications with a process count and node layout, an
+// alpha-beta cost model for the collective communication used by two-phase
+// I/O, and injection-bandwidth accounting toward the file system.
+//
+// The paper runs its benchmark instances as MPI programs sharing
+// MPI_COMM_WORLD so coordinators can talk to each other; here applications
+// share a sim.Engine and the coordination layer models the message latency
+// explicitly.
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fabric"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// Platform ties together the machine-level constants shared by all
+// applications of an experiment.
+type Platform struct {
+	Eng *sim.Engine
+	FS  *pfs.System
+
+	// ProcNIC is the injection bandwidth one process can push toward the
+	// file system (bytes/s). An application's aggregate injection limit is
+	// Procs * ProcNIC; this is what makes small applications unable to
+	// saturate the file system alone (Figs. 4, 6, 7b).
+	ProcNIC float64
+
+	// CommBWPerProc is the per-process bandwidth available for
+	// application-internal collective communication (bytes/s). The
+	// interconnect is private to each application (a BG/P partition or a
+	// dedicated set of cluster nodes), so comm phases do not contend with
+	// the other application's I/O — the effect Fig. 8b measures.
+	CommBWPerProc float64
+
+	// CommAlpha is the per-hop latency of the interconnect (seconds),
+	// used by the log2(P) terms of the collective cost model.
+	CommAlpha float64
+}
+
+// Validate checks platform invariants.
+func (pl *Platform) Validate() error {
+	if pl.Eng == nil || pl.FS == nil {
+		return fmt.Errorf("mpi: platform needs an engine and a file system")
+	}
+	if pl.ProcNIC <= 0 {
+		return fmt.Errorf("mpi: ProcNIC must be positive, got %v", pl.ProcNIC)
+	}
+	if pl.CommBWPerProc < 0 || pl.CommAlpha < 0 {
+		return fmt.Errorf("mpi: negative comm parameters")
+	}
+	return nil
+}
+
+// App is a running application: a job occupying Procs cores on Nodes nodes.
+type App struct {
+	Plat  *Platform
+	Name  string
+	Procs int
+	Nodes int
+
+	// nic is the app's aggregate injection link when the platform's file
+	// system runs in explicit-fabric mode (nil otherwise).
+	nic *fabric.Link
+}
+
+// NewApp registers an application on the platform. Nodes defaults to Procs
+// when zero (one process per node).
+func (pl *Platform) NewApp(name string, procs, nodes int) *App {
+	if err := pl.Validate(); err != nil {
+		panic(err)
+	}
+	if procs <= 0 {
+		panic(fmt.Sprintf("mpi: app %q needs at least one process", name))
+	}
+	if nodes <= 0 {
+		nodes = procs
+	}
+	a := &App{Plat: pl, Name: name, Procs: procs, Nodes: nodes}
+	if fb := pl.FS.Config().Fabric; fb != nil {
+		a.nic = fb.NewLink("nic:"+name, float64(procs)*pl.ProcNIC)
+	}
+	return a
+}
+
+// NIC returns the app's aggregate injection link in explicit-fabric mode,
+// nil otherwise.
+func (a *App) NIC() *fabric.Link { return a.nic }
+
+// InjectionBW is the application's aggregate bandwidth limit toward the
+// file system when all processes write.
+func (a *App) InjectionBW() float64 { return float64(a.Procs) * a.Plat.ProcNIC }
+
+// AloneBW estimates the application's solo write bandwidth: its injection
+// limit or the file system's aggregate bandwidth, whichever binds.
+func (a *App) AloneBW() float64 {
+	return math.Min(a.InjectionBW(), a.Plat.FS.AggregateBW())
+}
+
+// AlltoallTime is the alpha-beta cost of redistributing totalBytes among the
+// application's processes (the shuffle phase of two-phase I/O): a log2(P)
+// latency term plus the bandwidth term at aggregate comm bandwidth.
+func (a *App) AlltoallTime(totalBytes float64) float64 {
+	if totalBytes <= 0 {
+		return 0
+	}
+	lat := a.Plat.CommAlpha * log2ceil(a.Procs)
+	bw := float64(a.Procs) * a.Plat.CommBWPerProc
+	if bw <= 0 {
+		return lat
+	}
+	return lat + totalBytes/bw
+}
+
+// BarrierTime is the alpha-beta cost of a barrier across the application.
+func (a *App) BarrierTime() float64 {
+	return a.Plat.CommAlpha * log2ceil(a.Procs)
+}
+
+func log2ceil(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}

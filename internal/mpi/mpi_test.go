@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+func testPlatform() *Platform {
+	eng := sim.NewEngine()
+	fs := pfs.New(eng, pfs.Config{Servers: 4, StripeBytes: 1 << 20, ServerBW: 100 << 20})
+	return &Platform{
+		Eng:           eng,
+		FS:            fs,
+		ProcNIC:       3 << 20,
+		CommBWPerProc: 1 << 20,
+		CommAlpha:     1e-6,
+	}
+}
+
+func TestNewAppDefaults(t *testing.T) {
+	pl := testPlatform()
+	a := pl.NewApp("a", 64, 0)
+	if a.Nodes != 64 {
+		t.Fatalf("nodes default = %d, want procs", a.Nodes)
+	}
+	b := pl.NewApp("b", 64, 16)
+	if b.Nodes != 16 {
+		t.Fatalf("nodes = %d", b.Nodes)
+	}
+}
+
+func TestInjectionAndAloneBW(t *testing.T) {
+	pl := testPlatform()
+	small := pl.NewApp("small", 8, 0)
+	if got := small.InjectionBW(); got != 8*3<<20 {
+		t.Fatalf("injection = %v", got)
+	}
+	// Small app is injection limited.
+	if got := small.AloneBW(); got != small.InjectionBW() {
+		t.Fatalf("alone = %v, want injection-limited", got)
+	}
+	// Big app is FS limited.
+	big := pl.NewApp("big", 4096, 0)
+	if got := big.AloneBW(); got != pl.FS.AggregateBW() {
+		t.Fatalf("alone = %v, want FS aggregate", got)
+	}
+}
+
+func TestAlltoallTime(t *testing.T) {
+	pl := testPlatform()
+	a := pl.NewApp("a", 256, 64)
+	bytes := 256.0 * float64(1<<20)
+	got := a.AlltoallTime(bytes)
+	wantBW := bytes / (256 * float64(1<<20))
+	wantLat := 1e-6 * 8 // log2(256) = 8
+	if math.Abs(got-(wantBW+wantLat)) > 1e-12 {
+		t.Fatalf("alltoall = %v, want %v", got, wantBW+wantLat)
+	}
+	if a.AlltoallTime(0) != 0 {
+		t.Fatal("zero bytes should cost zero")
+	}
+}
+
+func TestAlltoallScalesWithProcs(t *testing.T) {
+	pl := testPlatform()
+	small := pl.NewApp("s", 64, 0)
+	big := pl.NewApp("b", 1024, 0)
+	bytes := float64(1 << 30)
+	if small.AlltoallTime(bytes) <= big.AlltoallTime(bytes) {
+		t.Fatal("more procs should shuffle the same bytes faster")
+	}
+}
+
+func TestBarrierTime(t *testing.T) {
+	pl := testPlatform()
+	one := pl.NewApp("one", 1, 0)
+	if one.BarrierTime() != 0 {
+		t.Fatal("single-proc barrier should be free")
+	}
+	big := pl.NewApp("big", 1024, 0)
+	if got := big.BarrierTime(); math.Abs(got-10e-6) > 1e-12 {
+		t.Fatalf("barrier = %v, want 10us", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	pl := testPlatform()
+	pl.ProcNIC = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad platform")
+		}
+	}()
+	pl.NewApp("x", 1, 0)
+}
+
+func TestZeroProcsPanics(t *testing.T) {
+	pl := testPlatform()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero procs")
+		}
+	}()
+	pl.NewApp("x", 0, 0)
+}

@@ -1,0 +1,336 @@
+// Package pfs models a PVFS/OrangeFS-style parallel file system: files are
+// striped round-robin across a set of storage servers, and each server
+// services the write requests it receives under a configurable scheduling
+// policy. Contention at these servers is the interference that CALCioM
+// mitigates.
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// SchedPolicy selects how a server services concurrent requests.
+type SchedPolicy int
+
+const (
+	// Share interleaves all requests, processor-sharing the server
+	// bandwidth proportionally to request weights (the default behaviour
+	// of an uncoordinated file system: everyone interferes).
+	Share SchedPolicy = iota
+	// FIFO services one request at a time per server, in arrival order
+	// (the "network request scheduler" baseline from the paper's intro).
+	FIFO
+	// Exclusive services one *application* at a time per server: requests
+	// from the active app share the server; other apps queue (an
+	// idealized server-side app-at-a-time scheduler, cf. Qian et al. and
+	// Song et al. in the paper's related work).
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (p SchedPolicy) String() string {
+	switch p {
+	case Share:
+		return "share"
+	case FIFO:
+		return "fifo"
+	case Exclusive:
+		return "exclusive"
+	}
+	return fmt.Sprintf("SchedPolicy(%d)", int(p))
+}
+
+// Config describes a deployed file system.
+type Config struct {
+	Servers     int     // number of storage servers
+	StripeBytes int64   // stripe unit
+	ServerBW    float64 // per-server persistent bandwidth (bytes/s)
+	CacheBW     float64 // per-server cache ingest bandwidth (0 = no cache)
+	CacheBytes  float64 // per-server cache size in bytes (0 = no cache)
+	Policy      SchedPolicy
+
+	// Fabric, when non-nil, switches the transfer model from per-server
+	// processor sharing with static injection caps to global max-min
+	// fairness across an explicit network: each server becomes a fabric
+	// link and each request crosses its client's NIC link too (see
+	// Request.ClientLink). The write-back cache is not supported in this
+	// mode.
+	Fabric *fabric.Fabric
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("pfs: need at least one server, got %d", c.Servers)
+	}
+	if c.StripeBytes <= 0 {
+		return fmt.Errorf("pfs: stripe unit must be positive, got %d", c.StripeBytes)
+	}
+	if c.ServerBW <= 0 {
+		return fmt.Errorf("pfs: server bandwidth must be positive, got %v", c.ServerBW)
+	}
+	if c.Fabric != nil && c.CacheBytes > 0 {
+		return fmt.Errorf("pfs: write-back cache is not supported with an explicit fabric")
+	}
+	return nil
+}
+
+// System is a deployed parallel file system.
+type System struct {
+	eng     *sim.Engine
+	cfg     Config
+	servers []*Server
+	nfiles  int
+}
+
+// New deploys a file system on the engine.
+func New(eng *sim.Engine, cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{eng: eng, cfg: cfg}
+	for i := 0; i < cfg.Servers; i++ {
+		s.servers = append(s.servers, newServer(eng, i, cfg))
+	}
+	return s
+}
+
+// Config returns the deployment configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Servers returns the server list.
+func (s *System) Servers() []*Server { return s.servers }
+
+// AggregateBW returns the sum of persistent server bandwidths — the peak
+// sustained throughput of the file system.
+func (s *System) AggregateBW() float64 {
+	return float64(s.cfg.Servers) * s.cfg.ServerBW
+}
+
+// File is a striped file. Files are laid out starting at a deterministic
+// first server derived from creation order, like PVFS distributing files.
+type File struct {
+	sys   *System
+	name  string
+	first int // first server for offset 0
+}
+
+// Create creates (or truncates) a striped file.
+func (s *System) Create(name string) *File {
+	f := &File{sys: s, name: name, first: s.nfiles % s.cfg.Servers}
+	s.nfiles++
+	return f
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Request describes one application-level write against the file system.
+// The simulator aggregates the per-process requests of one application round
+// into a single Request; Weight carries the number of underlying client
+// streams so that servers share bandwidth proportionally to the real
+// request pressure, and RateCap models the writers' total injection limit.
+type Request struct {
+	App     string  // application identity (used by Exclusive scheduling)
+	Offset  int64   // byte offset in the file
+	Length  int64   // byte count
+	Weight  float64 // concurrent client streams this request represents
+	RateCap float64 // total injection bandwidth cap, 0 = unlimited
+
+	// ClientLink is the issuing application's NIC link; required when the
+	// file system is deployed with an explicit fabric, ignored otherwise.
+	ClientLink *fabric.Link
+}
+
+// Write performs the request synchronously from process p, blocking until
+// every server involved has absorbed its share. It returns the elapsed
+// virtual time.
+func (f *File) Write(p *sim.Proc, req Request) float64 {
+	return f.transfer(p, req, "w")
+}
+
+// Read performs a read request synchronously from process p. Reads are
+// serviced by the same per-server resources as writes — on a storage server
+// the disk heads and the NICs are shared between directions, which is why
+// read traffic from one application interferes with another's writes. With
+// a cache-enabled store, reads of recently-written data are serviced at
+// cache speed, like the writes that produced them.
+func (f *File) Read(p *sim.Proc, req Request) float64 {
+	return f.transfer(p, req, "r")
+}
+
+func (f *File) transfer(p *sim.Proc, req Request, dir string) float64 {
+	start := p.Now()
+	if req.Length <= 0 {
+		return 0
+	}
+	if req.Weight <= 0 {
+		req.Weight = 1
+	}
+	sys := f.sys
+	per := PerServerBytes(req.Offset, req.Length, sys.cfg.StripeBytes, sys.cfg.Servers, f.first)
+	touched := 0
+	for _, b := range per {
+		if b > 0 {
+			touched++
+		}
+	}
+	wg := sim.NewWaitGroup(p.Engine())
+	perWeight := req.Weight / float64(touched)
+	var perCap float64
+	if req.RateCap > 0 {
+		perCap = req.RateCap / float64(touched)
+	}
+	for i, b := range per {
+		if b == 0 {
+			continue
+		}
+		wg.Add(1)
+		sys.servers[i].submit(&serverReq{
+			app:    req.App,
+			name:   fmt.Sprintf("%s@%s[%d]%s", req.App, f.name, i, dir),
+			bytes:  float64(b),
+			weight: perWeight,
+			cap:    perCap,
+			client: req.ClientLink,
+			done:   wg.Done,
+		})
+	}
+	wg.Wait(p)
+	return p.Now() - start
+}
+
+// Server is one storage server.
+type Server struct {
+	id    int
+	cfg   Config
+	store *disk.Store
+	link  *fabric.Link // non-nil in fabric mode
+
+	// FIFO / Exclusive queueing state.
+	queue   []*serverReq
+	current *serverReq // FIFO: in-service request
+	curApp  string     // Exclusive: app being serviced
+	inFlite int        // Exclusive: live jobs of curApp
+}
+
+type serverReq struct {
+	app    string
+	name   string
+	bytes  float64
+	weight float64
+	cap    float64
+	client *fabric.Link
+	done   func()
+}
+
+func newServer(eng *sim.Engine, id int, cfg Config) *Server {
+	sv := &Server{
+		id:  id,
+		cfg: cfg,
+		store: disk.New(eng, fmt.Sprintf("srv%d", id), disk.Params{
+			DiskBW:     cfg.ServerBW,
+			CacheBW:    cfg.CacheBW,
+			CacheBytes: cfg.CacheBytes,
+		}),
+	}
+	if cfg.Fabric != nil {
+		sv.link = cfg.Fabric.NewLink(fmt.Sprintf("srv%d", id), cfg.ServerBW)
+	}
+	return sv
+}
+
+// Link returns the server's fabric link (nil without an explicit fabric).
+func (sv *Server) Link() *fabric.Link { return sv.link }
+
+// Store exposes the server's storage target (for tests and metrics).
+func (sv *Server) Store() *disk.Store { return sv.store }
+
+// ID returns the server index.
+func (sv *Server) ID() int { return sv.id }
+
+func (sv *Server) submit(r *serverReq) {
+	switch sv.cfg.Policy {
+	case Share:
+		sv.start(r)
+	case FIFO:
+		sv.queue = append(sv.queue, r)
+		sv.pumpFIFO()
+	case Exclusive:
+		sv.queue = append(sv.queue, r)
+		sv.pumpExclusive()
+	default:
+		panic("pfs: unknown scheduling policy")
+	}
+}
+
+// start launches the request on the store (or, in fabric mode, as a flow
+// crossing the client NIC and the server link).
+func (sv *Server) start(r *serverReq) {
+	done := r.done
+	complete := func() {
+		if done != nil {
+			done()
+		}
+		sv.finished(r)
+	}
+	if sv.cfg.Fabric != nil {
+		links := []*fabric.Link{sv.link}
+		if r.client != nil {
+			links = append(links, r.client)
+		}
+		sv.cfg.Fabric.Start(r.name, r.bytes, r.weight, links, complete)
+		return
+	}
+	sv.store.Resource().Submit(r.name, r.bytes, r.weight, r.cap, complete)
+}
+
+func (sv *Server) finished(r *serverReq) {
+	switch sv.cfg.Policy {
+	case FIFO:
+		if sv.current == r {
+			sv.current = nil
+		}
+		sv.pumpFIFO()
+	case Exclusive:
+		sv.inFlite--
+		sv.pumpExclusive()
+	}
+}
+
+func (sv *Server) pumpFIFO() {
+	if sv.current != nil || len(sv.queue) == 0 {
+		return
+	}
+	r := sv.queue[0]
+	sv.queue = sv.queue[1:]
+	sv.current = r
+	sv.start(r)
+}
+
+func (sv *Server) pumpExclusive() {
+	if sv.inFlite == 0 {
+		sv.curApp = ""
+	}
+	if len(sv.queue) == 0 {
+		return
+	}
+	if sv.curApp == "" {
+		sv.curApp = sv.queue[0].app
+	}
+	// Admit every queued request of the active application.
+	keep := sv.queue[:0]
+	for _, r := range sv.queue {
+		if r.app == sv.curApp {
+			sv.inFlite++
+			sv.start(r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	sv.queue = append([]*serverReq(nil), keep...)
+}

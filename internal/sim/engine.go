@@ -1,0 +1,179 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock by executing events in (time, sequence)
+// order. Simulated processes are goroutines that run one at a time under a
+// strict handshake with the scheduler, so a simulation is fully deterministic
+// regardless of GOMAXPROCS: at any instant either the scheduler or exactly
+// one process goroutine is runnable.
+//
+// Time is a float64 number of seconds. Ties are broken by event creation
+// order, so schedules built in the same order replay identically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	time float64
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 once fired or cancelled
+}
+
+// Time returns the virtual time at which the event fires.
+func (ev *Event) Time() float64 { return ev.time }
+
+// Cancelled reports whether the event has fired or been cancelled.
+func (ev *Event) Cancelled() bool { return ev.idx < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+
+	// yield is signalled by a process goroutine when it parks or exits,
+	// returning control to the scheduler.
+	yield chan struct{}
+
+	procs   int // live (started, not finished) processes
+	stopped bool
+	tracer  Tracer
+}
+
+// Tracer receives a line for every traced simulation action. Nil disables
+// tracing.
+type Tracer interface {
+	Trace(now float64, format string, args ...any)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(now float64, format string, args ...any)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(now float64, format string, args ...any) { f(now, format, args...) }
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// SetTracer installs a tracer for debugging; nil disables tracing.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Tracef emits a trace line if a tracer is installed.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.tracer != nil {
+		e.tracer.Trace(e.now, format, args...)
+	}
+}
+
+// Schedule registers fn to run after delay seconds. A negative delay is an
+// error in the caller; Schedule panics to surface the bug immediately.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At registers fn to run at absolute time t, which must not be in the past.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling in the past: t=%v now=%v", t, e.now))
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or cancelled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.idx)
+	ev.idx = -1
+	ev.fn = nil
+}
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until none remain or Stop is called. It returns the
+// final clock value.
+func (e *Engine) Run() float64 { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with time <= horizon and, for a finite horizon,
+// advances the clock all the way to it. It returns the final clock value.
+//
+// RunUntil panics if live processes remain blocked with no pending event to
+// wake them and the horizon is infinite (a deadlock in the simulated
+// system), because silently returning would make such bugs very hard to
+// find. With a finite horizon, blocked processes may legitimately be waiting
+// for signals scheduled later.
+func (e *Engine) RunUntil(horizon float64) float64 {
+	for !e.stopped && len(e.events) > 0 {
+		next := e.events[0]
+		if next.time > horizon {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.time
+		fn := next.fn
+		next.fn = nil
+		fn()
+	}
+	if !e.stopped && !math.IsInf(horizon, 1) {
+		if e.now < horizon {
+			e.now = horizon
+		}
+		return e.now
+	}
+	if !e.stopped && e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at t=%v", e.procs, e.now))
+	}
+	return e.now
+}

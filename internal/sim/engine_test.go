@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final clock = %v, want 3", e.Now())
+	}
+}
+
+func TestScheduleTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Schedule(0.5, func() { e.Cancel(ev) })
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+	// Cancelling again is a no-op.
+	e.Cancel(ev)
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++ })
+	e.Schedule(5, func() { count++ })
+	end := e.RunUntil(2)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if end != 2 {
+		t.Fatalf("clock = %v, want 2", end)
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count after Run = %d, want 2", count)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++; e.Stop() })
+	e.Schedule(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 after Stop", count)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var wake []float64
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(1)
+		wake = append(wake, p.Now())
+		p.Sleep(2.5)
+		wake = append(wake, p.Now())
+	})
+	e.Run()
+	if len(wake) != 2 || wake[0] != 1 || wake[1] != 3.5 {
+		t.Fatalf("wake times = %v, want [1 3.5]", wake)
+	}
+}
+
+func TestProcSleepZeroYields(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcSleepUntil(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		p.SleepUntil(4)
+		if p.Now() != 4 {
+			t.Errorf("now = %v, want 4", p.Now())
+		}
+		p.SleepUntil(2) // in the past: no-op
+		if p.Now() != 4 {
+			t.Errorf("now after past SleepUntil = %v, want 4", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestGoAt(t *testing.T) {
+	e := NewEngine()
+	started := -1.0
+	e.GoAt(7, "late", func(p *Proc) { started = p.Now() })
+	e.Run()
+	if started != 7 {
+		t.Fatalf("start = %v, want 7", started)
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	e := NewEngine()
+	var r *Resumer
+	done := -1.0
+	e.Go("waiter", func(p *Proc) {
+		r = p.Suspend()
+		r.Park()
+		done = p.Now()
+	})
+	e.Schedule(3, func() { r.Resume() })
+	e.Run()
+	if done != 3 {
+		t.Fatalf("resumed at %v, want 3", done)
+	}
+	if !r.Fired() {
+		t.Fatal("resumer should report fired")
+	}
+	r.Resume() // idempotent
+}
+
+func TestCondBroadcastFIFO(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var order []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Go(name, func(p *Proc) {
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.Schedule(1, func() {
+		if c.Waiters() != 3 {
+			t.Errorf("waiters = %d, want 3", c.Waiters())
+		}
+		c.Broadcast()
+	})
+	e.Run()
+	want := []string{"w1", "w2", "w3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e, false)
+	passed := -1.0
+	e.Go("p", func(p *Proc) {
+		g.Pass(p)
+		passed = p.Now()
+	})
+	e.Schedule(2, func() { g.Open() })
+	e.Run()
+	if passed != 2 {
+		t.Fatalf("passed at %v, want 2", passed)
+	}
+	if !g.IsOpen() {
+		t.Fatal("gate should be open")
+	}
+	g.Close()
+	if g.IsOpen() {
+		t.Fatal("gate should be closed")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	wg.Add(2)
+	done := -1.0
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		done = p.Now()
+	})
+	e.Schedule(1, wg.Done)
+	e.Schedule(4, wg.Done)
+	e.Run()
+	if done != 4 {
+		t.Fatalf("wait released at %v, want 4", done)
+	}
+	// Waiting on a zero group returns immediately.
+	second := -1.0
+	e.Go("fast", func(p *Proc) {
+		wg.Wait(p)
+		second = p.Now()
+	})
+	e.Run()
+	if second != 4 {
+		t.Fatalf("zero-group wait at %v, want 4", second)
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative counter")
+		}
+	}()
+	wg.Done()
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	e.Go("stuck", func(p *Proc) {
+		NewCond(e).Wait(p) // nobody will broadcast
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestDeterminismManyProcs(t *testing.T) {
+	trace := func(seed int64) []float64 {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var ts []float64
+		for i := 0; i < 50; i++ {
+			d := rng.Float64() * 10
+			e.Go("p", func(p *Proc) {
+				p.Sleep(d)
+				ts = append(ts, p.Now())
+				p.Sleep(d / 2)
+				ts = append(ts, p.Now())
+			})
+		}
+		e.Run()
+		return ts
+	}
+	a := trace(42)
+	b := trace(42)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in nondecreasing time order, whatever the
+// schedule.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []float64) bool {
+		e := NewEngine()
+		var fired []float64
+		n := 0
+		for _, d := range delays {
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e9 {
+				continue
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+			n++
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested scheduling from inside events preserves ordering.
+func TestPropertyNestedSchedule(t *testing.T) {
+	f := func(seed int64) bool {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var fired []float64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			e.Schedule(rng.Float64(), func() {
+				fired = append(fired, e.Now())
+				spawn(depth + 1)
+				spawn(depth + 1)
+			})
+		}
+		spawn(0)
+		e.Run()
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	e := NewEngine()
+	var lines []string
+	e.SetTracer(TracerFunc(func(now float64, format string, args ...any) {
+		lines = append(lines, fmt.Sprintf("%.1f ", now)+fmt.Sprintf(format, args...))
+	}))
+	e.Schedule(2, func() { e.Tracef("fired %d", 42) })
+	e.Run()
+	if len(lines) != 1 || lines[0] != "2.0 fired 42" {
+		t.Fatalf("trace lines = %q", lines)
+	}
+	e.SetTracer(nil)
+	e.Tracef("ignored") // must not panic with nil tracer
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d", e.Pending())
+	}
+}

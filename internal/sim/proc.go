@@ -1,0 +1,235 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs exclusively while all
+// other goroutines (including the scheduler) are blocked. Procs communicate
+// and synchronize only through the engine, never through Go channels of
+// their own, which keeps runs deterministic.
+type Proc struct {
+	eng  *Engine
+	name string
+	run  chan struct{} // scheduler -> proc token
+	done bool
+
+	// wake is the pending event that will resume a parked proc, if any.
+	wake *Event
+}
+
+// Go starts body as a new process at the current time. The body runs when
+// the engine processes the start event. Go may be called both from outside
+// Run (to set up the simulation) and from inside a running process or event.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	return e.GoAt(e.now, name, body)
+}
+
+// GoAt starts body as a new process at absolute time t.
+func (e *Engine) GoAt(t float64, name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, run: make(chan struct{})}
+	e.procs++
+	e.At(t, func() {
+		go func() {
+			<-p.run // wait for the scheduler to hand over control
+			defer func() {
+				p.done = true
+				e.procs--
+				e.yield <- struct{}{}
+			}()
+			body(p)
+		}()
+		p.transfer()
+	})
+	return p
+}
+
+// transfer hands control to the proc goroutine and blocks until it parks or
+// exits. Must be called from scheduler context (inside an event callback).
+func (p *Proc) transfer() {
+	p.run <- struct{}{}
+	<-p.eng.yield
+}
+
+// park blocks the proc until something calls resume. Must be called from the
+// proc's own goroutine.
+func (p *Proc) park() {
+	p.eng.yield <- struct{}{}
+	<-p.run
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Sleep(%v) from %q", d, p.name))
+	}
+	if d == 0 {
+		// Still yield through the event queue so equal-time ordering is
+		// consistent with other zero-delay work.
+		p.wake = p.eng.Schedule(0, p.transfer)
+		p.park()
+		p.wake = nil
+		return
+	}
+	p.wake = p.eng.Schedule(d, p.transfer)
+	p.park()
+	p.wake = nil
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t <= now).
+func (p *Proc) SleepUntil(t float64) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t - p.eng.now)
+}
+
+// Suspend parks the process until Resume is called on the handle returned.
+// The handle's Resume is idempotent: calls after the first are no-ops, so it
+// is safe to race a timeout against another waker.
+//
+//	h := p.Suspend()   // from another event: h.Resume()
+func (p *Proc) Suspend() *Resumer {
+	return &Resumer{p: p}
+}
+
+// Resumer resumes a suspended process exactly once.
+type Resumer struct {
+	p     *Proc
+	fired bool
+}
+
+// Resume schedules the process to continue. Safe to call multiple times;
+// only the first call has an effect. Must not be called before the process
+// has actually parked via Park.
+func (r *Resumer) Resume() {
+	if r.fired {
+		return
+	}
+	r.fired = true
+	r.p.eng.Schedule(0, r.p.transfer)
+}
+
+// Fired reports whether Resume has been called.
+func (r *Resumer) Fired() bool { return r.fired }
+
+// Park parks the process; it returns when the associated Resumer fires.
+// Park must be called from the process's own goroutine, after installing the
+// Resumer where some event will find it.
+func (r *Resumer) Park() { r.p.park() }
+
+// Cond is a broadcast condition: processes wait on it and are all released
+// by Broadcast, in FIFO order of arrival.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to the engine.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling process until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Waiters returns the number of processes currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Broadcast releases all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w := w
+		c.eng.Schedule(0, w.transfer)
+	}
+}
+
+// Gate is a binary open/closed barrier. While closed, Pass blocks; while
+// open, Pass returns immediately. Opening releases all current waiters.
+type Gate struct {
+	cond *Cond
+	open bool
+}
+
+// NewGate returns a gate in the given initial state.
+func NewGate(e *Engine, open bool) *Gate {
+	return &Gate{cond: NewCond(e), open: open}
+}
+
+// Open opens the gate and releases all waiters.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.cond.Broadcast()
+}
+
+// Close closes the gate; subsequent Pass calls block.
+func (g *Gate) Close() { g.open = false }
+
+// IsOpen reports the gate state.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Pass blocks p until the gate is open. Because Open broadcasts, a gate that
+// is closed again in the same instant may still admit the released waiters;
+// callers that need re-check semantics should loop.
+func (g *Gate) Pass(p *Proc) {
+	for !g.open {
+		g.cond.Wait(p)
+	}
+}
+
+// WaitGroup counts outstanding activities and lets a process wait for zero.
+type WaitGroup struct {
+	eng   *Engine
+	n     int
+	conds []*Proc
+}
+
+// NewWaitGroup returns a wait group bound to the engine.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{eng: e} }
+
+// Add increments the counter by delta (may be negative, like sync.WaitGroup).
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		ws := w.conds
+		w.conds = nil
+		for _, pr := range ws {
+			pr := pr
+			w.eng.Schedule(0, pr.transfer)
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current counter value.
+func (w *WaitGroup) Count() int { return w.n }
+
+// Wait parks p until the counter reaches zero (immediately if already zero).
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	w.conds = append(w.conds, p)
+	p.park()
+}

@@ -1,0 +1,163 @@
+package swf
+
+import (
+	"math"
+	"sort"
+)
+
+// SizeBucket is one histogram bucket of the job-size distribution.
+type SizeBucket struct {
+	Cores     int     // bucket upper edge (inclusive), e.g. 256, 512, ...
+	Share     float64 // fraction of jobs in the bucket
+	CDF       float64 // cumulative fraction of jobs with size <= Cores
+	TimeShare float64 // runtime-weighted fraction
+	TimeCDF   float64 // runtime-weighted cumulative fraction
+	Count     int
+}
+
+// SizeDistribution computes the paper's Fig. 1(a): the distribution of job
+// sizes in power-of-two buckets, both by job count and weighted by duration
+// ("half of the machine time is used by applications smaller than 2,048
+// cores").
+func SizeDistribution(tr *Trace) []SizeBucket {
+	if len(tr.Jobs) == 0 {
+		return nil
+	}
+	maxProcs := 0
+	for _, j := range tr.Jobs {
+		if j.Procs > maxProcs {
+			maxProcs = j.Procs
+		}
+	}
+	var edges []int
+	for e := 256; e < maxProcs; e *= 2 {
+		edges = append(edges, e)
+	}
+	edges = append(edges, maxProcs)
+
+	counts := make([]int, len(edges))
+	times := make([]float64, len(edges))
+	var totalT float64
+	for _, j := range tr.Jobs {
+		i := sort.SearchInts(edges, j.Procs)
+		if i == len(edges) {
+			i = len(edges) - 1
+		}
+		counts[i]++
+		times[i] += j.Runtime
+		totalT += j.Runtime
+	}
+	out := make([]SizeBucket, len(edges))
+	cum, cumT := 0.0, 0.0
+	n := float64(len(tr.Jobs))
+	for i, e := range edges {
+		share := float64(counts[i]) / n
+		tshare := 0.0
+		if totalT > 0 {
+			tshare = times[i] / totalT
+		}
+		cum += share
+		cumT += tshare
+		out[i] = SizeBucket{Cores: e, Share: share, CDF: cum, TimeShare: tshare, TimeCDF: cumT, Count: counts[i]}
+	}
+	return out
+}
+
+// MedianJobSize returns the job size at the 50% CDF point.
+func MedianJobSize(tr *Trace) int {
+	sizes := make([]int, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		sizes[i] = j.Procs
+	}
+	sort.Ints(sizes)
+	if len(sizes) == 0 {
+		return 0
+	}
+	return sizes[len(sizes)/2]
+}
+
+// ConcurrencyDistribution computes the paper's Fig. 1(b): the fraction of
+// total wall time during which exactly k jobs run concurrently. The returned
+// slice is indexed by k (0 up to the observed maximum).
+func ConcurrencyDistribution(tr *Trace) []float64 {
+	if len(tr.Jobs) == 0 {
+		return nil
+	}
+	type ev struct {
+		t     float64
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(tr.Jobs))
+	for _, j := range tr.Jobs {
+		if j.Runtime <= 0 {
+			continue
+		}
+		evs = append(evs, ev{j.Start(), +1}, ev{j.End(), -1})
+	}
+	sort.Slice(evs, func(i, k int) bool {
+		if evs[i].t != evs[k].t {
+			return evs[i].t < evs[k].t
+		}
+		return evs[i].delta < evs[k].delta // ends before starts at ties
+	})
+	var spans []float64
+	cur, last := 0, evs[0].t
+	total := 0.0
+	for _, e := range evs {
+		dt := e.t - last
+		if dt > 0 {
+			for len(spans) <= cur {
+				spans = append(spans, 0)
+			}
+			spans[cur] += dt
+			total += dt
+		}
+		cur += e.delta
+		last = e.t
+	}
+	if total > 0 {
+		for i := range spans {
+			spans[i] /= total
+		}
+	}
+	return spans
+}
+
+// MeanConcurrency returns E[X] under the concurrency distribution.
+func MeanConcurrency(tr *Trace) float64 {
+	d := ConcurrencyDistribution(tr)
+	var m float64
+	for k, p := range d {
+		m += float64(k) * p
+	}
+	return m
+}
+
+// ProbOtherDoingIO evaluates the paper's §II-B lower bound on the
+// probability that, observing the system at a random instant, at least one
+// application is in an I/O phase:
+//
+//	P = 1 − Σ_n P(X = n) · (1 − E[µ])^n
+//
+// where X is the number of concurrently running jobs and µ the fraction of
+// time an application spends doing I/O.
+func ProbOtherDoingIO(tr *Trace, mu float64) float64 {
+	if mu < 0 || mu > 1 {
+		panic("swf: mu must be in [0,1]")
+	}
+	d := ConcurrencyDistribution(tr)
+	var none float64
+	for n, p := range d {
+		none += p * math.Pow(1-mu, float64(n))
+	}
+	return 1 - none
+}
+
+// ProbOtherDoingIOFromDist is ProbOtherDoingIO on a given distribution.
+func ProbOtherDoingIOFromDist(dist []float64, mu float64) float64 {
+	var none float64
+	for n, p := range dist {
+		none += p * math.Pow(1-mu, float64(n))
+	}
+	return 1 - none
+}

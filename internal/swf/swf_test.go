@@ -1,0 +1,235 @@
+package swf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Header: map[string]string{"Computer": "test"},
+		Jobs: []Job{
+			{ID: 1, Submit: 0, Wait: 0, Runtime: 10, Procs: 256, Status: 1},
+			{ID: 2, Submit: 2, Wait: 1, Runtime: 10, Procs: 2048, Status: 1},
+			{ID: 3, Submit: 20, Wait: 0, Runtime: 5, Procs: 131072, Status: 1},
+		},
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	in := `; Computer: Intrepid
+; MaxProcs: 163840
+1 0 5 3600 2048 -1 -1 2048 3600 -1 1 3 -1 -1 0 0 -1 -1
+2 100 0 60 256 -1 -1 256 60 -1 1 4 -1 -1 0 0 -1 -1
+`
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header["Computer"] != "Intrepid" {
+		t.Fatalf("header = %v", tr.Header)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.ID != 1 || j.Submit != 0 || j.Wait != 5 || j.Runtime != 3600 || j.Procs != 2048 {
+		t.Fatalf("job = %+v", j)
+	}
+	if j.Start() != 5 || j.End() != 3605 {
+		t.Fatalf("start/end = %v/%v", j.Start(), j.End())
+	}
+}
+
+func TestParseRejectsShortLines(t *testing.T) {
+	_, err := Parse(strings.NewReader("1 2 3\n"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	_, err := Parse(strings.NewReader("a b c d e\n"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(tr.Jobs) {
+		t.Fatalf("job count %d != %d", len(back.Jobs), len(tr.Jobs))
+	}
+	for i := range tr.Jobs {
+		a, b := tr.Jobs[i], back.Jobs[i]
+		if a.ID != b.ID || a.Submit != b.Submit || a.Wait != b.Wait ||
+			a.Runtime != b.Runtime || a.Procs != b.Procs {
+			t.Fatalf("job %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if back.Header["Computer"] != "test" {
+		t.Fatalf("header lost: %v", back.Header)
+	}
+}
+
+func TestPropertyGenerateRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := Generate(GenConfig{Seed: seed, Days: 3})
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Jobs) != len(tr.Jobs) {
+			return false
+		}
+		for i := range tr.Jobs {
+			if tr.Jobs[i].Procs != back.Jobs[i].Procs {
+				return false
+			}
+			if math.Abs(tr.Jobs[i].Start()-back.Jobs[i].Start()) > 1.5 {
+				return false // times are rounded to whole seconds
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeDistribution(t *testing.T) {
+	tr := sampleTrace()
+	buckets := SizeDistribution(tr)
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+	var sum float64
+	for _, b := range buckets {
+		sum += b.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	last := buckets[len(buckets)-1]
+	if math.Abs(last.CDF-1) > 1e-9 || math.Abs(last.TimeCDF-1) > 1e-9 {
+		t.Fatalf("CDF endpoint %v / %v", last.CDF, last.TimeCDF)
+	}
+	// 256-core job lands in the first bucket.
+	if buckets[0].Cores != 256 || buckets[0].Count != 1 {
+		t.Fatalf("first bucket %+v", buckets[0])
+	}
+}
+
+func TestConcurrencyDistribution(t *testing.T) {
+	tr := &Trace{Jobs: []Job{
+		{Submit: 0, Runtime: 10, Procs: 1},
+		{Submit: 5, Runtime: 10, Procs: 1},
+	}}
+	d := ConcurrencyDistribution(tr)
+	// Timeline: [0,5) 1 job, [5,10) 2 jobs, [10,15) 1 job. Total 15.
+	if len(d) < 3 {
+		t.Fatalf("dist = %v", d)
+	}
+	if math.Abs(d[1]-10.0/15) > 1e-9 || math.Abs(d[2]-5.0/15) > 1e-9 {
+		t.Fatalf("dist = %v, want [_, 2/3, 1/3]", d)
+	}
+	if m := MeanConcurrency(tr); math.Abs(m-(10.0/15+2*5.0/15)) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestProbOtherDoingIO(t *testing.T) {
+	// Always exactly 2 jobs running: P = 1 - (1-mu)^2.
+	tr := &Trace{Jobs: []Job{
+		{Submit: 0, Runtime: 100, Procs: 1},
+		{Submit: 0, Runtime: 100, Procs: 1},
+	}}
+	got := ProbOtherDoingIO(tr, 0.05)
+	want := 1 - math.Pow(0.95, 2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P = %v, want %v", got, want)
+	}
+	if p := ProbOtherDoingIO(tr, 0); p != 0 {
+		t.Fatalf("P(mu=0) = %v, want 0", p)
+	}
+	if p := ProbOtherDoingIO(tr, 1); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("P(mu=1) = %v, want 1", p)
+	}
+}
+
+func TestGenerateCalibration(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 1, Days: 60})
+	if len(tr.Jobs) < 1000 {
+		t.Fatalf("only %d jobs generated", len(tr.Jobs))
+	}
+	// Half the jobs at or below 2048 cores (the paper's headline stat).
+	med := MedianJobSize(tr)
+	if med > 2048 || med < 256 {
+		t.Fatalf("median job size = %d, want within (256, 2048]", med)
+	}
+	// Mean concurrency near the configured target of 20.
+	if m := MeanConcurrency(tr); m < 15 || m > 26 {
+		t.Fatalf("mean concurrency = %v, want ~20", m)
+	}
+	// The paper's probability example: E[mu]=5% gives P around 64%.
+	if p := ProbOtherDoingIO(tr, 0.05); p < 0.50 || p > 0.80 {
+		t.Fatalf("P(I/O overlap) = %v, want ~0.64", p)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(GenConfig{Seed: 7, Days: 5})
+	b := Generate(GenConfig{Seed: 7, Days: 5})
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestDuration(t *testing.T) {
+	tr := sampleTrace()
+	// Last job ends at 25; first starts at 0.
+	if d := tr.Duration(); math.Abs(d-25) > 1e-9 {
+		t.Fatalf("duration = %v, want 25", d)
+	}
+	empty := &Trace{}
+	if empty.Duration() != 0 {
+		t.Fatal("empty duration should be 0")
+	}
+}
+
+func TestProbOtherDoingIOFromDist(t *testing.T) {
+	dist := []float64{0, 0, 1} // always two jobs
+	got := ProbOtherDoingIOFromDist(dist, 0.5)
+	if math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("P = %v, want 0.75", got)
+	}
+}
+
+func TestMuValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mu out of range")
+		}
+	}()
+	ProbOtherDoingIO(sampleTrace(), 1.5)
+}

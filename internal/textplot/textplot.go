@@ -1,0 +1,126 @@
+// Package textplot renders small ASCII line and bar charts for terminal
+// output. It exists so the example programs and CLI can show ∆-graph shapes
+// without any plotting dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a plot.
+type Series struct {
+	Name   string
+	Y      []float64
+	Symbol byte // plotting glyph; 0 picks one automatically
+}
+
+var defaultSymbols = []byte{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Line renders an ASCII line chart of the series over the shared X axis.
+func Line(title string, x []float64, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return title + ": (no data)\n"
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	xmin, xmax := x[0], x[0]
+	for _, v := range x {
+		xmin = math.Min(xmin, v)
+		xmax = math.Max(xmax, v)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		sym := s.Symbol
+		if sym == 0 {
+			sym = defaultSymbols[si%len(defaultSymbols)]
+		}
+		for i, v := range s.Y {
+			if i >= len(x) || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			c := int(math.Round((x[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			r := height - 1 - int(math.Round((v-ymin)/(ymax-ymin)*float64(height-1)))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = sym
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		yl := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.3g |%s|\n", yl, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax)
+	legend := make([]string, len(series))
+	for si, s := range series {
+		sym := s.Symbol
+		if sym == 0 {
+			sym = defaultSymbols[si%len(defaultSymbols)]
+		}
+		legend[si] = fmt.Sprintf("%c=%s", sym, s.Name)
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// Bar renders a horizontal bar chart of label/value pairs.
+func Bar(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("textplot: labels and values length mismatch")
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxv := 0.0
+	maxl := 0
+	for i, v := range values {
+		if v > maxv {
+			maxv = v
+		}
+		if len(labels[i]) > maxl {
+			maxl = len(labels[i])
+		}
+	}
+	if maxv == 0 {
+		maxv = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, v := range values {
+		n := int(math.Round(v / maxv * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%*s |%s %.4g\n", maxl, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	s := []Series{
+		{Name: "up", Y: []float64{1, 2, 3, 4}},
+		{Name: "down", Y: []float64{4, 3, 2, 1}},
+	}
+	out := Line("title", x, s, 40, 8)
+	for _, want := range []string{"title", "*=up", "+=down", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 10 {
+		t.Fatalf("too few lines: %d", lines)
+	}
+}
+
+func TestLineHandlesNaN(t *testing.T) {
+	out := Line("t", []float64{0, 1}, []Series{{Name: "s", Y: []float64{math.NaN(), 1}}}, 20, 5)
+	if !strings.Contains(out, "s") {
+		t.Fatal("series name missing")
+	}
+}
+
+func TestLineNoData(t *testing.T) {
+	out := Line("t", []float64{0}, []Series{{Name: "s", Y: []float64{math.NaN()}}}, 20, 5)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("want no-data marker, got %q", out)
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	out := Line("t", []float64{0, 1}, []Series{{Name: "s", Y: []float64{2, 2}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series should still plot")
+	}
+}
+
+func TestLineCustomSymbol(t *testing.T) {
+	out := Line("t", []float64{0, 1}, []Series{{Name: "s", Y: []float64{1, 2}, Symbol: 'Q'}}, 20, 5)
+	if !strings.Contains(out, "Q=s") {
+		t.Fatal("custom symbol not used")
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("bars", []string{"aa", "b"}, []float64{2, 4}, 10)
+	for _, want := range []string{"bars", "aa |", "4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bar("x", []string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestBarZeroValues(t *testing.T) {
+	out := Bar("z", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "a |") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}

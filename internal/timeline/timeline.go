@@ -1,0 +1,172 @@
+// Package timeline records labeled intervals from a simulation run and
+// renders them as an ASCII Gantt chart — the visualization equivalent of
+// the paper's Fig. 5 policy diagrams, produced from actual runs.
+package timeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an interval.
+type Kind int
+
+const (
+	// Compute: the application runs between I/O phases.
+	Compute Kind = iota
+	// Wait: blocked in the coordination layer.
+	Wait
+	// Comm: collective-buffering communication round.
+	Comm
+	// Write: file-system write round.
+	Write
+	// Read: file-system read round.
+	Read
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Wait:
+		return "wait"
+	case Comm:
+		return "comm"
+	case Write:
+		return "write"
+	case Read:
+		return "read"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// glyph is the Gantt fill character per kind.
+func (k Kind) glyph() byte {
+	switch k {
+	case Compute:
+		return '.'
+	case Wait:
+		return 'w'
+	case Comm:
+		return 'c'
+	case Write:
+		return '#'
+	case Read:
+		return 'r'
+	}
+	return '?'
+}
+
+// Interval is one recorded span.
+type Interval struct {
+	Actor string
+	Kind  Kind
+	Start float64
+	End   float64
+}
+
+// Recorder accumulates intervals. The zero value is ready to use.
+type Recorder struct {
+	intervals []Interval
+}
+
+// Add records an interval; zero-length intervals are kept (they still show
+// in totals) but render nothing.
+func (r *Recorder) Add(actor string, kind Kind, start, end float64) {
+	if end < start {
+		panic(fmt.Sprintf("timeline: interval ends before it starts: %v > %v", start, end))
+	}
+	r.intervals = append(r.intervals, Interval{actor, kind, start, end})
+}
+
+// Intervals returns all recorded intervals.
+func (r *Recorder) Intervals() []Interval { return r.intervals }
+
+// Actors returns the distinct actor names in first-appearance order.
+func (r *Recorder) Actors() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, iv := range r.intervals {
+		if !seen[iv.Actor] {
+			seen[iv.Actor] = true
+			out = append(out, iv.Actor)
+		}
+	}
+	return out
+}
+
+// Totals sums interval durations per (actor, kind).
+func (r *Recorder) Totals() map[string]map[Kind]float64 {
+	out := map[string]map[Kind]float64{}
+	for _, iv := range r.intervals {
+		m := out[iv.Actor]
+		if m == nil {
+			m = map[Kind]float64{}
+			out[iv.Actor] = m
+		}
+		m[iv.Kind] += iv.End - iv.Start
+	}
+	return out
+}
+
+// Span returns the [min, max] time covered.
+func (r *Recorder) Span() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, iv := range r.intervals {
+		lo = math.Min(lo, iv.Start)
+		hi = math.Max(hi, iv.End)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// Gantt renders the recorded intervals as one row per actor. Later
+// intervals overwrite earlier ones where they overlap; within one actor a
+// well-formed simulation produces disjoint intervals anyway.
+func (r *Recorder) Gantt(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := r.Span()
+	if hi <= lo {
+		return "(empty timeline)\n"
+	}
+	actors := r.Actors()
+	sort.Strings(actors)
+	rows := make(map[string][]byte, len(actors))
+	maxName := 0
+	for _, a := range actors {
+		rows[a] = []byte(strings.Repeat(" ", width))
+		if len(a) > maxName {
+			maxName = len(a)
+		}
+	}
+	scale := float64(width) / (hi - lo)
+	for _, iv := range r.intervals {
+		row := rows[iv.Actor]
+		s := int((iv.Start - lo) * scale)
+		e := int(math.Ceil((iv.End - lo) * scale))
+		if e > width {
+			e = width
+		}
+		if e == s && e < width {
+			e = s + 1 // make instantaneous events visible
+		}
+		for i := s; i < e; i++ {
+			row[i] = iv.Kind.glyph()
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  t=%.2fs%s t=%.2fs\n", maxName, "",
+		lo, strings.Repeat(" ", max(0, width-16)), hi)
+	for _, a := range actors {
+		fmt.Fprintf(&b, "%*s |%s|\n", maxName, a, rows[a])
+	}
+	fmt.Fprintf(&b, "%*s  legend: #=write c=comm w=wait r=read .=compute\n", maxName, "")
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	r.Add("A", Write, 0, 2)
+	r.Add("A", Wait, 2, 3)
+	r.Add("B", Write, 1, 4)
+	if len(r.Intervals()) != 3 {
+		t.Fatalf("intervals = %d", len(r.Intervals()))
+	}
+	actors := r.Actors()
+	if len(actors) != 2 || actors[0] != "A" || actors[1] != "B" {
+		t.Fatalf("actors = %v", actors)
+	}
+	lo, hi := r.Span()
+	if lo != 0 || hi != 4 {
+		t.Fatalf("span = %v %v", lo, hi)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	var r Recorder
+	r.Add("A", Write, 0, 2)
+	r.Add("A", Write, 5, 6)
+	r.Add("A", Wait, 2, 5)
+	tot := r.Totals()
+	if tot["A"][Write] != 3 || tot["A"][Wait] != 3 {
+		t.Fatalf("totals = %v", tot["A"])
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	var r Recorder
+	r.Add("app-a", Write, 0, 5)
+	r.Add("app-a", Wait, 5, 10)
+	r.Add("app-b", Comm, 0, 10)
+	g := r.Gantt(40)
+	for _, want := range []string{"app-a", "app-b", "#", "w", "c", "legend"} {
+		if !strings.Contains(g, want) {
+			t.Fatalf("gantt missing %q:\n%s", want, g)
+		}
+	}
+	// Rows are equal width.
+	var widths []int
+	for _, line := range strings.Split(g, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 && strings.HasSuffix(line, "|") {
+			widths = append(widths, len(line))
+		}
+	}
+	if len(widths) != 2 || widths[0] != widths[1] {
+		t.Fatalf("row widths = %v", widths)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var r Recorder
+	if g := r.Gantt(40); !strings.Contains(g, "empty") {
+		t.Fatalf("empty gantt = %q", g)
+	}
+}
+
+func TestGanttInstantEventVisible(t *testing.T) {
+	var r Recorder
+	r.Add("A", Write, 0, 10)
+	r.Add("A", Wait, 5, 5.0001)
+	g := r.Gantt(40)
+	if !strings.Contains(g, "w") {
+		t.Fatalf("instant event invisible:\n%s", g)
+	}
+}
+
+func TestBadIntervalPanics(t *testing.T) {
+	var r Recorder
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Add("A", Write, 5, 4)
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		Compute: "compute", Wait: "wait", Comm: "comm", Write: "write", Read: "read",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%v != %s", k, want)
+		}
+	}
+}
