@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/delta"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/fluid"
 	"repro/internal/ior"
 	"repro/internal/pfs"
@@ -251,6 +252,61 @@ func BenchmarkAblationCollectiveBuffer(b *testing.B) {
 
 // --- Microbenchmarks of the substrate ---------------------------------
 
+// BenchmarkFabricReassign measures the steady-state contention hot path:
+// a populated fabric (2 app NICs, 16 servers, 64 flows) forced through
+// advance+reassign by capacity changes, with no flow churn. This is the
+// inner loop of every TrueNetwork simulation; it must stay allocation-free.
+func BenchmarkFabricReassign(b *testing.B) {
+	eng := sim.NewEngine()
+	fb := fabric.New(eng)
+	nics := []*fabric.Link{fb.NewLink("nicA", 4e9), fb.NewLink("nicB", 4e9)}
+	servers := make([]*fabric.Link, 16)
+	for i := range servers {
+		servers[i] = fb.NewLink(fmt.Sprintf("srv%d", i), 1e9)
+	}
+	for i := 0; i < 64; i++ {
+		fb.Start(fmt.Sprintf("f%d", i), 1e18, 1+float64(i%3),
+			[]*fabric.Link{nics[i%2], servers[i%16]}, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate a server's capacity: each call is one advance+reassign.
+		servers[0].SetCapacity(1e9 + float64(i&1)*1e8)
+	}
+}
+
+// BenchmarkEngineSchedule measures one schedule+fire cycle of a heap event.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := sim.NewEngine()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(1, nop)
+		eng.Run()
+	}
+}
+
+// BenchmarkDeltaSweepFabric is the macro-benchmark the solver rewrite
+// targets: a full ∆-graph sweep under the explicit-fabric contention model
+// (TrueNetwork), the paper's most expensive evaluation mode.
+func BenchmarkDeltaSweepFabric(b *testing.B) {
+	sc := experiments.SurveyorPlatform()
+	sc.TrueNetwork = true
+	w := ior.Workload{Pattern: ior.Contiguous, BlockSize: 32 << 20, BlocksPerProc: 1, ReqBytes: 4 << 20}
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
+		{Name: "B", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
+	}
+	dts := []float64{-10, -5, -2, 0, 2, 5, 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Sweep(delta.Uncoordinated, dts)
+	}
+}
+
 func BenchmarkEngineEvents(b *testing.B) {
 	eng := sim.NewEngine()
 	b.ResetTimer()
@@ -351,4 +407,17 @@ func BenchmarkAblationNetworkModel(b *testing.B) {
 		tbl = experiments.AblationNetworkModel()
 	}
 	printTable(b, tbl)
+}
+
+// BenchmarkEnginePost measures the zero-delay fast path: one posted
+// callback per op, fully allocation-free.
+func BenchmarkEnginePost(b *testing.B) {
+	eng := sim.NewEngine()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Post(nop)
+		eng.Run()
+	}
 }

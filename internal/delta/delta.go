@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -175,8 +176,12 @@ func policyName(sc Scenario, factory PolicyFactory) string {
 }
 
 // Sweep runs the two-app scenario at every dt under the policy. dt > 0
-// means B starts after A, matching the paper's convention. Runs execute in
-// parallel across OS threads; each point is its own deterministic engine.
+// means B starts after A, matching the paper's convention. A fixed pool of
+// worker goroutines (one per OS thread) pulls points off a shared counter —
+// no goroutine-per-point churn — and each worker reuses its own start and
+// report scratch across the points it runs. Each point is still its own
+// deterministic engine, so results are independent of the worker count and
+// of scheduling order.
 func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 	if len(sc.Apps) != 2 {
 		panic(fmt.Sprintf("delta: Sweep needs exactly 2 apps, got %d", len(sc.Apps)))
@@ -194,28 +199,38 @@ func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 	s.FactorB = make([]float64, n)
 	s.CPUPerCore = make([]float64, n)
 
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for k, dt := range dts {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(k int, dt float64) {
-			defer func() { <-sem; wg.Done() }()
-			startA, startB := 0.0, dt
-			if dt < 0 {
-				startA, startB = -dt, 0
+		go func() {
+			defer wg.Done()
+			starts := make([]float64, 2)
+			rep := metrics.Report{Apps: make([]metrics.AppResult, 2)}
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				dt := dts[k]
+				starts[0], starts[1] = 0, dt
+				if dt < 0 {
+					starts[0], starts[1] = -dt, 0
+				}
+				res := sc.Run(factory, starts)
+				s.TimeA[k] = res.IOTime[0]
+				s.TimeB[k] = res.IOTime[1]
+				s.FactorA[k] = res.IOTime[0] / s.SoloA
+				s.FactorB[k] = res.IOTime[1] / s.SoloB
+				rep.Apps[0] = metrics.AppResult{Name: sc.Apps[0].Name, Cores: sc.Apps[0].Procs, IOTime: res.IOTime[0], AloneTime: s.SoloA}
+				rep.Apps[1] = metrics.AppResult{Name: sc.Apps[1].Name, Cores: sc.Apps[1].Procs, IOTime: res.IOTime[1], AloneTime: s.SoloB}
+				s.CPUPerCore[k] = rep.CPUSecondsPerCore()
 			}
-			res := sc.Run(factory, []float64{startA, startB})
-			s.TimeA[k] = res.IOTime[0]
-			s.TimeB[k] = res.IOTime[1]
-			s.FactorA[k] = res.IOTime[0] / s.SoloA
-			s.FactorB[k] = res.IOTime[1] / s.SoloB
-			rep := metrics.Report{Apps: []metrics.AppResult{
-				{Name: sc.Apps[0].Name, Cores: sc.Apps[0].Procs, IOTime: res.IOTime[0], AloneTime: s.SoloA},
-				{Name: sc.Apps[1].Name, Cores: sc.Apps[1].Procs, IOTime: res.IOTime[1], AloneTime: s.SoloB},
-			}}
-			s.CPUPerCore[k] = rep.CPUSecondsPerCore()
-		}(k, dt)
+		}()
 	}
 	wg.Wait()
 	return s
@@ -244,12 +259,15 @@ func (sc Scenario) Expected(dts []float64) Series {
 		{Work: s.SoloA, Weight: 1},
 		{Work: s.SoloB, Weight: 1},
 	}
+	var solver fluid.Solver // water-fill scratch shared across the sweep
+	starts := make([]float64, 2)
 	for _, dt := range dts {
 		startA, startB := 0.0, dt
 		if dt < 0 {
 			startA, startB = -dt, 0
 		}
-		fin := fluid.StaggeredFinishTimes(1, flows, []float64{startA, startB})
+		starts[0], starts[1] = startA, startB
+		fin := solver.StaggeredFinishTimes(1, flows, starts)
 		ta := fin[0] - startA
 		tb := fin[1] - startB
 		s.TimeA = append(s.TimeA, ta)

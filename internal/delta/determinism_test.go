@@ -1,0 +1,77 @@
+package delta
+
+import (
+	"runtime"
+	"testing"
+)
+
+// fabricScenario is testScenario under the explicit-fabric contention model
+// — the mode whose solver used to iterate Go maps while accumulating
+// floats, a latent per-run nondeterminism.
+func fabricScenario() Scenario {
+	sc := testScenario()
+	sc.TrueNetwork = true
+	return sc
+}
+
+func runOnce(sc Scenario) Result {
+	return sc.Run(FCFS, []float64{0, 3})
+}
+
+func sameResult(a, b Result) bool {
+	if a.Makespan != b.Makespan || len(a.IOTime) != len(b.IOTime) {
+		return false
+	}
+	for i := range a.IOTime {
+		if a.IOTime[i] != b.IOTime[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTrueNetworkRunDeterministic: the same TrueNetwork scenario run twice
+// must produce bit-identical Results — not merely within tolerance. The
+// fabric solver iterates links and flows in dense ID order, so its float
+// accumulation order (and thus every rate and completion time) is fixed.
+func TestTrueNetworkRunDeterministic(t *testing.T) {
+	sc := fabricScenario()
+	a := runOnce(sc)
+	for i := 0; i < 3; i++ {
+		if b := runOnce(sc); !sameResult(a, b) {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, a.IOTime, b.IOTime)
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossGOMAXPROCS: a parallel sweep's outputs must
+// not depend on how many workers ran it — each point is its own engine, and
+// worker scheduling only changes who computes a point, never its value.
+func TestSweepDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc := fabricScenario()
+	dts := []float64{-4, -1, 0, 1, 2, 4, 7}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := sc.Sweep(FCFS, dts)
+	runtime.GOMAXPROCS(prev)
+	parallel := sc.Sweep(FCFS, dts)
+
+	for k := range dts {
+		if serial.TimeA[k] != parallel.TimeA[k] || serial.TimeB[k] != parallel.TimeB[k] {
+			t.Fatalf("dt=%v: serial (%v, %v) vs parallel (%v, %v)",
+				dts[k], serial.TimeA[k], serial.TimeB[k], parallel.TimeA[k], parallel.TimeB[k])
+		}
+		if serial.FactorA[k] != parallel.FactorA[k] || serial.FactorB[k] != parallel.FactorB[k] ||
+			serial.CPUPerCore[k] != parallel.CPUPerCore[k] {
+			t.Fatalf("dt=%v: derived metrics diverged across GOMAXPROCS", dts[k])
+		}
+	}
+
+	// And the whole sweep replays bit-identically.
+	again := sc.Sweep(FCFS, dts)
+	for k := range dts {
+		if parallel.TimeA[k] != again.TimeA[k] || parallel.TimeB[k] != again.TimeB[k] {
+			t.Fatalf("dt=%v: sweep not reproducible run-to-run", dts[k])
+		}
+	}
+}

@@ -9,6 +9,13 @@
 // shared InfiniBand switch or BG/P tree, and storage servers — and the
 // simulator's default single-resource approximation (per-request static
 // rate caps) is validated against this model in the ablation benchmarks.
+//
+// The solver is the hot path of every TrueNetwork simulation, so it is
+// index-based and allocation-free in steady state: links carry dense integer
+// IDs indexing reusable per-link scratch arrays, memberships are slices with
+// swap-delete (no maps), and all iteration is in slice order, which makes
+// floating-point accumulation order — and therefore every simulated rate —
+// reproducible bit-for-bit across runs.
 package fabric
 
 import (
@@ -18,12 +25,22 @@ import (
 	"repro/internal/sim"
 )
 
-// Link is one capacity-limited element of the fabric.
+// Link is one capacity-limited element of the fabric. Links have dense IDs
+// (creation order) that index the solver's per-link scratch arrays.
 type Link struct {
 	fab      *Fabric
+	id       int
 	name     string
 	capacity float64
-	flows    map[*Flow]struct{}
+	flows    []linkRef // flows currently crossing this link
+}
+
+// linkRef is one entry of a link's membership slice: the flow plus the index
+// of this link within the flow's own path, so a swap-delete on either side
+// can repair the other side's back-index in O(1).
+type linkRef struct {
+	f    *Flow
+	slot int // index of this link in f.links / f.pos
 }
 
 // Name returns the link name.
@@ -32,10 +49,13 @@ func (l *Link) Name() string { return l.name }
 // Capacity returns the link capacity.
 func (l *Link) Capacity() float64 { return l.capacity }
 
+// Flows returns the number of flows currently crossing the link.
+func (l *Link) Flows() int { return len(l.flows) }
+
 // SetCapacity changes the link capacity and reassigns all rates.
 func (l *Link) SetCapacity(c float64) {
-	if c < 0 {
-		panic("fabric: negative capacity")
+	if c < 0 || math.IsNaN(c) {
+		panic("fabric: negative or NaN capacity")
 	}
 	l.fab.advance()
 	l.capacity = c
@@ -45,8 +65,11 @@ func (l *Link) SetCapacity(c float64) {
 // Flow is a transfer crossing one or more links.
 type Flow struct {
 	fab       *Fabric
+	id        uint64 // creation sequence; total-order tiebreak
+	idx       int    // index in fab.flows; -1 once done or cancelled
 	name      string
 	links     []*Link
+	pos       []int // pos[k] = index of this flow in links[k].flows
 	weight    float64
 	remaining float64
 	total     float64
@@ -78,23 +101,38 @@ func (f *Flow) Remaining() float64 {
 type Fabric struct {
 	eng        *sim.Engine
 	links      []*Link
-	flows      map[*Flow]struct{}
+	flows      []*Flow // active flows, dense, swap-delete on removal
+	nextID     uint64
 	lastUpdate float64
-	completion *sim.Event
+	completion *sim.Timer
+
+	// Solver scratch, reused across reassign calls so the steady state
+	// performs no allocations. Per-link arrays are indexed by Link.id;
+	// frozen is indexed by Flow.idx.
+	linkRemaining []float64
+	linkActive    []int
+	linkWeight    []float64
+	frozen        []bool
+	finished      []*Flow
 }
 
 // New creates an empty fabric.
 func New(eng *sim.Engine) *Fabric {
-	return &Fabric{eng: eng, flows: make(map[*Flow]struct{}), lastUpdate: eng.Now()}
+	fb := &Fabric{eng: eng, lastUpdate: eng.Now()}
+	fb.completion = eng.NewTimer(fb.onCompletion)
+	return fb
 }
 
 // NewLink adds a link with the given capacity.
 func (fb *Fabric) NewLink(name string, capacity float64) *Link {
-	if capacity < 0 {
-		panic(fmt.Sprintf("fabric: negative capacity %v", capacity))
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("fabric: negative or NaN capacity %v", capacity))
 	}
-	l := &Link{fab: fb, name: name, capacity: capacity, flows: make(map[*Flow]struct{})}
+	l := &Link{fab: fb, id: len(fb.links), name: name, capacity: capacity}
 	fb.links = append(fb.links, l)
+	fb.linkRemaining = append(fb.linkRemaining, 0)
+	fb.linkActive = append(fb.linkActive, 0)
+	fb.linkWeight = append(fb.linkWeight, 0)
 	return l
 }
 
@@ -105,23 +143,27 @@ func (fb *Fabric) Start(name string, bytes, weight float64, links []*Link, onDon
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("fabric: bad byte count %v", bytes))
 	}
-	if weight <= 0 {
+	if !(weight > 0) { // also rejects NaN
 		panic("fabric: weight must be positive")
 	}
 	if len(links) == 0 {
 		panic("fabric: flow must cross at least one link")
 	}
 	f := &Flow{
-		fab: fb, name: name, links: links, weight: weight,
+		fab: fb, id: fb.nextID, name: name, links: links, weight: weight,
 		remaining: bytes, total: bytes, onDone: onDone,
+		pos: make([]int, len(links)),
 	}
+	fb.nextID++
 	fb.advance()
-	fb.flows[f] = struct{}{}
-	for _, l := range links {
+	f.idx = len(fb.flows)
+	fb.flows = append(fb.flows, f)
+	for k, l := range links {
 		if l.fab != fb {
 			panic("fabric: link belongs to a different fabric")
 		}
-		l.flows[f] = struct{}{}
+		f.pos[k] = len(l.flows)
+		l.flows = append(l.flows, linkRef{f: f, slot: k})
 	}
 	fb.reassign()
 	return f
@@ -138,18 +180,37 @@ func (f *Flow) Cancel() {
 	f.fab.reassign()
 }
 
+// remove unlinks f from the active set and every link it crosses, repairing
+// the swapped-in entries' back-indices.
 func (fb *Fabric) remove(f *Flow) {
-	delete(fb.flows, f)
-	for _, l := range f.links {
-		delete(l.flows, f)
+	for k, l := range f.links {
+		p := f.pos[k]
+		last := len(l.flows) - 1
+		if p != last {
+			moved := l.flows[last]
+			l.flows[p] = moved
+			moved.f.pos[moved.slot] = p
+		}
+		l.flows[last] = linkRef{}
+		l.flows = l.flows[:last]
 	}
+	last := len(fb.flows) - 1
+	if f.idx != last {
+		moved := fb.flows[last]
+		fb.flows[f.idx] = moved
+		moved.idx = f.idx
+	}
+	fb.flows[last] = nil
+	fb.flows = fb.flows[:last]
+	f.idx = -1
 }
 
+// advance integrates progress of the active flows to the current time.
 func (fb *Fabric) advance() {
 	now := fb.eng.Now()
 	dt := now - fb.lastUpdate
 	if dt > 0 {
-		for f := range fb.flows {
+		for _, f := range fb.flows {
 			f.remaining -= f.rate * dt
 			if f.remaining < 0 {
 				f.remaining = 0
@@ -167,11 +228,13 @@ func (f *Flow) eps() float64 {
 	return e
 }
 
-// reassign completes finished flows, recomputes max-min rates and
-// schedules the next completion.
+// reassign completes finished flows, recomputes max-min rates and schedules
+// the next completion. All simultaneous completions are collected and
+// removed in one batch, so N flows finishing at the same instant cost one
+// progressive fill, not N.
 func (fb *Fabric) reassign() {
-	var finished []*Flow
-	for f := range fb.flows {
+	finished := fb.finished[:0]
+	for _, f := range fb.flows {
 		if f.remaining <= f.eps() {
 			f.remaining = 0
 			f.done = true
@@ -185,12 +248,9 @@ func (fb *Fabric) reassign() {
 
 	fb.progressiveFill()
 
-	if fb.completion != nil {
-		fb.eng.Cancel(fb.completion)
-		fb.completion = nil
-	}
+	fb.completion.Cancel()
 	next := math.Inf(1)
-	for f := range fb.flows {
+	for _, f := range fb.flows {
 		if f.rate > 0 {
 			if t := f.remaining / f.rate; t < next {
 				next = t
@@ -198,22 +258,26 @@ func (fb *Fabric) reassign() {
 		}
 	}
 	if !math.IsInf(next, 1) {
-		fb.completion = fb.eng.Schedule(next, fb.onCompletion)
+		fb.completion.Schedule(next)
 	}
 
-	// Deterministic callback order: finished flows ran through a map, so
-	// sort by name+total for reproducibility.
+	// Deterministic callback order: sort the batch by the documented total
+	// order before dispatch, so completion side effects replay identically.
 	sortFlows(finished)
 	for _, f := range finished {
 		if f.onDone != nil {
-			fn := f.onDone
-			fb.eng.Schedule(0, fn)
+			fb.eng.Post(f.onDone)
 		}
 	}
+	// Retain the (now drained) batch buffer, dropping the flow pointers so
+	// completed flows do not leak through the scratch.
+	for i := range finished {
+		finished[i] = nil
+	}
+	fb.finished = finished[:0]
 }
 
 func (fb *Fabric) onCompletion() {
-	fb.completion = nil
 	fb.advance()
 	fb.reassign()
 }
@@ -221,22 +285,31 @@ func (fb *Fabric) onCompletion() {
 // progressiveFill implements weighted global max-min fairness: rates grow
 // proportionally to weights until a link saturates; flows crossing the
 // saturated link freeze, remaining capacity keeps filling the others.
+//
+// The fill loop runs entirely on the fabric's scratch arrays and iterates
+// links and flows in dense ID / slice order, so it allocates nothing and
+// accumulates floats in a reproducible order. Complexity is O(B · (F·L̄ +
+// L)) for B saturation rounds (bottleneck links), F active flows crossing
+// L̄ links each, and L links total.
 func (fb *Fabric) progressiveFill() {
-	type linkState struct {
-		remaining float64
-		active    int // unfrozen flows crossing the link
-		weight    float64
+	remaining := fb.linkRemaining
+	active := fb.linkActive
+	weight := fb.linkWeight
+	for i, l := range fb.links {
+		remaining[i] = l.capacity
+		active[i] = 0
+		weight[i] = 0
 	}
-	states := make(map[*Link]*linkState, len(fb.links))
-	for _, l := range fb.links {
-		states[l] = &linkState{remaining: l.capacity}
+	if cap(fb.frozen) < len(fb.flows) {
+		fb.frozen = make([]bool, len(fb.flows))
 	}
-	frozen := make(map[*Flow]bool, len(fb.flows))
-	for f := range fb.flows {
+	frozen := fb.frozen[:len(fb.flows)]
+	for i, f := range fb.flows {
+		frozen[i] = false
 		f.rate = 0
 		for _, l := range f.links {
-			states[l].active++
-			states[l].weight += f.weight
+			active[l.id]++
+			weight[l.id] += f.weight
 		}
 	}
 	unfrozen := len(fb.flows)
@@ -245,26 +318,22 @@ func (fb *Fabric) progressiveFill() {
 		// Find the link that saturates first: the one minimizing
 		// remaining / weight-of-active-flows.
 		level := math.Inf(1)
-		var tight *Link
-		for _, l := range fb.links {
-			st := states[l]
-			if st.active == 0 {
+		tight := -1
+		for i := range fb.links {
+			if active[i] == 0 || weight[i] <= 0 {
 				continue
 			}
-			if st.weight <= 0 {
-				continue
-			}
-			lv := st.remaining / st.weight
+			lv := remaining[i] / weight[i]
 			if lv < level {
 				level = lv
-				tight = l
+				tight = i
 			}
 		}
-		if tight == nil || math.IsInf(level, 1) {
+		if tight < 0 || math.IsInf(level, 1) {
 			// No constraining link: remaining flows are unbounded. Give
 			// them infinite rate (they complete immediately).
-			for f := range fb.flows {
-				if !frozen[f] {
+			for i, f := range fb.flows {
+				if !frozen[i] {
 					f.rate = math.Inf(1)
 				}
 			}
@@ -272,39 +341,46 @@ func (fb *Fabric) progressiveFill() {
 		}
 		// Raise every unfrozen flow's rate by level*weight; freeze the
 		// flows on the tight link.
-		for f := range fb.flows {
-			if frozen[f] {
+		for i, f := range fb.flows {
+			if frozen[i] {
 				continue
 			}
 			inc := level * f.weight
 			f.rate += inc
 			for _, l := range f.links {
-				states[l].remaining -= inc
-				if states[l].remaining < 0 {
-					states[l].remaining = 0
+				remaining[l.id] -= inc
+				if remaining[l.id] < 0 {
+					remaining[l.id] = 0
 				}
 			}
 		}
-		for f := range tight.flows {
-			if frozen[f] {
+		for _, ref := range fb.links[tight].flows {
+			f := ref.f
+			if frozen[f.idx] {
 				continue
 			}
-			frozen[f] = true
+			frozen[f.idx] = true
 			unfrozen--
 			for _, l := range f.links {
-				states[l].active--
-				states[l].weight -= f.weight
+				active[l.id]--
+				weight[l.id] -= f.weight
 			}
 		}
 	}
 }
 
+// sortFlows orders a completion batch by (name, total, id). The id — the
+// fabric-wide creation sequence number — makes the order total: two flows
+// never share an id, so batches with duplicate names and sizes still
+// dispatch their callbacks in a single well-defined (creation) order.
 func sortFlows(fs []*Flow) {
-	// Insertion sort by (name, total); n is tiny.
+	// Insertion sort; n is tiny.
 	for i := 1; i < len(fs); i++ {
 		for j := i; j > 0; j-- {
 			a, b := fs[j-1], fs[j]
-			if a.name < b.name || (a.name == b.name && a.total <= b.total) {
+			if a.name < b.name ||
+				(a.name == b.name && (a.total < b.total ||
+					(a.total == b.total && a.id < b.id))) {
 				break
 			}
 			fs[j-1], fs[j] = fs[j], fs[j-1]

@@ -232,13 +232,16 @@ func TestPropertyCapacityRespected(t *testing.T) {
 			}
 			flows[i] = fb.Start("f", 1e9, 1+rng.Float64()*4, path, nil)
 		}
+		linkRate := func(l *Link) float64 {
+			var sum float64
+			for _, ref := range l.flows {
+				sum += ref.f.rate
+			}
+			return sum
+		}
 		ok := true
 		for _, l := range links {
-			var sum float64
-			for f := range l.flows {
-				sum += f.rate
-			}
-			if sum > l.capacity*(1+1e-9) {
+			if sum := linkRate(l); sum > l.capacity*(1+1e-9) {
 				t.Logf("seed %d: link over capacity: %v > %v", seed, sum, l.capacity)
 				ok = false
 			}
@@ -248,10 +251,7 @@ func TestPropertyCapacityRespected(t *testing.T) {
 		for _, fl := range flows {
 			bottlenecked := false
 			for _, l := range fl.links {
-				var sum float64
-				for g := range l.flows {
-					sum += g.rate
-				}
+				sum := linkRate(l)
 				if sum >= l.capacity*(1-1e-9) {
 					bottlenecked = true
 				}
@@ -294,5 +294,112 @@ func TestPropertyDrainAtCapacity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCompletionCallbackTotalOrder pins the documented completion dispatch
+// order: a simultaneous batch runs its callbacks sorted by (name, total,
+// creation id) — a total order, so even identical names and sizes dispatch
+// in creation order, run after run.
+func TestCompletionCallbackTotalOrder(t *testing.T) {
+	for run := 0; run < 5; run++ {
+		eng := sim.NewEngine()
+		fb := New(eng)
+		l := fb.NewLink("l", 100)
+		var order []int
+		// Same name and same total: only the creation id breaks the tie.
+		for i := 0; i < 6; i++ {
+			i := i
+			fb.Start("twin", 500, 1, []*Link{l}, func() { order = append(order, i) })
+		}
+		eng.Run()
+		if len(order) != 6 {
+			t.Fatalf("run %d: %d callbacks, want 6", run, len(order))
+		}
+		for i := range order {
+			if order[i] != i {
+				t.Fatalf("run %d: callback order = %v, want creation order", run, order)
+			}
+		}
+	}
+}
+
+// TestBatchedCompletions: N flows finishing at the same instant are removed
+// in one batch and the survivors' rates reflect a single refill.
+func TestBatchedCompletions(t *testing.T) {
+	eng := sim.NewEngine()
+	fb := New(eng)
+	l := fb.NewLink("l", 100)
+	var finishedAt []float64
+	for i := 0; i < 4; i++ {
+		fb.Start("short", 100, 1, []*Link{l}, func() { finishedAt = append(finishedAt, eng.Now()) })
+	}
+	long := fb.Start("long", 1000, 1, []*Link{l}, nil)
+	// Each of the 5 flows gets 20; the four shorts finish together at t=5.
+	eng.RunUntil(5.0)
+	if len(finishedAt) != 4 {
+		t.Fatalf("%d flows finished, want 4 (batch)", len(finishedAt))
+	}
+	for _, at := range finishedAt {
+		if !almostEq(at, 5, 1e-9) {
+			t.Fatalf("finish times %v, want all 5", finishedAt)
+		}
+	}
+	if !almostEq(long.Rate(), 100, 1e-9) {
+		t.Fatalf("survivor rate = %v, want 100 after batch refill", long.Rate())
+	}
+}
+
+// TestReassignDeterministicRates: identical construction sequences produce
+// bit-identical rates — the solver's float accumulation order is fixed by
+// the dense ID iteration, with no map-order dependence.
+func TestReassignDeterministicRates(t *testing.T) {
+	build := func() []float64 {
+		eng := sim.NewEngine()
+		fb := New(eng)
+		links := make([]*Link, 8)
+		for i := range links {
+			links[i] = fb.NewLink("l", 10+float64(i)*3.7)
+		}
+		var flows []*Flow
+		for i := 0; i < 32; i++ {
+			path := []*Link{links[i%8], links[(i*3+1)%8]}
+			flows = append(flows, fb.Start("f", 1e9, 1+float64(i%5)*0.31, path, nil))
+		}
+		rates := make([]float64, len(flows))
+		for i, f := range flows {
+			rates[i] = f.Rate()
+		}
+		return rates
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d: rate %v vs %v — solver is nondeterministic", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReassignSteadyStateAllocFree locks in the solver's headline property:
+// with a populated fabric and no flow churn, advance+reassign allocates
+// nothing.
+func TestReassignSteadyStateAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	fb := New(eng)
+	nic := fb.NewLink("nic", 4e9)
+	servers := make([]*Link, 8)
+	for i := range servers {
+		servers[i] = fb.NewLink("srv", 1e9)
+	}
+	for i := 0; i < 32; i++ {
+		fb.Start("f", 1e18, 1+float64(i%3), []*Link{nic, servers[i%8]}, nil)
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		servers[0].SetCapacity(1e9 + float64(n&1)*1e8)
+		n++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state reassign allocates %.1f objects/op, want 0", allocs)
 	}
 }

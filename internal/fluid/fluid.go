@@ -29,7 +29,7 @@ type Resource struct {
 	capacity   float64
 	jobs       []*Job
 	lastUpdate float64
-	completion *sim.Event
+	completion *sim.Timer
 
 	// OnRateChange, if non-nil, is invoked after every rate reallocation
 	// with the new total allocated rate. The disk cache model uses it to
@@ -37,6 +37,11 @@ type Resource struct {
 	OnRateChange func(totalRate float64)
 
 	totalRate float64
+
+	// Reallocation scratch, reused so the steady-state hot path performs
+	// no allocations.
+	finished []*Job
+	uncapped []*Job
 }
 
 // Job is a unit of work being serviced by a Resource.
@@ -56,10 +61,12 @@ type Job struct {
 
 // NewResource creates a resource with the given capacity (units/second).
 func NewResource(eng *sim.Engine, name string, capacity float64) *Resource {
-	if capacity < 0 {
-		panic(fmt.Sprintf("fluid: negative capacity %v", capacity))
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("fluid: negative or NaN capacity %v", capacity))
 	}
-	return &Resource{eng: eng, name: name, capacity: capacity, lastUpdate: eng.Now()}
+	r := &Resource{eng: eng, name: name, capacity: capacity, lastUpdate: eng.Now()}
+	r.completion = eng.NewTimer(r.onCompletion)
+	return r
 }
 
 // Name returns the resource name.
@@ -76,8 +83,8 @@ func (r *Resource) Active() int { return len(r.jobs) }
 
 // SetCapacity changes the capacity and reallocates rates.
 func (r *Resource) SetCapacity(c float64) {
-	if c < 0 {
-		panic(fmt.Sprintf("fluid: negative capacity %v", c))
+	if c < 0 || math.IsNaN(c) {
+		panic(fmt.Sprintf("fluid: negative or NaN capacity %v", c))
 	}
 	if c == r.capacity {
 		return
@@ -94,7 +101,7 @@ func (r *Resource) Submit(name string, work, weight, rateCap float64, onDone fun
 	if work < 0 || math.IsNaN(work) {
 		panic(fmt.Sprintf("fluid: bad work %v", work))
 	}
-	if weight <= 0 {
+	if !(weight > 0) { // also rejects NaN
 		panic(fmt.Sprintf("fluid: weight must be positive, got %v", weight))
 	}
 	if rateCap < 0 {
@@ -209,8 +216,12 @@ func (j *Job) eps() float64 {
 // completion event. Jobs already at (or within tolerance of) zero work are
 // completed immediately.
 func (r *Resource) reallocate() {
-	// Complete anything that is effectively done first.
-	var finished []*Job
+	// Complete anything that is effectively done first. Take ownership of
+	// the batch scratch for the duration: OnRateChange may legally
+	// re-enter reallocate (the disk cache model does), and a re-entrant
+	// call must not scribble over this call's in-flight batch.
+	finished := r.finished[:0]
+	r.finished = nil
 	live := r.jobs[:0]
 	for _, j := range r.jobs {
 		if j.remaining <= j.eps() {
@@ -222,15 +233,17 @@ func (r *Resource) reallocate() {
 			live = append(live, j)
 		}
 	}
+	// Clear the tail slots vacated by finished jobs so they don't leak
+	// through the backing array.
+	for i := len(live); i < len(live)+len(finished); i++ {
+		r.jobs[i] = nil
+	}
 	r.jobs = live
 
 	r.waterFill()
 
 	// Schedule next completion.
-	if r.completion != nil {
-		r.eng.Cancel(r.completion)
-		r.completion = nil
-	}
+	r.completion.Cancel()
 	next := math.Inf(1)
 	for _, j := range r.jobs {
 		if j.rate > 0 {
@@ -241,7 +254,7 @@ func (r *Resource) reallocate() {
 		}
 	}
 	if !math.IsInf(next, 1) {
-		r.completion = r.eng.Schedule(next, r.onCompletion)
+		r.completion.Schedule(next)
 	}
 
 	if r.OnRateChange != nil {
@@ -251,14 +264,16 @@ func (r *Resource) reallocate() {
 		if j.onDone != nil {
 			// Run the callback via the event queue so completion side
 			// effects interleave deterministically with other events.
-			fn := j.onDone
-			r.eng.Schedule(0, fn)
+			r.eng.Post(j.onDone)
 		}
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	r.finished = finished[:0]
 }
 
 func (r *Resource) onCompletion() {
-	r.completion = nil
 	r.advance()
 	r.reallocate()
 }
@@ -269,7 +284,10 @@ func (r *Resource) waterFill() {
 		j.rate = 0
 	}
 	avail := r.capacity
-	uncapped := make([]*Job, len(r.jobs))
+	if cap(r.uncapped) < len(r.jobs) {
+		r.uncapped = make([]*Job, len(r.jobs))
+	}
+	uncapped := r.uncapped[:len(r.jobs)]
 	copy(uncapped, r.jobs)
 	for len(uncapped) > 0 && avail > 0 {
 		var wsum float64
@@ -306,4 +324,9 @@ func (r *Resource) waterFill() {
 		total += j.rate
 	}
 	r.totalRate = total
+	// Drop job pointers from the scratch so completed jobs can be GC'd.
+	scratch := r.uncapped[:len(r.jobs)]
+	for i := range scratch {
+		scratch[i] = nil
+	}
 }

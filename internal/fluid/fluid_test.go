@@ -330,3 +330,79 @@ func TestStaggeredSimpleOverlap(t *testing.T) {
 		t.Fatalf("fin = %v, want [15 20]", fin)
 	}
 }
+
+// TestSolverReuseMatchesFresh: a Solver reused across many differently-sized
+// problems must return exactly what a fresh computation returns — stale
+// scratch state must never leak between calls.
+func TestSolverReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var reused Solver
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		capacity := 1 + rng.Float64()*100
+		flows := make([]Flow, n)
+		starts := make([]float64, n)
+		for i := range flows {
+			flows[i] = Flow{Work: rng.Float64() * 1e4, Weight: 1 + rng.Float64()*4}
+			if rng.Intn(3) == 0 {
+				flows[i].Cap = rng.Float64() * 20
+			}
+			starts[i] = rng.Float64() * 50
+		}
+		got := reused.FinishTimes(capacity, flows)
+		want := FinishTimes(capacity, flows)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d flow %d: reused %v fresh %v", trial, i, got[i], want[i])
+			}
+		}
+		gotS := reused.StaggeredFinishTimes(capacity, flows, starts)
+		wantS := StaggeredFinishTimes(capacity, flows, starts)
+		for i := range gotS {
+			if gotS[i] != wantS[i] && !(math.IsNaN(gotS[i]) && math.IsNaN(wantS[i])) {
+				t.Fatalf("trial %d flow %d staggered: reused %v fresh %v", trial, i, gotS[i], wantS[i])
+			}
+		}
+	}
+}
+
+// TestReallocateReentrant: OnRateChange may re-enter reallocate (the disk
+// cache model's documented pattern). A re-entrant call that itself
+// completes a job must not corrupt the outer call's completion batch.
+func TestReallocateReentrant(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "r", 100)
+	var completed []string
+	reentered := false
+	r.OnRateChange = func(float64) {
+		if !reentered && eng.Now() > 0 {
+			reentered = true
+			// Zero-work job: completes inside this nested reallocate.
+			r.Submit("nested", 0, 1, 0, func() { completed = append(completed, "nested") })
+		}
+	}
+	r.Submit("outer", 100, 1, 0, func() { completed = append(completed, "outer") })
+	eng.Run()
+	if len(completed) != 2 {
+		t.Fatalf("completed = %v, want both callbacks", completed)
+	}
+}
+
+func TestNaNCapacityPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "r", 100)
+	for i, fn := range []func(){
+		func() { NewResource(eng, "bad", math.NaN()) },
+		func() { r.SetCapacity(math.NaN()) },
+		func() { r.Submit("j", 1, math.NaN(), 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic on NaN", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -9,20 +9,49 @@ type Flow struct {
 	Cap    float64 // max rate, 0 = uncapped
 }
 
+// Solver computes closed-form finish times under weighted max-min sharing
+// with caps, reusing its internal scratch across calls: the per-step
+// water-fill allocates nothing after the first use at a given flow count.
+// A Solver is not safe for concurrent use; its zero value is ready.
+type Solver struct {
+	rates   []float64
+	idx     []int
+	rem     []float64
+	active  []bool
+	arrived []bool
+}
+
+// grow resizes the scratch for n flows, reusing capacity when possible.
+func (s *Solver) grow(n int) {
+	if cap(s.rates) < n {
+		s.rates = make([]float64, n)
+		s.idx = make([]int, 0, n)
+		s.rem = make([]float64, n)
+		s.active = make([]bool, n)
+		s.arrived = make([]bool, n)
+	}
+	s.rates = s.rates[:n]
+	s.rem = s.rem[:n]
+	s.active = s.active[:n]
+	s.arrived = s.arrived[:n]
+}
+
 // FinishTimes computes, analytically, when each flow completes if all flows
 // start at t=0 on a resource of the given capacity under weighted max-min
 // sharing with caps — the same allocation rule the simulated Resource uses.
 // It returns one finish time per flow (math.Inf(1) if a flow can never
-// finish, e.g. zero capacity and zero cap).
+// finish, e.g. zero capacity and zero cap). The returned slice is freshly
+// allocated and owned by the caller; only the intermediate scratch is
+// reused.
 //
 // The algorithm steps from completion to completion: rates are constant
 // between completions, so each step advances to the earliest remaining
 // finish. O(n^2) in the number of flows.
-func FinishTimes(capacity float64, flows []Flow) []float64 {
+func (s *Solver) FinishTimes(capacity float64, flows []Flow) []float64 {
 	n := len(flows)
+	s.grow(n)
 	finish := make([]float64, n)
-	rem := make([]float64, n)
-	active := make([]bool, n)
+	rem, active := s.rem, s.active
 	for i, f := range flows {
 		rem[i] = f.Work
 		active[i] = f.Work > 0
@@ -32,7 +61,7 @@ func FinishTimes(capacity float64, flows []Flow) []float64 {
 	}
 	now := 0.0
 	for {
-		rates := waterFillFlows(capacity, flows, rem, active)
+		rates := s.waterFill(capacity, flows)
 		// Earliest completion among active flows.
 		best := math.Inf(1)
 		for i := range flows {
@@ -97,6 +126,13 @@ func FinishTimes(capacity float64, flows []Flow) []float64 {
 	}
 }
 
+// FinishTimes is the convenience form of Solver.FinishTimes for one-off
+// calls; repeated callers (∆-graph sweeps) should hold a Solver.
+func FinishTimes(capacity float64, flows []Flow) []float64 {
+	var s Solver
+	return s.FinishTimes(capacity, flows)
+}
+
 func rem0eps(total float64) float64 {
 	e := total * 1e-9
 	if e < 1e-9 {
@@ -105,14 +141,18 @@ func rem0eps(total float64) float64 {
 	return e
 }
 
-// waterFillFlows mirrors Resource.waterFill for plain slices.
-func waterFillFlows(capacity float64, flows []Flow, rem []float64, active []bool) []float64 {
-	n := len(flows)
-	rates := make([]float64, n)
+// waterFill mirrors Resource.waterFill for plain slices, writing rates into
+// the solver's scratch (valid until the next call). It consumes s.rem and
+// s.active as the current progress state.
+func (s *Solver) waterFill(capacity float64, flows []Flow) []float64 {
+	rates := s.rates
+	for i := range rates {
+		rates[i] = 0
+	}
 	avail := capacity
-	idx := make([]int, 0, n)
+	idx := s.idx[:0]
 	for i := range flows {
-		if active[i] && rem[i] > 0 {
+		if s.active[i] && s.rem[i] > 0 {
 			idx = append(idx, i)
 		}
 	}
@@ -145,5 +185,6 @@ func waterFillFlows(capacity float64, flows []Flow, rem []float64, active []bool
 			break
 		}
 	}
+	s.idx = idx[:0]
 	return rates
 }

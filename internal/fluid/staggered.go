@@ -9,25 +9,34 @@ import "math"
 //
 // This is the "expected" interference model of the paper's ∆-graphs: two
 // identical applications offset by dt sharing the file system
-// proportionally.
+// proportionally. Repeated callers (∆-graph sweeps) should hold a Solver
+// and use its method form, which reuses the per-step water-fill scratch.
 func StaggeredFinishTimes(capacity float64, flows []Flow, starts []float64) []float64 {
+	var s Solver
+	return s.StaggeredFinishTimes(capacity, flows, starts)
+}
+
+// StaggeredFinishTimes is the scratch-reusing form of the package-level
+// function. The returned slice is freshly allocated and owned by the caller.
+func (s *Solver) StaggeredFinishTimes(capacity float64, flows []Flow, starts []float64) []float64 {
 	n := len(flows)
 	if len(starts) != n {
 		panic("fluid: starts length mismatch")
 	}
+	s.grow(n)
 	finish := make([]float64, n)
-	rem := make([]float64, n)
-	arrived := make([]bool, n)
-	active := make([]bool, n)
+	rem, arrived, active := s.rem, s.arrived, s.active
 	for i, f := range flows {
 		rem[i] = f.Work
+		arrived[i] = false
+		active[i] = false
 		finish[i] = math.NaN()
 	}
 
 	now := math.Inf(1)
-	for _, s := range starts {
-		if s < now {
-			now = s
+	for _, st := range starts {
+		if st < now {
+			now = st
 		}
 	}
 
@@ -55,7 +64,7 @@ func StaggeredFinishTimes(capacity float64, flows []Flow, starts []float64) []fl
 			return finish
 		}
 
-		rates := waterFillFlows(capacity, flows, rem, active)
+		rates := s.waterFill(capacity, flows)
 
 		// Next event: earliest completion or next arrival.
 		next := math.Inf(1)

@@ -8,6 +8,11 @@
 //
 // Time is a float64 number of seconds. Ties are broken by event creation
 // order, so schedules built in the same order replay identically.
+//
+// The engine is built for allocation-free steady-state operation: fired and
+// cancelled event records return to a free list, zero-delay callbacks run
+// through a reusable FIFO ring (Post), and recurring timeouts can reuse an
+// owner-managed Timer instead of allocating a fresh event per occurrence.
 package sim
 
 import (
@@ -16,21 +21,34 @@ import (
 	"math"
 )
 
-// Event is a scheduled callback. It can be cancelled before it fires.
-type Event struct {
-	time float64
-	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 once fired or cancelled
+// record is the engine-internal scheduled-callback state. Records are stored
+// in the heap by pointer and recycled through a free list once they fire or
+// are cancelled — except Timer-owned records, which belong to their Timer.
+type record struct {
+	time   float64
+	seq    uint64
+	fn     func()
+	idx    int    // heap index; -1 when not queued
+	handle *Event // attached cancellation handle, nil for Timer/Post records
+	owned  bool   // Timer-owned: never returned to the engine free list
 }
 
-// Time returns the virtual time at which the event fires.
+// Event is a cancellation handle for a callback scheduled with Schedule or
+// At. The handle detaches from its underlying record when the event fires or
+// is cancelled, so holding (or re-cancelling) a stale handle is always safe
+// even though records are pooled and reused.
+type Event struct {
+	time float64
+	rec  *record
+}
+
+// Time returns the virtual time at which the event fires (or fired).
 func (ev *Event) Time() float64 { return ev.time }
 
 // Cancelled reports whether the event has fired or been cancelled.
-func (ev *Event) Cancelled() bool { return ev.idx < 0 }
+func (ev *Event) Cancelled() bool { return ev.rec == nil }
 
-type eventHeap []*Event
+type eventHeap []*record
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -45,18 +63,26 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].idx = j
 }
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
+	r := x.(*record)
+	r.idx = len(*h)
+	*h = append(*h, r)
 }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
-	ev := old[n-1]
+	r := old[n-1]
 	old[n-1] = nil
-	ev.idx = -1
+	r.idx = -1
 	*h = old[:n-1]
-	return ev
+	return r
+}
+
+// zeroCall is one entry of the zero-delay FIFO ring. Entries are created by
+// Post at the current time and always run before the clock advances, ordered
+// against heap events by the shared sequence counter.
+type zeroCall struct {
+	seq uint64
+	fn  func()
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -65,6 +91,16 @@ type Engine struct {
 	now    float64
 	seq    uint64
 	events eventHeap
+
+	// zq is the zero-delay callback ring: Post appends, the run loop
+	// consumes from zhead. When drained it is reset in place, so steady
+	// state does not allocate.
+	zq    []zeroCall
+	zhead int
+
+	// free is the record free list. Records recycle through it when they
+	// fire or are cancelled, so steady-state scheduling does not allocate.
+	free []*record
 
 	// yield is signalled by a process goroutine when it parks or exits,
 	// returning control to the scheduler.
@@ -105,6 +141,30 @@ func (e *Engine) Tracef(format string, args ...any) {
 	}
 }
 
+// newRecord pops a record from the free list, or allocates one.
+func (e *Engine) newRecord() *record {
+	if n := len(e.free); n > 0 {
+		r := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return r
+	}
+	return &record{idx: -1}
+}
+
+// release detaches a record's handle and returns it to the free list.
+// Timer-owned records are left to their owner.
+func (e *Engine) release(r *record) {
+	if r.handle != nil {
+		r.handle.rec = nil
+		r.handle = nil
+	}
+	r.fn = nil
+	if !r.owned {
+		e.free = append(e.free, r)
+	}
+}
+
 // Schedule registers fn to run after delay seconds. A negative delay is an
 // error in the caller; Schedule panics to surface the bug immediately.
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
@@ -114,30 +174,51 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	return e.At(e.now+delay, fn)
 }
 
-// At registers fn to run at absolute time t, which must not be in the past.
+// At registers fn to run at absolute time t, which must not be in the past
+// and must not be NaN.
 func (e *Engine) At(t float64, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling in the past: t=%v now=%v", t, e.now))
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: scheduling in the past or at NaN: t=%v now=%v", t, e.now))
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	r := e.newRecord()
+	r.time = t
+	r.seq = e.seq
+	r.fn = fn
 	e.seq++
-	heap.Push(&e.events, ev)
+	ev := &Event{time: t, rec: r}
+	r.handle = ev
+	heap.Push(&e.events, r)
 	return ev
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or cancelled
-// event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 {
-		return
-	}
-	heap.Remove(&e.events, ev.idx)
-	ev.idx = -1
-	ev.fn = nil
+// Post registers fn to run at the current time, after every already-queued
+// callback for this instant — exactly like Schedule(0, fn) but through a
+// reusable FIFO ring with no handle and no allocation. It is the fast path
+// for the overwhelmingly common fire-and-forget zero-delay callback
+// (completion notifications, process wake-ups); use Schedule(0, fn) only
+// when the callback might need cancelling.
+func (e *Engine) Post(fn func()) {
+	e.zq = append(e.zq, zeroCall{seq: e.seq, fn: fn})
+	e.seq++
 }
 
-// Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+// Cancel removes a pending event. Cancelling an already-fired or cancelled
+// event is a no-op: the handle detached from its (since recycled) record
+// when the event fired, so a stale Cancel can never hit a reused record.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.rec == nil {
+		return
+	}
+	r := ev.rec
+	if r.idx >= 0 {
+		heap.Remove(&e.events, r.idx)
+	}
+	e.release(r)
+}
+
+// Pending returns the number of callbacks waiting to fire, including posted
+// zero-delay callbacks.
+func (e *Engine) Pending() int { return len(e.events) + len(e.zq) - e.zhead }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -155,7 +236,27 @@ func (e *Engine) Run() float64 { return e.RunUntil(math.Inf(1)) }
 // find. With a finite horizon, blocked processes may legitimately be waiting
 // for signals scheduled later.
 func (e *Engine) RunUntil(horizon float64) float64 {
-	for !e.stopped && len(e.events) > 0 {
+	for !e.stopped {
+		// Posted zero-delay callbacks live at the current instant; they
+		// run before the clock can advance, interleaved with same-time
+		// heap events by the shared sequence counter.
+		if e.zhead < len(e.zq) && e.now <= horizon {
+			zc := e.zq[e.zhead]
+			if len(e.events) == 0 || e.events[0].time > e.now ||
+				(e.events[0].time == e.now && zc.seq < e.events[0].seq) {
+				e.zq[e.zhead].fn = nil
+				e.zhead++
+				if e.zhead == len(e.zq) {
+					e.zq = e.zq[:0]
+					e.zhead = 0
+				}
+				zc.fn()
+				continue
+			}
+		}
+		if len(e.events) == 0 {
+			break
+		}
 		next := e.events[0]
 		if next.time > horizon {
 			break
@@ -163,7 +264,7 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 		heap.Pop(&e.events)
 		e.now = next.time
 		fn := next.fn
-		next.fn = nil
+		e.release(next)
 		fn()
 	}
 	if !e.stopped && !math.IsInf(horizon, 1) {
@@ -177,3 +278,60 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 	}
 	return e.now
 }
+
+// Timer is a reusable scheduled callback owned by its creator: one callback
+// function, at most one pending occurrence, zero allocations to (re)arm.
+// It is the tool for recurring timeout patterns — e.g. a contention model's
+// "next completion" event that is cancelled and rescheduled on every rate
+// change. Not safe for use from multiple goroutines (like the Engine).
+type Timer struct {
+	eng *Engine
+	fn  func()
+	rec record
+}
+
+// NewTimer returns an unarmed timer that will run fn each time it fires.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	t := &Timer{eng: e, fn: fn}
+	t.rec.owned = true
+	t.rec.idx = -1
+	return t
+}
+
+// Schedule arms the timer to fire after delay seconds, replacing any pending
+// occurrence. Panics on negative or NaN delays, like Engine.Schedule.
+func (t *Timer) Schedule(delay float64) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", delay))
+	}
+	t.ScheduleAt(t.eng.now + delay)
+}
+
+// ScheduleAt arms the timer to fire at absolute time at, replacing any
+// pending occurrence. Panics on past or NaN times, like Engine.At.
+func (t *Timer) ScheduleAt(at float64) {
+	e := t.eng
+	if at < e.now || math.IsNaN(at) {
+		panic(fmt.Sprintf("sim: scheduling in the past or at NaN: t=%v now=%v", at, e.now))
+	}
+	t.Cancel()
+	t.rec.time = at
+	t.rec.seq = e.seq
+	t.rec.fn = t.fn
+	e.seq++
+	heap.Push(&e.events, &t.rec)
+}
+
+// Cancel disarms a pending timer; a no-op if the timer is not pending.
+func (t *Timer) Cancel() {
+	if t.rec.idx >= 0 {
+		heap.Remove(&t.eng.events, t.rec.idx)
+		t.rec.fn = nil
+	}
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.rec.idx >= 0 }
+
+// When returns the fire time of a pending timer (meaningless otherwise).
+func (t *Timer) When() float64 { return t.rec.time }

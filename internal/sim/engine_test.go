@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -395,5 +396,181 @@ func TestPending(t *testing.T) {
 	e.Run()
 	if e.Pending() != 0 {
 		t.Fatalf("pending after run = %d", e.Pending())
+	}
+}
+
+func TestAtRejectsNaN(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling at NaN")
+		}
+	}()
+	e.At(math.NaN(), func() {})
+}
+
+// TestCancelAfterPoolReuse pins down the safety contract of the event free
+// list: a handle detaches from its record when the event fires or is
+// cancelled, so a stale Cancel must never hit the record's next occupant.
+func TestCancelAfterPoolReuse(t *testing.T) {
+	e := NewEngine()
+	ev1 := e.Schedule(1, func() {})
+	e.Run()
+	if !ev1.Cancelled() {
+		t.Fatal("fired event should report cancelled")
+	}
+	// ev2 reuses ev1's pooled record.
+	fired := false
+	ev2 := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev1) // stale: must not touch ev2
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel of a fired handle cancelled the reused record")
+	}
+	// Same for a cancelled (rather than fired) handle.
+	ev3 := e.Schedule(1, func() {})
+	e.Cancel(ev3)
+	fired = false
+	ev4 := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev3) // stale double-cancel
+	e.Run()
+	if !fired {
+		t.Fatal("stale double-Cancel cancelled the reused record")
+	}
+	_ = ev2
+	_ = ev4
+}
+
+// TestPostFastPath checks that Post interleaves with same-instant heap
+// events in sequence order, exactly like Schedule(0, ...).
+func TestPostFastPath(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Post(func() { got = append(got, 0) })
+	e.Schedule(0, func() { got = append(got, 1) })
+	e.Post(func() { got = append(got, 2) })
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+	e.Run()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPostNested checks posts made from inside posted callbacks run at the
+// same instant, after everything already queued.
+func TestPostNested(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Post(func() {
+		got = append(got, 0)
+		e.Post(func() { got = append(got, 2) })
+	})
+	e.Post(func() { got = append(got, 1) })
+	e.Schedule(1, func() { got = append(got, 3) })
+	e.Run()
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock = %v, want 1", e.Now())
+	}
+}
+
+// TestPostBeforeEarlierHeapEvent: a post at t=5 must still run before a
+// heap event at t=7.
+func TestPostBeforeEarlierHeapEvent(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(5, func() { e.Post(func() { got = append(got, "post@5") }) })
+	e.Schedule(7, func() { got = append(got, "heap@7") })
+	e.Run()
+	if len(got) != 2 || got[0] != "post@5" || got[1] != "heap@7" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestTimerRescheduleAndCancel(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	tm := e.NewTimer(func() { fired = append(fired, e.Now()) })
+	if tm.Pending() {
+		t.Fatal("new timer should not be pending")
+	}
+	tm.Schedule(5)
+	tm.Schedule(2) // replaces the pending occurrence
+	if !tm.Pending() || tm.When() != 2 {
+		t.Fatalf("pending=%v when=%v, want true/2", tm.Pending(), tm.When())
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want [2]", fired)
+	}
+	// Rearm after firing: the owned record is reusable.
+	tm.Schedule(3)
+	tm.Cancel()
+	tm.Cancel() // double cancel is a no-op
+	e.Run()
+	if len(fired) != 1 {
+		t.Fatalf("cancelled timer fired: %v", fired)
+	}
+	tm.ScheduleAt(e.Now() + 4)
+	e.Run()
+	if len(fired) != 2 || fired[1] != 6 {
+		t.Fatalf("fired = %v, want [2 6]", fired)
+	}
+}
+
+func TestTimerOrderingMatchesSequence(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	tm := e.NewTimer(func() { got = append(got, 0) })
+	tm.Schedule(1)
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Run()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("order = %v, want [0 1]", got)
+	}
+}
+
+// TestScheduleSteadyStateDoesNotGrow exercises the free list: a long
+// schedule/fire cycle must recycle records rather than accumulate them.
+func TestScheduleSteadyStateDoesNotGrow(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10000; i++ {
+		e.Schedule(1, func() {})
+		e.Run()
+	}
+	if len(e.free) > 4 {
+		t.Fatalf("free list grew to %d records; want a handful", len(e.free))
+	}
+}
+
+// TestPostRespectsHorizon: posted callbacks belong to the instant they were
+// posted at, so a RunUntil horizon already behind the clock must not fire
+// them — they wait for the next run, exactly like a Schedule(0) event.
+func TestPostRespectsHorizon(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.RunUntil(5) // clock at 5
+	fired := false
+	e.Post(func() { fired = true })
+	e.RunUntil(3) // horizon behind now: nothing may fire
+	if fired {
+		t.Fatal("post fired past the horizon")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("post lost after horizon-limited run")
 	}
 }

@@ -12,8 +12,14 @@ type Proc struct {
 	run  chan struct{} // scheduler -> proc token
 	done bool
 
-	// wake is the pending event that will resume a parked proc, if any.
-	wake *Event
+	// transferFn is p.transfer bound once, so wake-ups can be posted
+	// without allocating a method-value closure per sleep.
+	transferFn func()
+
+	// wake is the reusable timer that resumes a sleeping proc. A proc has
+	// at most one pending sleep, so a single owned record suffices and
+	// sleeping never allocates.
+	wake *Timer
 }
 
 // Go starts body as a new process at the current time. The body runs when
@@ -26,6 +32,8 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 // GoAt starts body as a new process at absolute time t.
 func (e *Engine) GoAt(t float64, name string, body func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, run: make(chan struct{})}
+	p.transferFn = p.transfer
+	p.wake = e.NewTimer(p.transferFn)
 	e.procs++
 	e.At(t, func() {
 		go func() {
@@ -76,14 +84,12 @@ func (p *Proc) Sleep(d float64) {
 	if d == 0 {
 		// Still yield through the event queue so equal-time ordering is
 		// consistent with other zero-delay work.
-		p.wake = p.eng.Schedule(0, p.transfer)
+		p.eng.Post(p.transferFn)
 		p.park()
-		p.wake = nil
 		return
 	}
-	p.wake = p.eng.Schedule(d, p.transfer)
+	p.wake.Schedule(d)
 	p.park()
-	p.wake = nil
 }
 
 // SleepUntil suspends the process until absolute time t (no-op if t <= now).
@@ -117,7 +123,7 @@ func (r *Resumer) Resume() {
 		return
 	}
 	r.fired = true
-	r.p.eng.Schedule(0, r.p.transfer)
+	r.p.eng.Post(r.p.transferFn)
 }
 
 // Fired reports whether Resume has been called.
@@ -152,8 +158,7 @@ func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
 	for _, w := range ws {
-		w := w
-		c.eng.Schedule(0, w.transfer)
+		c.eng.Post(w.transferFn)
 	}
 }
 
@@ -213,8 +218,7 @@ func (w *WaitGroup) Add(delta int) {
 		ws := w.conds
 		w.conds = nil
 		for _, pr := range ws {
-			pr := pr
-			w.eng.Schedule(0, pr.transfer)
+			w.eng.Post(pr.transferFn)
 		}
 	}
 }
