@@ -307,6 +307,29 @@ func BenchmarkDeltaSweepFabric(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaSweepFabricDense is the same sweep at paper-figure
+// resolution (49 points): with many points per worker, the per-worker
+// engine reuse introduced with sim.Engine.Reset amortizes event-record
+// allocations across points instead of re-paying them per run.
+func BenchmarkDeltaSweepFabricDense(b *testing.B) {
+	sc := experiments.SurveyorPlatform()
+	sc.TrueNetwork = true
+	w := ior.Workload{Pattern: ior.Contiguous, BlockSize: 32 << 20, BlocksPerProc: 1, ReqBytes: 4 << 20}
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
+		{Name: "B", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
+	}
+	dts := make([]float64, 49)
+	for i := range dts {
+		dts[i] = float64(i - 24)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Sweep(delta.Uncoordinated, dts)
+	}
+}
+
 func BenchmarkEngineEvents(b *testing.B) {
 	eng := sim.NewEngine()
 	b.ResetTimer()

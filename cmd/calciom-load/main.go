@@ -1,0 +1,263 @@
+// Command calciom-load drives a calciomd daemon with N concurrent client
+// connections, either replaying an SWF job trace or running a synthetic
+// phase mix, and reports grant throughput and wait-latency percentiles.
+//
+//	calciom-load -addr 127.0.0.1:9595 -clients 64 -phases 4 -steps 4
+//	calciom-load -addr 127.0.0.1:9595 -swf trace.swf -jobs 256
+//
+// Replay is closed-loop: jobs are dealt round-robin to the client
+// connections and each client runs its jobs back to back (submit times are
+// ignored), so the daemon sees a sustained concurrency of -clients.
+//
+// Output is split into an "agg:" block — aggregate counters that are
+// byte-stable across runs for a fixed workload, independent of goroutine
+// interleaving — and a "timing:" block (throughput, latency percentiles)
+// that legitimately varies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/swf"
+)
+
+const miB = float64(1 << 20)
+
+// task is one I/O phase a client performs: declared bytes, the job's core
+// count, and the number of atomic access steps (coordination points).
+type task struct {
+	bytes float64
+	cores int
+	steps int
+}
+
+// result accumulates one client's deterministic counters and its wait
+// latencies.
+type result struct {
+	phases int
+	grants int
+	bytes  float64
+	lats   []time.Duration
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9595", "calciomd address")
+	prefix := flag.String("prefix", "app", "application name prefix (make it unique per run when reusing a daemon: a previous run's sessions may still be unregistering)")
+	clients := flag.Int("clients", 64, "concurrent client connections")
+	phases := flag.Int("phases", 4, "synthetic: I/O phases per client")
+	steps := flag.Int("steps", 4, "synthetic: access steps (coordination points) per phase")
+	mib := flag.Float64("mib", 64, "synthetic: MiB declared per phase")
+	cores := flag.Int("cores", 32, "synthetic: cores declared per application")
+	think := flag.Duration("think", 0, "compute time between phases")
+	swfPath := flag.String("swf", "", "replay this SWF trace instead of the synthetic mix")
+	jobs := flag.Int("jobs", 0, "SWF: cap on jobs replayed (0 = clients*phases)")
+	swfMiBPerProc := flag.Float64("swf-mib-per-proc", 1, "SWF: declared MiB per job process")
+	flag.Parse()
+
+	tasks, err := buildTasks(*swfPath, *clients, *phases, *steps, *mib, *cores, *jobs, *swfMiBPerProc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]result, *clients)
+	errs := make([]error, *clients)
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		// Deal tasks round-robin so the assignment is independent of
+		// scheduling order.
+		var mine []task
+		for j := i; j < len(tasks); j += *clients {
+			mine = append(mine, tasks[j])
+		}
+		wg.Add(1)
+		go func(i int, mine []task) {
+			defer wg.Done()
+			results[i], errs[i] = runClient(*addr, fmt.Sprintf("%s-%04d", *prefix, i), mine, *think)
+		}(i, mine)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var tot result
+	nerr := 0
+	for i := range results {
+		tot.phases += results[i].phases
+		tot.grants += results[i].grants
+		tot.bytes += results[i].bytes
+		tot.lats = append(tot.lats, results[i].lats...)
+		if errs[i] != nil {
+			nerr++
+			fmt.Fprintf(os.Stderr, "%s-%04d: %v\n", *prefix, i, errs[i])
+		}
+	}
+
+	// The agg line holds only client-side counters for this run: for a
+	// fixed workload it is byte-stable across runs regardless of goroutine
+	// interleaving. The daemon line reports the server's cumulative view
+	// (it keeps counting across load runs against a long-lived daemon).
+	policy, daemonGrants := daemonView(*addr)
+	fmt.Printf("agg: clients=%d tasks=%d phases=%d grants=%d mib=%.0f errors=%d\n",
+		*clients, len(tasks), tot.phases, tot.grants, tot.bytes/miB, nerr)
+	fmt.Printf("daemon: policy=%s grants-served=%d\n", policy, daemonGrants)
+	fmt.Printf("timing: elapsed=%.3fs throughput=%.0f grants/s\n",
+		elapsed.Seconds(), float64(tot.grants)/elapsed.Seconds())
+	if len(tot.lats) > 0 {
+		sort.Slice(tot.lats, func(i, j int) bool { return tot.lats[i] < tot.lats[j] })
+		fmt.Printf("timing: wait-latency p50=%s p90=%s p99=%s max=%s\n",
+			pct(tot.lats, 50), pct(tot.lats, 90), pct(tot.lats, 99), tot.lats[len(tot.lats)-1])
+	}
+	if nerr > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildTasks constructs the workload: the synthetic phase mix, or one task
+// per SWF job (bytes and steps scaled from the job's size).
+func buildTasks(swfPath string, clients, phases, steps int, mib float64, cores, jobs int, mibPerProc float64) ([]task, error) {
+	if clients <= 0 || phases <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("calciom-load: clients, phases and steps must be positive")
+	}
+	if swfPath == "" {
+		tasks := make([]task, clients*phases)
+		for i := range tasks {
+			tasks[i] = task{bytes: mib * miB, cores: cores, steps: steps}
+		}
+		return tasks, nil
+	}
+	f, err := os.Open(swfPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := swf.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	js := append([]swf.Job(nil), tr.Jobs...)
+	sort.Slice(js, func(a, b int) bool {
+		if js[a].Submit != js[b].Submit {
+			return js[a].Submit < js[b].Submit
+		}
+		return js[a].ID < js[b].ID
+	})
+	if jobs <= 0 {
+		jobs = clients * phases
+	}
+	if jobs < len(js) {
+		js = js[:jobs]
+	}
+	if len(js) == 0 {
+		return nil, fmt.Errorf("calciom-load: trace %s has no jobs", swfPath)
+	}
+	tasks := make([]task, len(js))
+	for i, j := range js {
+		st := 1 + j.Procs/8192
+		if st > 8 {
+			st = 8
+		}
+		tasks[i] = task{bytes: float64(j.Procs) * mibPerProc * miB, cores: j.Procs, steps: st}
+	}
+	return tasks, nil
+}
+
+// runClient performs one connection's tasks: for each phase it runs the
+// canonical CALCioM sequence (Prepare, Inform, Wait, steps × [access,
+// Release/Inform/Wait], Complete, End), timing every Wait.
+func runClient(addr, name string, tasks []task, think time.Duration) (result, error) {
+	var res result
+	c, err := client.Dial(addr)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	co := 1
+	if len(tasks) > 0 {
+		co = tasks[0].cores
+	}
+	if err := c.Register(name, co); err != nil {
+		return res, err
+	}
+	wait := func() error {
+		t0 := time.Now()
+		if err := c.Wait(); err != nil {
+			return err
+		}
+		res.lats = append(res.lats, time.Since(t0))
+		res.grants++
+		return nil
+	}
+	for _, tk := range tasks {
+		in := core.Info{}
+		in.SetFloat(core.KeyBytesTotal, tk.bytes)
+		in.SetInt(core.KeyCores, int64(tk.cores))
+		if err := c.Prepare(in); err != nil {
+			return res, err
+		}
+		if err := c.Inform(); err != nil {
+			return res, err
+		}
+		if err := wait(); err != nil {
+			return res, err
+		}
+		for s := 1; s <= tk.steps; s++ {
+			done := tk.bytes * float64(s) / float64(tk.steps)
+			if s < tk.steps {
+				if err := c.Release(done); err != nil {
+					return res, err
+				}
+				if err := c.Inform(); err != nil {
+					return res, err
+				}
+				if err := wait(); err != nil {
+					return res, err
+				}
+			} else {
+				if err := c.Release(done); err != nil {
+					return res, err
+				}
+			}
+		}
+		if err := c.Complete(); err != nil {
+			return res, err
+		}
+		if err := c.End(); err != nil {
+			return res, err
+		}
+		res.phases++
+		res.bytes += tk.bytes
+		if think > 0 {
+			time.Sleep(think)
+		}
+	}
+	return res, nil
+}
+
+// daemonView fetches the daemon's own policy name and grant counter over a
+// fresh connection.
+func daemonView(addr string) (string, uint64) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return "?", 0
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return "?", 0
+	}
+	return st.Policy, st.GrantsServed
+}
+
+// pct returns the p-th percentile of sorted latencies, rounded for display.
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := (len(sorted) - 1) * p / 100
+	return sorted[idx].Round(10 * time.Microsecond)
+}

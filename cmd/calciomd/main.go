@@ -1,0 +1,107 @@
+// Command calciomd runs the CALCioM coordination layer as a live daemon:
+// applications connect over TCP (internal/wire protocol), declare their I/O
+// phases, and the configured policy arbitrates who may access the file
+// system — the paper's coordination API served online instead of inside the
+// simulator.
+//
+// Configuration comes from a strict JSON file (internal/config.Daemon) with
+// flag overrides:
+//
+//	calciomd -config daemon.json
+//	calciomd -listen 127.0.0.1:9595 -policy fcfs -session-timeout 60
+//
+// On SIGINT/SIGTERM the daemon shuts down cleanly and reports the grants it
+// served. Pair it with calciom-load for a quick smoke:
+//
+//	calciomd -listen 127.0.0.1:9595        # terminal 1
+//	calciom-load -addr 127.0.0.1:9595      # terminal 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/server"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON daemon configuration file")
+	listen := flag.String("listen", "", "listen address (overrides config)")
+	policy := flag.String("policy", "", "arbitration policy: fcfs|interrupt|interfere|delay (overrides config)")
+	timeout := flag.Float64("session-timeout", -1, "evict sessions idle this many seconds; 0 disables (overrides config)")
+	statsEvery := flag.Duration("stats-interval", 0, "print a live metrics line this often (0 = off)")
+	quiet := flag.Bool("quiet", false, "suppress connection lifecycle logging")
+	flag.Parse()
+
+	d := config.Daemon{}
+	if *cfgPath != "" {
+		var err error
+		if d, err = config.LoadDaemon(*cfgPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *listen != "" {
+		d.ListenAddr = *listen
+	}
+	if *policy != "" {
+		d.Policy = *policy
+	}
+	if *timeout >= 0 {
+		d.SessionTimeoutS = *timeout
+	}
+	pol, err := d.BuildPolicy()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	srv, err := server.New(server.Config{
+		ListenAddr:     d.Addr(),
+		Policy:         pol,
+		Model:          d.Model(),
+		SessionTimeout: d.SessionTimeout(),
+		LogBound:       d.DecisionLog,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		srv.Close()
+	}()
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := srv.Stats()
+				fmt.Printf("calciomd: t=%.1fs sessions=%d grants=%d arbitrations=%d cpu-sec-wasted=%.1f\n",
+					st.NowS, st.Sessions, st.GrantsServed, st.Arbitrations, st.CPUSecondsWasted)
+			}
+		}()
+	}
+
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Printf("calciomd: clean shutdown: policy=%s grants-served=%d arbitrations=%d uptime=%.3fs\n",
+		st.Policy, st.GrantsServed, st.Arbitrations, st.NowS)
+}

@@ -10,11 +10,50 @@
 // application model (mpi), the IOR-derived benchmark (ior), the CALCioM
 // coordination layer itself (core), machine-wide efficiency metrics
 // (metrics), the ∆-graph harness (delta), SWF workload-trace tooling (swf),
-// and the per-figure experiment reproductions (experiments).
+// the per-figure experiment reproductions (experiments), and the live
+// coordination daemon (wire, server, client).
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this
 // directory regenerates every table and figure of the paper's evaluation.
+//
+// # Architecture: simulator mode and daemon mode
+//
+// The coordination layer runs in two deployments sharing one arbitration
+// core (core.Arbiter: AppView construction, the policy call, decision
+// application onto per-app authorization):
+//
+//   - Simulator mode: core.Layer inside the discrete-event engine. Each
+//     application is a simulated process; coordination messages travel with
+//     a configured latency; the ∆-graph harness and the figure
+//     reproductions run here.
+//   - Daemon mode: calciomd (internal/server) serves the same protocol
+//     over TCP. Per-connection reader/writer goroutines funnel requests
+//     into a single arbitration goroutine — no locks on the hot path, and
+//     decisions are deterministic given a serialized request order.
+//     internal/client mirrors the Coordinator/Session API so driver code
+//     is the same shape in both modes, and calciom-load replays SWF traces
+//     or synthetic phase mixes over N concurrent connections.
+//
+// The wire protocol (internal/wire) is length-prefixed JSON; one Response
+// answers every Request (the Wait response is deferred until arbitration
+// grants access), plus unsolicited grant/revoke pushes:
+//
+//	register  App, Cores     introduce the application
+//	prepare   Info           stack MPI_Info-style hints (bytes_total, ...)
+//	complete  —              unstack the most recent prepare
+//	inform    BytesDone?     open/continue an I/O phase, trigger arbitration
+//	progress  BytesDone      report progress only; no state change
+//	check     —              poll authorization, never blocks
+//	wait      —              block until authorized (deferred response)
+//	release   BytesDone?     end one access step
+//	end       —              end the I/O phase
+//	stats     —              LASSi-style live metrics snapshot
+//
+// Quickstart (two terminals):
+//
+//	go run ./cmd/calciomd -listen 127.0.0.1:9595 -policy fcfs
+//	go run ./cmd/calciom-load -addr 127.0.0.1:9595 -clients 64 -phases 4
 //
 // # Performance
 //

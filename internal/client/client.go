@@ -1,0 +1,273 @@
+// Package client is the application-side library for calciomd: a blocking
+// client that mirrors the in-simulator core.Coordinator API
+// (Prepare/Complete/Inform/Check/Wait/Release/End plus a Session wrapper
+// with Begin/Yield/End), so driver code written against the simulator's
+// coordination calls maps one-to-one onto the live daemon.
+//
+// A Client is safe for use by one application goroutine (like a Coordinator
+// belongs to one simulated process); the internal reader goroutine that
+// dispatches responses and authorization pushes is fully encapsulated.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Client is one application's connection to the coordination daemon.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Response
+	err     error // terminal receive error; set once
+
+	// authorized caches the server's view, updated by responses and by
+	// pushed grant/revoke notifications, so Check can be answered with a
+	// round trip (authoritative) while pushes keep it warm in between.
+	authorized atomic.Bool
+
+	done chan struct{}
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]chan wire.Response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; outstanding calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop dispatches responses to their waiting callers and folds
+// unsolicited grant/revoke pushes into the cached authorization state.
+func (c *Client) readLoop() {
+	dec := wire.NewReader(bufio.NewReader(c.conn))
+	var err error
+	for {
+		var resp wire.Response
+		if err = dec.Read(&resp); err != nil {
+			break
+		}
+		switch resp.Type {
+		case wire.TypeGrant:
+			c.authorized.Store(true)
+		case wire.TypeRevoke:
+			c.authorized.Store(false)
+		case wire.TypeResp:
+			// Every response carries the server's current authorization;
+			// caching it here — the single writer, in arrival order —
+			// means a pushed revocation can never be overwritten by a
+			// caller goroutine finishing an older round trip late.
+			c.authorized.Store(resp.Authorized)
+			c.mu.Lock()
+			ch := c.pending[resp.Seq]
+			delete(c.pending, resp.Seq)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
+		}
+	}
+	c.mu.Lock()
+	c.err = fmt.Errorf("client: connection lost: %w", err)
+	pend := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	close(c.done)
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// call performs one blocking request/response round trip. Responses may be
+// served out of order by the daemon (Wait is answered only at grant time),
+// so each call parks on its own channel keyed by Seq.
+func (c *Client) call(req wire.Request) (wire.Response, error) {
+	req.Seq = c.seq.Add(1)
+	ch := make(chan wire.Response, 1)
+	c.mu.Lock()
+	if c.pending == nil {
+		err := c.err
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	c.pending[req.Seq] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.Write(c.bw, req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.Seq)
+		c.mu.Unlock()
+		return wire.Response{}, fmt.Errorf("client: send: %w", err)
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Register introduces the application to the daemon. It must be the first
+// call; names must be unique among live sessions.
+func (c *Client) Register(name string, cores int) error {
+	_, err := c.call(wire.Request{Type: wire.TypeRegister, App: name, Cores: cores})
+	return err
+}
+
+// Prepare stacks information about the upcoming I/O accesses, as the
+// paper's Prepare(MPI_Info) does.
+func (c *Client) Prepare(info core.Info) error {
+	_, err := c.call(wire.Request{Type: wire.TypePrepare, Info: info})
+	return err
+}
+
+// Complete unstacks the most recent Prepare.
+func (c *Client) Complete() error {
+	_, err := c.call(wire.Request{Type: wire.TypeComplete})
+	return err
+}
+
+// Inform announces the application's intent (or continued intent) to do
+// I/O. Non-blocking beyond the round trip; triggers arbitration.
+func (c *Client) Inform() error {
+	_, err := c.call(wire.Request{Type: wire.TypeInform})
+	return err
+}
+
+// Progress reports bytes moved so far. Like the simulator's state-free
+// Coordinator.Progress it neither opens a phase nor triggers arbitration;
+// the value influences the next inform/release arbitration. Release and
+// the Session helpers piggyback progress anyway, so an explicit Progress
+// round trip is only needed between coordination points.
+func (c *Client) Progress(bytesDone float64) error {
+	_, err := c.call(wire.Request{Type: wire.TypeProgress, BytesDone: bytesDone})
+	return err
+}
+
+// Check polls authorization with a round trip. It never blocks waiting for
+// a grant: an application free to reorganize its work can Check and do
+// something else when denied.
+func (c *Client) Check() (bool, error) {
+	resp, err := c.call(wire.Request{Type: wire.TypeCheck})
+	if err != nil {
+		return false, err
+	}
+	return resp.Authorized, nil
+}
+
+// Authorized returns the cached authorization state, updated by pushed
+// grants/revocations — Check without the round trip.
+func (c *Client) Authorized() bool { return c.authorized.Load() }
+
+// Wait blocks until the daemon authorizes the application's access. The
+// response is deferred server-side until arbitration grants access.
+func (c *Client) Wait() error {
+	_, err := c.call(wire.Request{Type: wire.TypeWait})
+	return err
+}
+
+// Release ends one step of the I/O access, reporting progress. A new
+// Inform is required before the next access step.
+func (c *Client) Release(bytesDone float64) error {
+	_, err := c.call(wire.Request{Type: wire.TypeRelease, BytesDone: bytesDone})
+	return err
+}
+
+// End terminates the I/O phase entirely.
+func (c *Client) End() error {
+	_, err := c.call(wire.Request{Type: wire.TypeEnd})
+	return err
+}
+
+// Stats fetches the daemon's live metrics snapshot.
+func (c *Client) Stats() (wire.Stats, error) {
+	resp, err := c.call(wire.Request{Type: wire.TypeStats})
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return wire.Stats{}, errors.New("client: stats response without payload")
+	}
+	return *resp.Stats, nil
+}
+
+// Session bundles the common call sequences a driver needs at its
+// coordination points, mirroring core.Session so the same driver shape runs
+// against the simulator or the daemon.
+type Session struct {
+	C *Client
+}
+
+// NewSession wraps a client.
+func NewSession(c *Client) *Session { return &Session{C: c} }
+
+// Begin opens an I/O phase: Prepare + Inform + Wait.
+func (s *Session) Begin(info core.Info) error {
+	if err := s.C.Prepare(info); err != nil {
+		return err
+	}
+	if err := s.C.Inform(); err != nil {
+		return err
+	}
+	return s.C.Wait()
+}
+
+// Yield is a coordination point between atomic accesses: Release + Inform +
+// Wait. If arbitration has revoked authorization, the call blocks until
+// access is granted back.
+func (s *Session) Yield(bytesDone float64) error {
+	if err := s.C.Release(bytesDone); err != nil {
+		return err
+	}
+	if err := s.C.Inform(); err != nil {
+		return err
+	}
+	return s.C.Wait()
+}
+
+// End closes the phase: Release + Complete + End.
+func (s *Session) End(bytesDone float64) error {
+	if err := s.C.Release(bytesDone); err != nil {
+		return err
+	}
+	if err := s.C.Complete(); err != nil {
+		return err
+	}
+	return s.C.End()
+}

@@ -62,13 +62,16 @@ type Scenario struct {
 
 const miB = float64(1 << 20)
 
-// Parse reads a JSON scenario.
+// Parse reads a JSON scenario. Unknown keys are rejected and parse errors
+// carry line:column positions.
 func Parse(r io.Reader) (delta.Scenario, error) {
+	data, err := readAll(r)
+	if err != nil {
+		return delta.Scenario{}, err
+	}
 	var s Scenario
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&s); err != nil {
-		return delta.Scenario{}, fmt.Errorf("config: %w", err)
+	if err := strictUnmarshal(data, &s); err != nil {
+		return delta.Scenario{}, err
 	}
 	return s.Build()
 }

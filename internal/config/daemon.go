@@ -1,0 +1,124 @@
+package config
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Daemon is the JSON configuration of calciomd, the live coordination
+// daemon. Like Scenario it is strict: unknown keys are rejected with line
+// positions, so a typo'd setting cannot silently fall back to a default.
+type Daemon struct {
+	// ListenAddr is the TCP address to serve on (default "127.0.0.1:9595").
+	ListenAddr string `json:"listen_addr,omitempty"`
+	// Policy selects the arbitration policy: "fcfs" (default),
+	// "interrupt", "interfere" or "delay".
+	Policy string `json:"policy,omitempty"`
+	// DelayOverlap is the delay policy's allowed overlap fraction.
+	DelayOverlap float64 `json:"delay_overlap,omitempty"`
+	// SessionTimeoutS evicts sessions idle longer than this many seconds;
+	// 0 disables eviction.
+	SessionTimeoutS float64 `json:"session_timeout_s,omitempty"`
+	// DecisionLog bounds the decision log kept for stats (default 256).
+	DecisionLog int `json:"decision_log,omitempty"`
+	// FSMiBps and ProcNICMiBps describe the storage system for the
+	// performance model behind the delay policy and the live interference
+	// factors in stats. Optional for model-free policies.
+	FSMiBps      float64 `json:"fs_mibps,omitempty"`
+	ProcNICMiBps float64 `json:"proc_nic_mibps,omitempty"`
+}
+
+// DefaultListenAddr is used when listen_addr is omitted.
+const DefaultListenAddr = "127.0.0.1:9595"
+
+// ParseDaemon reads a strict JSON daemon configuration.
+func ParseDaemon(r io.Reader) (Daemon, error) {
+	data, err := readAll(r)
+	if err != nil {
+		return Daemon{}, err
+	}
+	var d Daemon
+	if err := strictUnmarshal(data, &d); err != nil {
+		return Daemon{}, err
+	}
+	if err := d.Validate(); err != nil {
+		return Daemon{}, err
+	}
+	return d, nil
+}
+
+// LoadDaemon reads a daemon configuration file.
+func LoadDaemon(path string) (Daemon, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Daemon{}, err
+	}
+	defer f.Close()
+	return ParseDaemon(f)
+}
+
+// Validate checks the settings without building anything.
+func (d Daemon) Validate() error {
+	switch d.Policy {
+	case "", "fcfs", "interrupt", "interfere":
+	case "delay":
+		if d.DelayOverlap < 0 {
+			return fmt.Errorf("config: delay_overlap must be >= 0")
+		}
+		if d.FSMiBps <= 0 {
+			return fmt.Errorf("config: policy \"delay\" needs fs_mibps for its performance model")
+		}
+	default:
+		return fmt.Errorf("config: unknown policy %q (want fcfs, interrupt, interfere or delay)", d.Policy)
+	}
+	if d.SessionTimeoutS < 0 {
+		return fmt.Errorf("config: session_timeout_s must be >= 0")
+	}
+	if d.FSMiBps < 0 || d.ProcNICMiBps < 0 {
+		return fmt.Errorf("config: fs_mibps and proc_nic_mibps must be >= 0")
+	}
+	return nil
+}
+
+// Addr returns the listen address with the default applied.
+func (d Daemon) Addr() string {
+	if d.ListenAddr == "" {
+		return DefaultListenAddr
+	}
+	return d.ListenAddr
+}
+
+// SessionTimeout returns the eviction timeout as a duration.
+func (d Daemon) SessionTimeout() time.Duration {
+	return time.Duration(d.SessionTimeoutS * float64(time.Second))
+}
+
+// Model builds the performance model, or nil when no bandwidths are given.
+func (d Daemon) Model() *core.PerfModel {
+	if d.FSMiBps <= 0 {
+		return nil
+	}
+	return &core.PerfModel{FSBandwidth: d.FSMiBps * miB, ProcNIC: d.ProcNICMiBps * miB}
+}
+
+// BuildPolicy constructs the configured arbitration policy.
+func (d Daemon) BuildPolicy() (core.Policy, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	switch d.Policy {
+	case "", "fcfs":
+		return core.FCFSPolicy{}, nil
+	case "interrupt":
+		return core.InterruptPolicy{}, nil
+	case "interfere":
+		return core.InterferePolicy{}, nil
+	case "delay":
+		return core.DelayPolicy{Overlap: d.DelayOverlap, Model: d.Model()}, nil
+	}
+	panic("unreachable")
+}

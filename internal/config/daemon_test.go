@@ -1,0 +1,175 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestStrictErrorsCarryLineNumbers pins the failure-reporting contract for
+// both config dialects: unknown keys are rejected (not silently ignored)
+// and every error names the offending line.
+func TestStrictErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings the error must contain
+	}{
+		{
+			name: "unknown scenario key with line",
+			in: "{\n" +
+				`  "name": "x",` + "\n" +
+				`  "proc_nic_mibbs": 4` + "\n" +
+				"}",
+			want: []string{"line 3", "proc_nic_mibbs"},
+		},
+		{
+			name: "unknown nested key with line",
+			in: "{\n" +
+				`  "name": "x",` + "\n" +
+				`  "fs": {` + "\n" +
+				`    "servers": 1,` + "\n" +
+				`    "stripe_kb": 64` + "\n" +
+				"  }\n}",
+			want: []string{"line 5", "stripe_kb"},
+		},
+		{
+			name: "syntax error with line",
+			in:   "{\n  \"name\": \"x\",\n  \"fs\": {,}\n}",
+			want: []string{"line 3"},
+		},
+		{
+			name: "type error with line",
+			in:   "{\n  \"name\": 42\n}",
+			want: []string{"line 2", "name"},
+		},
+		{
+			name: "trailing garbage",
+			in:   `{"name":"x"}{"again":true}`,
+			want: []string{"line 1", "after top-level value"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+}
+
+func TestParseDaemon(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		check func(t *testing.T, d Daemon, err error)
+	}{
+		{
+			name: "defaults",
+			in:   `{}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.Addr() != DefaultListenAddr {
+					t.Fatalf("addr = %q", d.Addr())
+				}
+				p, err := d.BuildPolicy()
+				if err != nil || p.Name() != "fcfs" {
+					t.Fatalf("default policy = %v, %v", p, err)
+				}
+				if d.Model() != nil {
+					t.Fatal("model without bandwidths should be nil")
+				}
+			},
+		},
+		{
+			name: "full settings",
+			in: `{"listen_addr": "0.0.0.0:7777", "policy": "delay", "delay_overlap": 0.5,
+			     "session_timeout_s": 30, "decision_log": 64,
+			     "fs_mibps": 4000, "proc_nic_mibps": 100}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.Addr() != "0.0.0.0:7777" || d.SessionTimeout() != 30*time.Second || d.DecisionLog != 64 {
+					t.Fatalf("daemon = %+v", d)
+				}
+				p, err := d.BuildPolicy()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := p.(core.DelayPolicy); !ok {
+					t.Fatalf("policy = %T", p)
+				}
+				m := d.Model()
+				if m == nil || m.FSBandwidth != 4000*miB || m.ProcNIC != 100*miB {
+					t.Fatalf("model = %+v", m)
+				}
+			},
+		},
+		{
+			name: "interrupt policy",
+			in:   `{"policy": "interrupt"}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p, _ := d.BuildPolicy(); p.Name() != "interrupt" {
+					t.Fatalf("policy = %v", p)
+				}
+			},
+		},
+		{
+			name: "unknown policy",
+			in:   `{"policy": "roulette"}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+		{
+			name: "delay needs model",
+			in:   `{"policy": "delay", "delay_overlap": 1}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "fs_mibps") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+		{
+			name: "negative timeout",
+			in:   `{"session_timeout_s": -1}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "session_timeout_s") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+		{
+			name: "unknown key with line",
+			in:   "{\n  \"listen_adr\": \":1\"\n}",
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "line 2") ||
+					!strings.Contains(err.Error(), "listen_adr") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := ParseDaemon(strings.NewReader(tc.in))
+			tc.check(t, d, err)
+		})
+	}
+}

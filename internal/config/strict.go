@@ -1,0 +1,104 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+)
+
+// strictUnmarshal decodes JSON into v with unknown fields rejected and every
+// reportable error carrying a line:column position, so a typo in a config
+// file points at the offending line instead of failing silently (the
+// pre-daemon parser ignored positions entirely) or with a bare offset.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return positionError(data, dec, err)
+	}
+	// Trailing non-whitespace after the document is almost always a paste
+	// accident; report it rather than silently ignoring it.
+	if dec.More() {
+		line, col := lineCol(data, int(dec.InputOffset()))
+		return fmt.Errorf("config: line %d:%d: unexpected data after top-level value", line, col)
+	}
+	return nil
+}
+
+var unknownFieldRe = regexp.MustCompile(`unknown field "([^"]+)"`)
+
+// positionError augments a json decoding error with a line:column position.
+func positionError(data []byte, dec *json.Decoder, err error) error {
+	switch e := err.(type) {
+	case *json.SyntaxError:
+		line, col := lineCol(data, int(e.Offset))
+		return fmt.Errorf("config: line %d:%d: %v", line, col, err)
+	case *json.UnmarshalTypeError:
+		line, col := lineCol(data, int(e.Offset))
+		where := e.Field
+		if where == "" {
+			where = "value"
+		}
+		return fmt.Errorf("config: line %d:%d: %s: cannot unmarshal %s into %s", line, col, where, e.Value, e.Type)
+	}
+	// encoding/json reports unknown fields as a plain error with no offset;
+	// recover the position by locating the field name used as a key. The
+	// decoder's input offset bounds the search: the key was read before it.
+	if m := unknownFieldRe.FindStringSubmatch(err.Error()); m != nil {
+		if off := findKey(data[:clampOffset(data, dec.InputOffset())], m[1]); off >= 0 {
+			line, col := lineCol(data, off)
+			return fmt.Errorf("config: line %d:%d: unknown field %q", line, col, m[1])
+		}
+		return fmt.Errorf("config: unknown field %q", m[1])
+	}
+	return fmt.Errorf("config: %w", err)
+}
+
+func clampOffset(data []byte, off int64) int {
+	if off < 0 || off > int64(len(data)) {
+		return len(data)
+	}
+	return int(off)
+}
+
+// findKey returns the byte offset of the last occurrence of `"key"` that is
+// followed by a colon (i.e. used as an object key), or -1. The decoder stops
+// right after the offending key, so the last occurrence before its input
+// offset is the one that failed.
+func findKey(data []byte, key string) int {
+	quoted := strconv.Quote(key)
+	for off := len(data); off > 0; {
+		i := bytes.LastIndex(data[:off], []byte(quoted))
+		if i < 0 {
+			return -1
+		}
+		rest := bytes.TrimLeft(data[i+len(quoted):], " \t\r\n")
+		if len(rest) > 0 && rest[0] == ':' {
+			return i
+		}
+		off = i
+	}
+	return -1
+}
+
+// lineCol converts a byte offset to 1-based line and column numbers.
+func lineCol(data []byte, off int) (line, col int) {
+	if off > len(data) {
+		off = len(data)
+	}
+	line = 1 + bytes.Count(data[:off], []byte{'\n'})
+	last := bytes.LastIndexByte(data[:off], '\n')
+	return line, off - last
+}
+
+// readAll slurps a reader for strict parsing.
+func readAll(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("config: read: %w", err)
+	}
+	return data, nil
+}

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/sim"
+
+	"fmt"
 )
 
 // Coordinator is the per-application endpoint of the coordination layer —
@@ -15,23 +15,15 @@ import (
 // another application to stop: Check and Wait only observe the
 // authorization state that arbitration produces, and an interrupted
 // application pauses itself at its next coordination point.
+//
+// The protocol state itself lives in an AppState shared with the network
+// daemon's sessions; the Coordinator adds only what is simulator-specific —
+// the parked process resumer and the phase-time accounting.
 type Coordinator struct {
 	layer *Layer
-	name  string
-	cores int
+	app   *AppState
 
-	infoStack []Info
-
-	state      State
-	arrival    float64
-	authorized bool
-	waiting    *sim.Resumer
-
-	bytesTotal float64
-	bytesDone  float64
-	files      int
-	rounds     int
-	aloneBW    float64
+	waiting *sim.Resumer
 
 	// Accounting for metrics: total time spent between Begin and End of
 	// phases (observed I/O time including coordination waits), and time
@@ -43,13 +35,13 @@ type Coordinator struct {
 }
 
 // Name returns the application name.
-func (c *Coordinator) Name() string { return c.name }
+func (c *Coordinator) Name() string { return c.app.name }
 
 // Cores returns the application's core count.
-func (c *Coordinator) Cores() int { return c.cores }
+func (c *Coordinator) Cores() int { return c.app.cores }
 
 // State returns the coordinator's protocol state.
-func (c *Coordinator) State() State { return c.state }
+func (c *Coordinator) State() State { return c.app.state }
 
 // IOTime returns accumulated wall time inside I/O phases (incl. waits).
 func (c *Coordinator) IOTime() float64 { return c.ioTime }
@@ -57,56 +49,14 @@ func (c *Coordinator) IOTime() float64 { return c.ioTime }
 // WaitTime returns accumulated time spent blocked in Wait.
 func (c *Coordinator) WaitTime() float64 { return c.waitTime }
 
-// view snapshots the coordinator for arbitration.
-func (c *Coordinator) view() AppView {
-	return AppView{
-		Name:       c.name,
-		Cores:      c.cores,
-		State:      c.state,
-		Arrival:    c.arrival,
-		BytesTotal: c.bytesTotal,
-		BytesDone:  c.bytesDone,
-		Files:      c.files,
-		Rounds:     c.rounds,
-		AloneBW:    c.aloneBW,
-	}
-}
-
 // Prepare stacks information about the upcoming I/O accesses, as the paper's
 // Prepare(MPI_Info) does. Recognized keys update the view the policies see.
-func (c *Coordinator) Prepare(info Info) {
-	c.infoStack = append(c.infoStack, info.Clone())
-	c.applyInfo()
-}
+func (c *Coordinator) Prepare(info Info) { c.app.Prepare(info) }
 
 // Complete unstacks the most recent Prepare.
 func (c *Coordinator) Complete() {
-	if len(c.infoStack) == 0 {
-		panic(fmt.Sprintf("core: %s: Complete without Prepare", c.name))
-	}
-	c.infoStack = c.infoStack[:len(c.infoStack)-1]
-	c.applyInfo()
-}
-
-// applyInfo folds the info stack (later entries win) into the typed view.
-func (c *Coordinator) applyInfo() {
-	c.bytesTotal, c.files, c.rounds, c.aloneBW = 0, 0, 0, 0
-	for _, in := range c.infoStack {
-		if v := in.Float(KeyBytesTotal, -1); v >= 0 {
-			c.bytesTotal = v
-		}
-		if v := in.Int(KeyFiles, -1); v >= 0 {
-			c.files = int(v)
-		}
-		if v := in.Int(KeyRounds, -1); v >= 0 {
-			c.rounds = int(v)
-		}
-		if v := in.Float(KeyAloneBW, -1); v >= 0 {
-			c.aloneBW = v
-		}
-		if v := in.Int(KeyCores, -1); v > 0 {
-			c.cores = int(v)
-		}
+	if err := c.app.Complete(); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -114,10 +64,7 @@ func (c *Coordinator) applyInfo() {
 // to all other applications. Non-blocking: the information travels with the
 // layer's message latency and triggers arbitration.
 func (c *Coordinator) Inform(p *sim.Proc) {
-	if c.state == Idle {
-		c.state = Waiting
-		c.arrival = p.Now()
-		c.bytesDone = 0
+	if c.app.Inform(p.Now()) {
 		c.phaseStart = p.Now()
 		c.phases++
 	}
@@ -127,7 +74,7 @@ func (c *Coordinator) Inform(p *sim.Proc) {
 // Check reports whether the application is currently authorized to access
 // the file system. It never blocks: an application free to reorganize its
 // work can poll Check and do something else when denied.
-func (c *Coordinator) Check() bool { return c.authorized }
+func (c *Coordinator) Check() bool { return c.app.authorized }
 
 // SystemBusy reports whether any *other* application is currently in an
 // I/O phase (wanting, writing or paused). The paper's §III-C offers the
@@ -137,7 +84,7 @@ func (c *Coordinator) Check() bool { return c.authorized }
 // computation and coming back to the I/O phase later".
 func (c *Coordinator) SystemBusy() bool {
 	for _, o := range c.layer.coords {
-		if o != c && o.state != Idle {
+		if o != c && o.app.state != Idle {
 			return true
 		}
 	}
@@ -146,18 +93,20 @@ func (c *Coordinator) SystemBusy() bool {
 
 // Wait blocks until the application is authorized, then marks it Active.
 func (c *Coordinator) Wait(p *sim.Proc) {
-	if c.state == Idle {
-		panic(fmt.Sprintf("core: %s: Wait before Inform", c.name))
+	if c.app.state == Idle {
+		panic(fmt.Sprintf("core: %s: Wait before Inform", c.app.name))
 	}
 	start := p.Now()
-	for !c.authorized {
-		c.state = Waiting
+	for !c.app.authorized {
+		c.app.state = Waiting
 		r := p.Suspend()
 		c.waiting = r
 		r.Park()
 		c.waiting = nil
 	}
-	c.state = Active
+	if err := c.app.Activate(); err != nil {
+		panic(err.Error())
+	}
 	c.waitTime += p.Now() - start
 }
 
@@ -166,26 +115,20 @@ func (c *Coordinator) Wait(p *sim.Proc) {
 // from other applications. A new Inform is required before the next access
 // step, per the paper's API contract.
 func (c *Coordinator) Release(p *sim.Proc) {
-	if c.state != Active {
-		panic(fmt.Sprintf("core: %s: Release while %v", c.name, c.state))
+	if err := c.app.Release(); err != nil {
+		panic(err.Error())
 	}
-	c.state = Waiting
 	c.layer.poke()
 }
 
 // Progress records bytes written so far in this phase. Called by the I/O
 // driver; the value rides along with the next Inform/Release message.
-func (c *Coordinator) Progress(bytesDone float64) {
-	if bytesDone > c.bytesDone {
-		c.bytesDone = bytesDone
-	}
-}
+func (c *Coordinator) Progress(bytesDone float64) { c.app.Progress(bytesDone) }
 
 // End terminates the I/O phase entirely: the application becomes invisible
 // to arbitration until its next Inform.
 func (c *Coordinator) End(p *sim.Proc) {
-	c.state = Idle
-	c.authorized = false
+	c.app.End()
 	c.ioTime += p.Now() - c.phaseStart
 	c.layer.poke()
 }

@@ -205,12 +205,12 @@ func TestPrepareCompleteStack(t *testing.T) {
 	over := Info{}
 	over.SetFloat(KeyBytesTotal, 50)
 	c.Prepare(over)
-	v := c.view()
+	v := c.app.View()
 	if v.BytesTotal != 50 || v.Files != 2 {
 		t.Fatalf("stacked view = %+v", v)
 	}
 	c.Complete()
-	v = c.view()
+	v = c.app.View()
 	if v.BytesTotal != 100 {
 		t.Fatalf("after Complete view = %+v", v)
 	}

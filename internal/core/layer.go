@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -106,12 +105,17 @@ type DecisionRecord struct {
 // communicator the paper's prototype builds by launching all instances in
 // one mpirun. Coordinators register here and every state change triggers an
 // arbitration after the configured message latency.
+//
+// The arbitration state machine itself — view construction, the policy
+// call, decision application — lives in an Arbiter shared with the network
+// daemon (internal/server); the Layer contributes only the discrete-event
+// mechanics: message latency, recheck scheduling and waking parked
+// processes.
 type Layer struct {
 	eng     *sim.Engine
-	policy  Policy
+	arb     *Arbiter
 	latency float64
 	coords  []*Coordinator
-	log     []DecisionRecord
 	recheck *sim.Event
 }
 
@@ -119,54 +123,32 @@ type Layer struct {
 // coordination message latency in seconds (the paper implements this as MPI
 // messages between rank-0 coordinators; a millisecond is typical).
 func NewLayer(eng *sim.Engine, policy Policy, latency float64) *Layer {
-	if policy == nil {
-		panic("core: nil policy")
-	}
 	if latency < 0 {
 		panic("core: negative latency")
 	}
-	return &Layer{eng: eng, policy: policy, latency: latency}
+	return &Layer{eng: eng, arb: NewArbiter(policy), latency: latency}
 }
 
 // Policy returns the active policy.
-func (l *Layer) Policy() Policy { return l.policy }
+func (l *Layer) Policy() Policy { return l.arb.Policy() }
 
 // Latency returns the one-way message latency.
 func (l *Layer) Latency() float64 { return l.latency }
 
 // Log returns the arbitration decision log.
-func (l *Layer) Log() []DecisionRecord { return l.log }
+func (l *Layer) Log() []DecisionRecord { return l.arb.Log() }
 
 // Register creates a coordinator for an application. Cores is the size of
 // the job, used by machine-wide efficiency metrics.
 func (l *Layer) Register(name string, cores int) *Coordinator {
-	for _, c := range l.coords {
-		if c.name == name {
-			panic(fmt.Sprintf("core: duplicate coordinator %q", name))
-		}
+	app, err := l.arb.Register(name, cores)
+	if err != nil {
+		panic(err.Error())
 	}
-	c := &Coordinator{layer: l, name: name, cores: cores}
+	c := &Coordinator{layer: l, app: app}
+	app.Data = c
 	l.coords = append(l.coords, c)
 	return c
-}
-
-// views collects the arbitration inputs: all non-idle coordinators, sorted
-// by (arrival, name).
-func (l *Layer) views() []AppView {
-	var vs []AppView
-	for _, c := range l.coords {
-		if c.state == Idle {
-			continue
-		}
-		vs = append(vs, c.view())
-	}
-	sort.Slice(vs, func(i, j int) bool {
-		if vs[i].Arrival != vs[j].Arrival {
-			return vs[i].Arrival < vs[j].Arrival
-		}
-		return vs[i].Name < vs[j].Name
-	})
-	return vs
 }
 
 // poke schedules an arbitration after the message latency. Every protocol
@@ -176,41 +158,26 @@ func (l *Layer) poke() {
 }
 
 func (l *Layer) arbitrate() {
-	vs := l.views()
 	if l.recheck != nil {
 		l.eng.Cancel(l.recheck)
 		l.recheck = nil
 	}
-	if len(vs) == 0 {
+	out := l.arb.Arbitrate(l.eng.Now())
+	if !out.Acted {
 		return
 	}
-	dec := l.policy.Arbitrate(l.eng.Now(), vs)
-
-	var allowed []string
-	for name, ok := range dec.Allowed {
-		if ok {
-			allowed = append(allowed, name)
-		}
+	if rec := l.arb.LastRecord(); rec != nil {
+		l.eng.Tracef("calciom: policy=%s allowed=%v reason=%s", rec.Policy, rec.Allowed, rec.Reason)
 	}
-	sort.Strings(allowed)
-	l.log = append(l.log, DecisionRecord{
-		Time: l.eng.Now(), Policy: l.policy.Name(), Allowed: allowed, Reason: dec.Reason,
-	})
-	l.eng.Tracef("calciom: policy=%s allowed=%v reason=%s", l.policy.Name(), allowed, dec.Reason)
-
-	for _, c := range l.coords {
-		if c.state == Idle {
-			continue
-		}
-		was := c.authorized
-		c.authorized = dec.Allowed[c.name]
-		if c.authorized && !was && c.waiting != nil {
+	for _, a := range out.Granted {
+		c := a.Data.(*Coordinator)
+		if c.waiting != nil {
 			// Authorization message travels back to the application.
 			r := c.waiting
 			l.eng.Schedule(l.latency, r.Resume)
 		}
 	}
-	if dec.RecheckAfter > 0 {
-		l.recheck = l.eng.Schedule(dec.RecheckAfter, l.arbitrate)
+	if out.RecheckAfter > 0 {
+		l.recheck = l.eng.Schedule(out.RecheckAfter, l.arbitrate)
 	}
 }

@@ -46,6 +46,27 @@ func (InterruptPolicy) Arbitrate(now float64, apps []AppView) Decision {
 	return AllowOnly(newest.Name, fmt.Sprintf("%s arrived last (t=%.3f)", newest.Name, newest.Arrival))
 }
 
+// ArbitrateIndexed implements IndexedArbitrator: everyone is allowed.
+func (InterferePolicy) ArbitrateIndexed(now float64, apps []AppView, allowed []bool) (string, float64) {
+	for i := range allowed {
+		allowed[i] = true
+	}
+	return "interference allowed", 0
+}
+
+// ArbitrateIndexed implements IndexedArbitrator: the earliest arrival holds
+// the file system.
+func (FCFSPolicy) ArbitrateIndexed(now float64, apps []AppView, allowed []bool) (string, float64) {
+	allowed[0] = true
+	return "fcfs: earliest arrival holds access", 0
+}
+
+// ArbitrateIndexed implements IndexedArbitrator: the newest arrival preempts.
+func (InterruptPolicy) ArbitrateIndexed(now float64, apps []AppView, allowed []bool) (string, float64) {
+	allowed[len(apps)-1] = true
+	return "interrupt: newest arrival preempts", 0
+}
+
 // DelayPolicy implements the Fig. 12 tradeoff: when interference is mild,
 // full serialization wastes time, so a newcomer is merely delayed until the
 // current holder's estimated remaining time drops below Overlap times the
@@ -90,4 +111,37 @@ func (d DelayPolicy) Arbitrate(now float64, apps []AppView) Decision {
 		dec.RecheckAfter = recheck
 	}
 	return dec
+}
+
+// ArbitrateIndexed implements IndexedArbitrator with the same overlap-window
+// decision as Arbitrate, but writing into the caller's allowed scratch and
+// returning a constant reason, so the daemon's hot path does not allocate.
+func (d DelayPolicy) ArbitrateIndexed(now float64, apps []AppView, allowed []bool) (string, float64) {
+	if d.Model == nil {
+		panic("core: DelayPolicy needs a PerfModel")
+	}
+	allowed[0] = true
+	if len(apps) == 1 {
+		return "single application", 0
+	}
+	holder := apps[0]
+	remHold := d.Model.SoloTime(holder, holder.Remaining())
+	recheck := math.Inf(1)
+	for i, a := range apps {
+		if i == 0 {
+			continue
+		}
+		window := d.Overlap * d.Model.SoloTime(a, a.Remaining())
+		if remHold <= window {
+			allowed[i] = true
+			continue
+		}
+		if wait := remHold - window; wait < recheck {
+			recheck = wait
+		}
+	}
+	if math.IsInf(recheck, 1) || recheck <= 0 {
+		recheck = 0
+	}
+	return "delay: holder continues, overlap inside window", recheck
 }

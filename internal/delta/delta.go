@@ -101,10 +101,18 @@ func (sc Scenario) Run(factory PolicyFactory, starts []float64) Result {
 // RunWithTimeline is Run with an optional interval recorder for Gantt
 // rendering. The recorder must not be shared between concurrent runs.
 func (sc Scenario) RunWithTimeline(factory PolicyFactory, starts []float64, rec *timeline.Recorder) Result {
+	return sc.RunOn(sim.NewEngine(), factory, starts, rec)
+}
+
+// RunOn executes the scenario on a caller-provided engine, resetting it
+// first. A sweep worker reuses one engine across all its points, so the
+// pooled event records of earlier points pay for the later ones (see
+// sim.Engine.Reset); results are bit-identical to a fresh engine.
+func (sc Scenario) RunOn(eng *sim.Engine, factory PolicyFactory, starts []float64, rec *timeline.Recorder) Result {
 	if len(starts) != len(sc.Apps) {
 		panic("delta: starts length mismatch")
 	}
-	eng := sim.NewEngine()
+	eng.Reset()
 	fsCfg := sc.FS
 	if sc.TrueNetwork {
 		fsCfg.Fabric = fabric.New(eng)
@@ -148,9 +156,14 @@ func (sc Scenario) RunWithTimeline(factory PolicyFactory, starts []float64, rec 
 // Solo runs application i alone (starting at 0, uncoordinated) and returns
 // its observed I/O time — the T_alone calibration for interference factors.
 func (sc Scenario) Solo(i int) float64 {
+	return sc.soloOn(sim.NewEngine(), i)
+}
+
+// soloOn is Solo on a reused engine (see RunOn).
+func (sc Scenario) soloOn(eng *sim.Engine, i int) float64 {
 	solo := sc
 	solo.Apps = []AppSpec{sc.Apps[i]}
-	return solo.Run(nil, []float64{0}).IOTime[0]
+	return solo.RunOn(eng, nil, []float64{0}, nil).IOTime[0]
 }
 
 // Series is a swept ∆-graph for a two-application scenario under one policy.
@@ -178,19 +191,21 @@ func policyName(sc Scenario, factory PolicyFactory) string {
 // Sweep runs the two-app scenario at every dt under the policy. dt > 0
 // means B starts after A, matching the paper's convention. A fixed pool of
 // worker goroutines (one per OS thread) pulls points off a shared counter —
-// no goroutine-per-point churn — and each worker reuses its own start and
-// report scratch across the points it runs. Each point is still its own
+// no goroutine-per-point churn — and each worker reuses its own engine
+// (reset between points, so pooled event records carry over) plus its start
+// and report scratch across the points it runs. Each point is still its own
 // deterministic engine, so results are independent of the worker count and
 // of scheduling order.
 func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 	if len(sc.Apps) != 2 {
 		panic(fmt.Sprintf("delta: Sweep needs exactly 2 apps, got %d", len(sc.Apps)))
 	}
+	calib := sim.NewEngine() // one engine for both solo calibrations
 	s := Series{
 		Policy: policyName(sc, factory),
 		DT:     append([]float64(nil), dts...),
-		SoloA:  sc.Solo(0),
-		SoloB:  sc.Solo(1),
+		SoloA:  sc.soloOn(calib, 0),
+		SoloB:  sc.soloOn(calib, 1),
 	}
 	n := len(dts)
 	s.TimeA = make([]float64, n)
@@ -209,6 +224,7 @@ func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			eng := sim.NewEngine() // reused across this worker's points
 			starts := make([]float64, 2)
 			rep := metrics.Report{Apps: make([]metrics.AppResult, 2)}
 			for {
@@ -221,7 +237,7 @@ func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 				if dt < 0 {
 					starts[0], starts[1] = -dt, 0
 				}
-				res := sc.Run(factory, starts)
+				res := sc.RunOn(eng, factory, starts, nil)
 				s.TimeA[k] = res.IOTime[0]
 				s.TimeB[k] = res.IOTime[1]
 				s.FactorA[k] = res.IOTime[0] / s.SoloA

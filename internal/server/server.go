@@ -1,0 +1,723 @@
+// Package server implements calciomd, the live CALCioM coordination daemon:
+// the paper's arbitration layer run as a network service instead of inside
+// the discrete-event simulator.
+//
+// Architecture: one goroutine per connection reads wire.Request frames and
+// funnels them into a single arbitration goroutine; one goroutine per
+// connection writes responses and pushed grants/revocations back out. All
+// coordination state — the core.Arbiter shared with the simulator Layer,
+// per-session accounting, pending Waits, the decision log — is owned by the
+// arbitration goroutine alone, so there is no lock on the hot path and the
+// daemon's decisions are fully deterministic given a serialized request
+// order (with a deterministic Clock; the default clock is monotonic wall
+// time).
+//
+// The arbitration hot path is allocation-conscious like the simulator's
+// contention path: the Arbiter reuses its view/decision scratch, policies
+// implementing core.IndexedArbitrator (fcfs, interrupt, interfere, delay)
+// run map-free, and responses are written through per-connection buffered
+// writers with batched flushes.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// ListenAddr is the TCP address for ListenAndServe ("host:port").
+	ListenAddr string
+	// Policy arbitrates file-system access; required.
+	Policy core.Policy
+	// Model, when set, lets stats estimate per-app solo times and live
+	// interference factors (and is required by delay/dynamic policies,
+	// which are constructed with it).
+	Model *core.PerfModel
+	// SessionTimeout evicts sessions idle longer than this; 0 disables.
+	SessionTimeout time.Duration
+	// Clock returns the coordination time in seconds. Nil means monotonic
+	// wall time since the server started. Tests inject a logical clock to
+	// make entire runs deterministic.
+	Clock func() float64
+	// LogBound bounds the decision log kept for stats: 0 means the default
+	// (256), negative disables logging entirely (benchmarks).
+	LogBound int
+	// Logf, when set, receives one line per lifecycle event (connects,
+	// evictions, shutdown). The arbitration hot path never logs.
+	Logf func(format string, args ...any)
+}
+
+// envelope kinds flowing into the arbitration goroutine.
+const (
+	kindRequest = iota
+	kindConnect
+	kindDisconnect
+	kindRecheck
+	kindStats
+)
+
+type envelope struct {
+	kind    int
+	s       *session
+	req     wire.Request
+	statsCh chan wire.Stats
+}
+
+// session is one client connection. The conn/out/dead fields are shared
+// with the reader and writer goroutines; everything else is owned by the
+// arbitration goroutine.
+type session struct {
+	conn net.Conn
+	out  chan wire.Response
+	dead atomic.Bool
+
+	app      *core.AppState
+	gone     bool   // unregistered/evicted; later envelopes are ignored
+	waitSeq  uint64 // Seq of the deferred Wait response; 0 = none pending
+	waitFrom float64
+	lastSeen float64
+
+	// LASSi-style live accounting, mirroring the simulator Coordinator.
+	phaseStart float64
+	phases     int
+	grants     uint64
+	ioTime     float64
+	waitTime   float64
+}
+
+// send enqueues a response without ever blocking the arbitration loop: a
+// client too slow to drain its buffer is disconnected rather than allowed
+// to stall arbitration for everyone else.
+func (s *session) send(r wire.Response) {
+	if s.out == nil || s.dead.Load() {
+		return
+	}
+	select {
+	case s.out <- r:
+	default:
+		s.dead.Store(true)
+		s.conn.Close()
+	}
+}
+
+// Server is the coordination daemon. Create with New, run with Serve or
+// ListenAndServe, stop with Close.
+type Server struct {
+	cfg   Config
+	clock func() float64
+	arb   *core.Arbiter
+
+	reqCh chan envelope
+	stop  chan struct{}
+
+	mu        sync.Mutex
+	ln        net.Listener
+	closed    bool
+	serving   bool
+	serveDone chan struct{}
+	loopDone  chan struct{}
+	wg        sync.WaitGroup
+	final     wire.Stats // last snapshot, served after the loop exits
+
+	// Owned by the arbitration goroutine.
+	sessions     map[*session]struct{}
+	recheck      *time.Timer
+	arbitrations uint64
+	grantsServed uint64
+}
+
+// New validates the configuration and builds a server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("server: nil policy")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		start := time.Now()
+		clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	arb := core.NewArbiter(cfg.Policy)
+	arb.SetIndexed(true)
+	switch {
+	case cfg.LogBound < 0:
+		arb.SetLogBound(0)
+	case cfg.LogBound == 0:
+		arb.SetLogBound(256)
+	default:
+		arb.SetLogBound(cfg.LogBound)
+	}
+	return &Server{
+		cfg:       cfg,
+		clock:     clock,
+		arb:       arb,
+		reqCh:     make(chan envelope, 256),
+		stop:      make(chan struct{}),
+		serveDone: make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		sessions:  make(map[*session]struct{}),
+	}, nil
+}
+
+func (srv *Server) logf(format string, args ...any) {
+	if srv.cfg.Logf != nil {
+		srv.cfg.Logf(format, args...)
+	}
+}
+
+// Addr returns the listening address (nil before Serve).
+func (srv *Server) Addr() net.Addr {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.ln == nil {
+		return nil
+	}
+	return srv.ln.Addr()
+}
+
+// ListenAndServe listens on cfg.ListenAddr and serves until Close.
+func (srv *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", srv.cfg.ListenAddr)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a clean
+// Close, or the accept error otherwise. Serve may be called at most once.
+func (srv *Server) Serve(ln net.Listener) error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	if srv.serving {
+		srv.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already serving")
+	}
+	srv.serving = true
+	srv.ln = ln
+	srv.mu.Unlock()
+	// Closed when the accept loop has returned: after that, no new
+	// startSession can run, which Close relies on for a complete teardown.
+	defer close(srv.serveDone)
+	go srv.loop()
+	srv.logf("calciomd: serving on %s (policy %s)", ln.Addr(), srv.cfg.Policy.Name())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			srv.mu.Lock()
+			closed := srv.closed
+			srv.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		srv.startSession(conn)
+	}
+}
+
+// Close stops the daemon: the listener, every session and the arbitration
+// loop are torn down, and Close returns once all goroutines have exited.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil
+	}
+	srv.closed = true
+	ln, serving := srv.ln, srv.serving
+	srv.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if serving {
+		// Wait for the accept loop first: once it has returned, no further
+		// startSession can enqueue a connection the arbitration loop would
+		// never see.
+		<-srv.serveDone
+	}
+	close(srv.stop)
+	if serving {
+		<-srv.loopDone
+		// Sessions whose kindConnect envelope was still queued when the
+		// loop exited were never adopted by it; tear them down here or
+		// their writer goroutines would block forever on an open out
+		// channel (and Close would never return). Leftover envelopes of
+		// other kinds reference sessions the loop already closed.
+		for {
+			select {
+			case env := <-srv.reqCh:
+				if env.kind == kindConnect {
+					env.s.dead.Store(true)
+					close(env.s.out)
+					env.s.conn.Close()
+				}
+				continue
+			default:
+			}
+			break
+		}
+	}
+	srv.wg.Wait()
+	return nil
+}
+
+// GrantsServed returns the total number of Wait authorizations served.
+// Exact once the server is closed; a snapshot while running.
+func (srv *Server) GrantsServed() uint64 {
+	return srv.Stats().GrantsServed
+}
+
+// Stats returns a live metrics snapshot, consistent because it is computed
+// inside the arbitration goroutine. After Close it returns the final
+// snapshot taken at shutdown; on a server that never served it returns a
+// zero snapshot instead of blocking.
+func (srv *Server) Stats() wire.Stats {
+	srv.mu.Lock()
+	serving := srv.serving
+	srv.mu.Unlock()
+	if !serving {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return srv.final
+	}
+	ch := make(chan wire.Stats, 1)
+	select {
+	case srv.reqCh <- envelope{kind: kindStats, statsCh: ch}:
+		select {
+		case st := <-ch:
+			return st
+		case <-srv.loopDone:
+		}
+	case <-srv.loopDone:
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.final
+}
+
+func (srv *Server) startSession(conn net.Conn) {
+	s := &session{conn: conn, out: make(chan wire.Response, 256)}
+	select {
+	case srv.reqCh <- envelope{kind: kindConnect, s: s}:
+	case <-srv.stop:
+		conn.Close()
+		return
+	}
+	srv.wg.Add(2)
+	go srv.readLoop(s)
+	go srv.writeLoop(s)
+}
+
+func (srv *Server) readLoop(s *session) {
+	defer srv.wg.Done()
+	dec := wire.NewReader(bufio.NewReader(s.conn))
+	for {
+		var req wire.Request
+		if err := dec.Read(&req); err != nil {
+			break
+		}
+		if req.Seq == 0 {
+			break // reserved for pushes; a zero Seq is a client bug
+		}
+		select {
+		case srv.reqCh <- envelope{kind: kindRequest, s: s, req: req}:
+		case <-srv.stop:
+			return
+		}
+	}
+	select {
+	case srv.reqCh <- envelope{kind: kindDisconnect, s: s}:
+	case <-srv.stop:
+	}
+}
+
+func (srv *Server) writeLoop(s *session) {
+	defer srv.wg.Done()
+	defer s.conn.Close()
+	bw := bufio.NewWriter(s.conn)
+	for resp := range s.out {
+		if err := wire.Write(bw, resp); err != nil {
+			s.dead.Store(true)
+		}
+		// Batch: flush only when no further response is queued.
+		if len(s.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				s.dead.Store(true)
+			}
+		}
+	}
+}
+
+// loop is the arbitration goroutine: the only place coordination state is
+// read or written.
+func (srv *Server) loop() {
+	defer close(srv.loopDone)
+	var evict <-chan time.Time
+	if srv.cfg.SessionTimeout > 0 {
+		t := time.NewTicker(srv.cfg.SessionTimeout / 2)
+		defer t.Stop()
+		evict = t.C
+	}
+	for {
+		select {
+		case env := <-srv.reqCh:
+			srv.dispatch(env)
+		case <-evict:
+			srv.evictIdle()
+		case <-srv.stop:
+			srv.shutdown()
+			return
+		}
+	}
+}
+
+func (srv *Server) dispatch(env envelope) {
+	switch env.kind {
+	case kindConnect:
+		srv.sessions[env.s] = struct{}{}
+		env.s.lastSeen = srv.clock()
+	case kindDisconnect:
+		srv.drop(env.s, "disconnect")
+	case kindRecheck:
+		srv.arbitrate(srv.clock())
+	case kindStats:
+		env.statsCh <- srv.snapshot(srv.clock())
+	case kindRequest:
+		if env.s.gone {
+			return
+		}
+		env.s.lastSeen = srv.clock()
+		srv.handle(env.s, env.req)
+	}
+}
+
+// drop unregisters a session's application and tears the connection down.
+// If the application was mid-phase, the remaining applications are
+// re-arbitrated — a vanished holder must not wedge the queue.
+func (srv *Server) drop(s *session, why string) {
+	if s.gone {
+		return
+	}
+	s.gone = true
+	delete(srv.sessions, s)
+	wasBusy := false
+	if s.app != nil {
+		wasBusy = s.app.State() != core.Idle
+		srv.logf("calciomd: %s: %s", s.app.Name(), why)
+		srv.arb.Unregister(s.app)
+		s.app = nil
+	}
+	s.dead.Store(true)
+	close(s.out)
+	if wasBusy {
+		srv.arbitrate(srv.clock())
+	}
+}
+
+func (srv *Server) evictIdle() {
+	now := srv.clock()
+	limit := srv.cfg.SessionTimeout.Seconds()
+	var stale []*session
+	for s := range srv.sessions {
+		if s.waitSeq == 0 && now-s.lastSeen > limit {
+			stale = append(stale, s)
+		}
+	}
+	// Map iteration order is random; evict deterministically by name.
+	sort.Slice(stale, func(i, j int) bool {
+		ni, nj := "", ""
+		if stale[i].app != nil {
+			ni = stale[i].app.Name()
+		}
+		if stale[j].app != nil {
+			nj = stale[j].app.Name()
+		}
+		return ni < nj
+	})
+	for _, s := range stale {
+		srv.drop(s, "session timeout")
+	}
+}
+
+func (srv *Server) shutdown() {
+	now := srv.clock()
+	st := srv.snapshot(now)
+	srv.mu.Lock()
+	srv.final = st
+	srv.mu.Unlock()
+	if srv.recheck != nil {
+		srv.recheck.Stop()
+		srv.recheck = nil
+	}
+	for s := range srv.sessions {
+		s.gone = true
+		s.dead.Store(true)
+		close(s.out)
+	}
+	srv.sessions = nil
+	srv.logf("calciomd: shutdown after %.3fs, %d grants served", now, st.GrantsServed)
+}
+
+// reply sends the response to one request. Every response reports the
+// application's current authorization, so the client library can maintain
+// its cached Check state from the response stream alone (single writer, in
+// server order — no lost revocations).
+func (s *session) reply(seq uint64, ok bool, err error) {
+	r := wire.Response{Seq: seq, Type: wire.TypeResp, OK: ok}
+	if err != nil {
+		r.Err = err.Error()
+	}
+	if s.app != nil {
+		r.Authorized = s.app.Authorized()
+	}
+	s.send(r)
+}
+
+// serveGrant answers a Wait — immediately or deferred — and accounts for
+// the served grant in one place.
+func (srv *Server) serveGrant(s *session, seq uint64) {
+	s.app.Activate()
+	s.grants++
+	srv.grantsServed++
+	s.send(wire.Response{Seq: seq, Type: wire.TypeResp, OK: true, Authorized: true})
+}
+
+// handle processes one request. It must stay panic-free for any request a
+// client can send: protocol violations become error responses.
+func (srv *Server) handle(s *session, req wire.Request) {
+	now := srv.clock()
+	if s.app == nil && req.Type != wire.TypeRegister && req.Type != wire.TypeStats {
+		s.reply(req.Seq, false, errors.New("not registered"))
+		return
+	}
+	switch req.Type {
+	case wire.TypeRegister:
+		if s.app != nil {
+			s.reply(req.Seq, false, fmt.Errorf("already registered as %s", s.app.Name()))
+			return
+		}
+		app, err := srv.arb.Register(req.App, req.Cores)
+		if err != nil {
+			s.reply(req.Seq, false, err)
+			return
+		}
+		app.Data = s
+		s.app = app
+		s.reply(req.Seq, true, nil)
+
+	case wire.TypePrepare:
+		s.app.Prepare(core.Info(req.Info))
+		s.reply(req.Seq, true, nil)
+
+	case wire.TypeComplete:
+		err := s.app.Complete()
+		s.reply(req.Seq, err == nil, err)
+
+	case wire.TypeInform:
+		if req.BytesDone > 0 {
+			s.app.Progress(req.BytesDone)
+		}
+		if s.app.Inform(now) {
+			s.phaseStart = now
+			s.phases++
+		}
+		srv.arbitrate(now)
+		s.reply(req.Seq, true, nil)
+
+	case wire.TypeProgress:
+		// State-free, like the simulator's Coordinator.Progress: records
+		// progress without opening a phase or triggering arbitration (the
+		// value rides into the next inform/release arbitration).
+		if req.BytesDone > 0 {
+			s.app.Progress(req.BytesDone)
+		}
+		s.reply(req.Seq, true, nil)
+
+	case wire.TypeCheck:
+		s.reply(req.Seq, true, nil)
+
+	case wire.TypeWait:
+		if s.app.State() == core.Idle {
+			s.reply(req.Seq, false, fmt.Errorf("core: %s: Wait before Inform", s.app.Name()))
+			return
+		}
+		if s.waitSeq != 0 {
+			s.reply(req.Seq, false, errors.New("wait already pending"))
+			return
+		}
+		if s.app.Authorized() {
+			srv.serveGrant(s, req.Seq)
+			return
+		}
+		s.waitSeq = req.Seq
+		s.waitFrom = now
+
+	case wire.TypeRelease:
+		if req.BytesDone > 0 {
+			s.app.Progress(req.BytesDone)
+		}
+		if err := s.app.Release(); err != nil {
+			s.reply(req.Seq, false, err)
+			return
+		}
+		srv.arbitrate(now)
+		s.reply(req.Seq, true, nil)
+
+	case wire.TypeEnd:
+		if s.waitSeq != 0 {
+			// A pipelined client is tearing the phase down under its own
+			// pending Wait. Fail that Wait now: once the app is Idle it is
+			// invisible to arbitration, so the deferred response would
+			// never come and the dangling waitSeq would shield the session
+			// from idle eviction forever.
+			s.send(wire.Response{Seq: s.waitSeq, Type: wire.TypeResp,
+				Err: "wait cancelled: phase ended"})
+			s.waitSeq = 0
+		}
+		if s.app.State() != core.Idle {
+			s.ioTime += now - s.phaseStart
+		}
+		s.app.End()
+		srv.arbitrate(now)
+		s.reply(req.Seq, true, nil)
+
+	case wire.TypeStats:
+		st := srv.snapshot(now)
+		s.send(wire.Response{Seq: req.Seq, Type: wire.TypeResp, OK: true, Stats: &st})
+
+	default:
+		s.reply(req.Seq, false, fmt.Errorf("unknown request type %q", req.Type))
+	}
+}
+
+// arbitrate runs one arbitration round and delivers authorization changes:
+// a granted application with a pending Wait receives its deferred response
+// (this is a served grant); other flips are pushed as grant/revoke
+// notifications. Delivery happens in registration order, so a serialized
+// request order yields one exact response order.
+func (srv *Server) arbitrate(now float64) {
+	if srv.recheck != nil {
+		srv.recheck.Stop()
+		srv.recheck = nil
+	}
+	out := srv.arb.Arbitrate(now)
+	srv.arbitrations++
+	if !out.Acted {
+		return
+	}
+	for _, a := range out.Granted {
+		s := a.Data.(*session)
+		if s.waitSeq != 0 {
+			s.waitTime += now - s.waitFrom
+			srv.serveGrant(s, s.waitSeq)
+			s.waitSeq = 0
+		} else {
+			s.send(wire.Response{Type: wire.TypeGrant, Authorized: true})
+		}
+	}
+	for _, a := range out.Revoked {
+		s := a.Data.(*session)
+		s.send(wire.Response{Type: wire.TypeRevoke})
+	}
+	if out.RecheckAfter > 0 {
+		srv.recheck = time.AfterFunc(secondsToDuration(out.RecheckAfter), func() {
+			select {
+			case srv.reqCh <- envelope{kind: kindRecheck}:
+			case <-srv.stop:
+			}
+		})
+	}
+}
+
+func secondsToDuration(s float64) time.Duration {
+	if s > math.MaxInt64/float64(time.Second) {
+		return math.MaxInt64
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// snapshot builds the LASSi-style live metrics view on internal/metrics:
+// per-application observed I/O time (open phases count up to now), wait
+// time, progress and grants, plus machine-wide CPU-seconds-wasted and — when
+// a performance model is configured — live interference factors.
+func (srv *Server) snapshot(now float64) wire.Stats {
+	st := wire.Stats{
+		Policy:       srv.cfg.Policy.Name(),
+		NowS:         now,
+		Sessions:     len(srv.sessions),
+		Arbitrations: srv.arbitrations,
+		GrantsServed: srv.grantsServed,
+	}
+	if rec := srv.arb.LastRecord(); rec != nil {
+		st.LastDecision = fmt.Sprintf("t=%.3f allowed=%v %s", rec.Time, rec.Allowed, rec.Reason)
+	}
+	apps := srv.arb.Apps()
+	rep := metrics.Report{Apps: make([]metrics.AppResult, 0, len(apps))}
+	for _, a := range apps {
+		s, ok := a.Data.(*session)
+		if !ok {
+			continue
+		}
+		v := a.View()
+		ioTime := s.ioTime
+		if v.State != core.Idle {
+			ioTime += now - s.phaseStart
+		}
+		as := wire.AppStats{
+			Name:       v.Name,
+			Cores:      v.Cores,
+			State:      v.State.String(),
+			Authorized: a.Authorized(),
+			Phases:     s.phases,
+			Grants:     s.grants,
+			BytesTotal: v.BytesTotal,
+			BytesDone:  v.BytesDone,
+			IOTimeS:    ioTime,
+			WaitTimeS:  s.waitTime,
+		}
+		alone := 0.0
+		if srv.cfg.Model != nil {
+			// Live interference: observed time for the bytes moved so far
+			// versus the model's solo estimate for those bytes.
+			if solo := srv.cfg.Model.SoloTime(v, v.BytesDone); solo > 0 && !math.IsInf(solo, 1) {
+				as.Interference = ioTime / solo
+				alone = solo
+			}
+		}
+		rep.Apps = append(rep.Apps, metrics.AppResult{
+			Name: v.Name, Cores: v.Cores, IOTime: ioTime, AloneTime: alone,
+		})
+		st.Apps = append(st.Apps, as)
+	}
+	sort.Slice(st.Apps, func(i, j int) bool { return st.Apps[i].Name < st.Apps[j].Name })
+	st.CPUSecondsWasted = rep.CPUSecondsWasted()
+	if srv.cfg.Model != nil {
+		// Sum only over apps the model could estimate (AloneTime > 0), so
+		// the aggregate stays finite.
+		var sum float64
+		for _, a := range rep.Apps {
+			if a.AloneTime > 0 {
+				sum += a.InterferenceFactor()
+			}
+		}
+		st.SumInterference = sum
+	}
+	return st
+}

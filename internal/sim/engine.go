@@ -220,6 +220,44 @@ func (e *Engine) Cancel(ev *Event) {
 // zero-delay callbacks.
 func (e *Engine) Pending() int { return len(e.events) + len(e.zq) - e.zhead }
 
+// Reset returns the engine to a pristine state — clock at zero, sequence
+// counter restarted, no pending events — while keeping its allocated
+// capacity: the record free list, the heap's backing array and the Post
+// ring survive, so a worker sweeping many simulation points can run every
+// point on one engine and stop paying the per-run event allocations (the
+// delta package's sweep workers do exactly this).
+//
+// Reset panics if live processes remain: their goroutines are parked on
+// state the reset would orphan. Pending events are dropped, their
+// cancellation handles detached (a stale Cancel stays a no-op) and
+// Timer-owned records disarmed in place, so owners may re-arm their Timers
+// after the reset. The tracer is kept.
+func (e *Engine) Reset() {
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: Reset with %d live process(es)", e.procs))
+	}
+	for _, r := range e.events {
+		r.idx = -1
+		if r.handle != nil {
+			r.handle.rec = nil
+			r.handle = nil
+		}
+		r.fn = nil
+		if !r.owned {
+			e.free = append(e.free, r)
+		}
+	}
+	e.events = e.events[:0]
+	for i := e.zhead; i < len(e.zq); i++ {
+		e.zq[i].fn = nil
+	}
+	e.zq = e.zq[:0]
+	e.zhead = 0
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+}
+
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 

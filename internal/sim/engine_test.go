@@ -574,3 +574,95 @@ func TestPostRespectsHorizon(t *testing.T) {
 		t.Fatal("post lost after horizon-limited run")
 	}
 }
+
+func TestResetClearsStateKeepsPools(t *testing.T) {
+	eng := NewEngine()
+	var fired []float64
+	run := func() []float64 {
+		fired = fired[:0]
+		eng.Schedule(2, func() { fired = append(fired, eng.Now()) })
+		eng.Schedule(1, func() {
+			fired = append(fired, eng.Now())
+			eng.Post(func() { fired = append(fired, -eng.Now()) })
+		})
+		eng.Run()
+		return append([]float64(nil), fired...)
+	}
+	first := run()
+
+	// Leave debris behind: pending events, a posted callback, a pending
+	// timer, an advanced clock — Reset must clear all of it.
+	ev := eng.Schedule(5, func() { t.Error("cancelled-epoch event fired") })
+	eng.Post(func() { t.Error("cancelled-epoch post fired") })
+	tm := eng.NewTimer(func() { t.Error("cancelled-epoch timer fired") })
+	tm.Schedule(3)
+	eng.Reset()
+	if eng.Now() != 0 || eng.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d", eng.Now(), eng.Pending())
+	}
+	if tm.Pending() {
+		t.Fatal("timer still pending after Reset")
+	}
+	eng.Cancel(ev) // stale handle must stay a harmless no-op
+	tm.Cancel()
+
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("replay diverged: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, first, second)
+		}
+	}
+	// The timer must be re-armable after a reset.
+	armed := false
+	tm2 := eng.NewTimer(func() { armed = true })
+	tm2.Schedule(1)
+	eng.Run()
+	if !armed {
+		t.Fatal("timer did not fire after reset")
+	}
+}
+
+func TestResetWithLiveProcsPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.Go("p", func(p *Proc) { p.Suspend().Park() })
+	eng.RunUntil(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng.Reset()
+}
+
+// TestResetReusesRecords pins the point of Reset: after a warm-up run, a
+// reset engine replays the same schedule out of its record free list. Only
+// the 16-byte cancellation handles remain (they are deliberately not pooled
+// — stale-handle safety), so the reset replay must allocate at most one
+// handle per Schedule, strictly less than a fresh engine pays.
+func TestResetReusesRecords(t *testing.T) {
+	const events = 64
+	load := func(eng *Engine) {
+		for i := 0; i < events; i++ {
+			eng.Schedule(float64(i%7), func() {})
+		}
+		eng.Run()
+	}
+	fresh := testing.AllocsPerRun(10, func() {
+		load(NewEngine())
+	})
+	eng := NewEngine()
+	load(eng)
+	reset := testing.AllocsPerRun(10, func() {
+		eng.Reset()
+		load(eng)
+	})
+	if reset > events+1 {
+		t.Fatalf("reset+replay allocates %.1f/run, want <= %d (handles only)", reset, events+1)
+	}
+	if reset >= fresh {
+		t.Fatalf("reset replay (%.1f allocs) not cheaper than fresh engine (%.1f)", reset, fresh)
+	}
+}

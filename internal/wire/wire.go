@@ -1,0 +1,190 @@
+// Package wire defines the calciomd network protocol: the CALCioM
+// coordination API (Prepare/Complete/Inform/Check/Wait/Release, paper
+// §III-C) carried as length-prefixed JSON frames over a byte stream.
+//
+// Framing: every message is a 4-byte big-endian payload length followed by
+// that many bytes of JSON. Frames above MaxFrame are rejected on both read
+// and write, so a corrupt length prefix cannot make a peer allocate
+// unboundedly.
+//
+// Message flow: the client sends Request frames, each carrying a
+// client-chosen nonzero Seq; the server answers every request with exactly
+// one Response frame of type TypeResp echoing that Seq. Responses can be
+// deferred and arrive out of order — TypeWait in particular is answered only
+// once arbitration authorizes the application. The server additionally
+// pushes unsolicited frames (Seq 0) of type TypeGrant or TypeRevoke whenever
+// an application's authorization flips without a Wait pending, so a client
+// polling Check sees revocations without a round trip.
+//
+// Request types and their fields:
+//
+//	register  App, Cores     introduce the application (first request)
+//	prepare   Info           stack MPI_Info-style hints (bytes_total, ...)
+//	complete  —              unstack the most recent prepare
+//	inform    BytesDone?     open/continue an I/O phase, trigger arbitration
+//	progress  BytesDone      report progress only; no state change
+//	check     —              poll authorization; never blocks
+//	wait      —              block until authorized (deferred response)
+//	release   BytesDone?     end one access step
+//	end       —              end the I/O phase entirely
+//	stats     —              LASSi-style live metrics snapshot
+//
+// Every TypeResp response carries the application's authorization at the
+// time it was sent, so a client can maintain its cached Check state from
+// the ordered response stream alone.
+//
+// The protocol is deliberately ignorant of transport concerns beyond
+// framing; internal/server and internal/client own connection lifecycle.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame is the maximum payload size either side will read or write.
+const MaxFrame = 1 << 20
+
+// Request types, client → server.
+const (
+	TypeRegister = "register"
+	TypePrepare  = "prepare"
+	TypeComplete = "complete"
+	TypeInform   = "inform"
+	TypeProgress = "progress"
+	TypeCheck    = "check"
+	TypeWait     = "wait"
+	TypeRelease  = "release"
+	TypeEnd      = "end"
+	TypeStats    = "stats"
+)
+
+// Response types, server → client.
+const (
+	// TypeResp answers one Request, echoing its Seq.
+	TypeResp = "resp"
+	// TypeGrant is an unsolicited authorization grant (Seq 0).
+	TypeGrant = "grant"
+	// TypeRevoke is an unsolicited authorization revocation (Seq 0).
+	TypeRevoke = "revoke"
+)
+
+// Request is a client → server message.
+type Request struct {
+	Seq   uint64            `json:"seq"`
+	Type  string            `json:"type"`
+	App   string            `json:"app,omitempty"`   // register
+	Cores int               `json:"cores,omitempty"` // register
+	Info  map[string]string `json:"info,omitempty"`  // prepare
+	// BytesDone, when positive, reports phase progress (monotone max), as
+	// the paper piggybacks progress on coordination messages. Honored on
+	// inform and release.
+	BytesDone float64 `json:"bytes_done,omitempty"`
+}
+
+// Response is a server → client message: either the answer to one request
+// (TypeResp, Seq echoed) or an unsolicited push (TypeGrant/TypeRevoke,
+// Seq 0).
+type Response struct {
+	Seq        uint64 `json:"seq,omitempty"`
+	Type       string `json:"type"`
+	OK         bool   `json:"ok,omitempty"`
+	Err        string `json:"err,omitempty"`
+	Authorized bool   `json:"authorized,omitempty"`
+	Stats      *Stats `json:"stats,omitempty"`
+}
+
+// AppStats is one application's slice of the live metrics snapshot.
+type AppStats struct {
+	Name       string  `json:"name"`
+	Cores      int     `json:"cores"`
+	State      string  `json:"state"`
+	Authorized bool    `json:"authorized,omitempty"`
+	Phases     int     `json:"phases"`
+	Grants     uint64  `json:"grants"`
+	BytesTotal float64 `json:"bytes_total,omitempty"`
+	BytesDone  float64 `json:"bytes_done,omitempty"`
+	IOTimeS    float64 `json:"io_time_s"`
+	WaitTimeS  float64 `json:"wait_time_s"`
+	// Interference is observed I/O time over model-estimated solo time for
+	// the work declared so far — the live analogue of the paper's I factor.
+	// Zero when the daemon has no performance model.
+	Interference float64 `json:"interference,omitempty"`
+}
+
+// Stats is the daemon's LASSi-style live snapshot: per-application I/O and
+// wait accounting plus machine-wide aggregates, computed on demand from the
+// arbitration loop so it is always consistent. Apps are sorted by name.
+type Stats struct {
+	Policy           string     `json:"policy"`
+	NowS             float64    `json:"now_s"`
+	Sessions         int        `json:"sessions"`
+	Arbitrations     uint64     `json:"arbitrations"`
+	GrantsServed     uint64     `json:"grants_served"`
+	CPUSecondsWasted float64    `json:"cpu_seconds_wasted"`
+	SumInterference  float64    `json:"sum_interference,omitempty"`
+	LastDecision     string     `json:"last_decision,omitempty"`
+	Apps             []AppStats `json:"apps,omitempty"`
+}
+
+// Write marshals v and writes it as one frame.
+func Write(w io.Writer, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(buf) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(buf), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Reader decodes frames from a stream, reusing one payload buffer across
+// reads.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader wraps a stream. The caller should pass something buffered.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read decodes the next frame into v. io.EOF is returned untouched on a
+// clean end of stream (EOF at a frame boundary); a partial frame becomes
+// io.ErrUnexpectedEOF.
+func (d *Reader) Read(v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return fmt.Errorf("wire: bad frame length %d", n)
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	d.buf = d.buf[:n]
+	if _, err := io.ReadFull(d.r, d.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	if err := json.Unmarshal(d.buf, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Read decodes one frame from r into v (a convenience for one-shot use;
+// Reader amortizes the buffer).
+func Read(r io.Reader, v any) error { return NewReader(r).Read(v) }

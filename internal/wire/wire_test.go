@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reqs := []Request{
+		{Seq: 1, Type: TypeRegister, App: "A", Cores: 512},
+		{Seq: 2, Type: TypePrepare, Info: map[string]string{"bytes_total": "1048576"}},
+		{Seq: 3, Type: TypeInform, BytesDone: 42.5},
+		{Seq: 4, Type: TypeWait},
+	}
+	for _, r := range reqs {
+		if err := Write(&buf, r); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	dec := NewReader(&buf)
+	for i, want := range reqs {
+		var got Request
+		if err := dec.Read(&got); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Seq != want.Seq || got.Type != want.Type || got.App != want.App ||
+			got.Cores != want.Cores || got.BytesDone != want.BytesDone {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		if want.Info != nil && got.Info["bytes_total"] != want.Info["bytes_total"] {
+			t.Fatalf("frame %d: info %v want %v", i, got.Info, want.Info)
+		}
+	}
+	var extra Request
+	if err := dec.Read(&extra); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	resp := Response{Seq: 7, Type: TypeResp, OK: true, Authorized: true,
+		Stats: &Stats{Policy: "fcfs", GrantsServed: 3, Apps: []AppStats{{Name: "A", Cores: 4}}}}
+	if err := Write(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	if err := Read(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK || !got.Authorized || got.Seq != 7 || got.Stats == nil ||
+		got.Stats.Policy != "fcfs" || len(got.Stats.Apps) != 1 || got.Stats.Apps[0].Name != "A" {
+		t.Fatalf("got %+v (stats %+v)", got, got.Stats)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Request{Seq: 1, Type: TypeCheck}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the payload: must be ErrUnexpectedEOF, not a clean EOF.
+	var got Request
+	if err := Read(bytes.NewReader(full[:len(full)-2]), &got); err != io.ErrUnexpectedEOF {
+		t.Fatalf("payload cut: want ErrUnexpectedEOF, got %v", err)
+	}
+	// Cut inside the header.
+	if err := Read(bytes.NewReader(full[:2]), &got); err != io.ErrUnexpectedEOF {
+		t.Fatalf("header cut: want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	var got Request
+	err := Read(bytes.NewReader(hdr[:]), &got)
+	if err == nil || !strings.Contains(err.Error(), "bad frame length") {
+		t.Fatalf("want bad frame length error, got %v", err)
+	}
+	big := Request{Seq: 1, Type: TypePrepare,
+		Info: map[string]string{"k": strings.Repeat("x", MaxFrame)}}
+	if err := Write(io.Discard, big); err == nil || !strings.Contains(err.Error(), "exceeds max") {
+		t.Fatalf("want oversize write error, got %v", err)
+	}
+}
+
+func TestZeroLengthFrameRejected(t *testing.T) {
+	var got Request
+	err := Read(bytes.NewReader([]byte{0, 0, 0, 0}), &got)
+	if err == nil || !strings.Contains(err.Error(), "bad frame length") {
+		t.Fatalf("want bad frame length error, got %v", err)
+	}
+}
+
+func TestGarbagePayload(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	var got Request
+	if err := Read(&buf, &got); err == nil || !strings.Contains(err.Error(), "unmarshal") {
+		t.Fatalf("want unmarshal error, got %v", err)
+	}
+}
+
+// TestReaderReusesBuffer pins the allocation-amortization property: after the
+// first read, same-size frames must not grow the buffer.
+func TestReaderReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 64; i++ {
+		if err := Write(&buf, Request{Seq: uint64(i + 100), Type: TypeInform}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewReader(&buf)
+	var got Request
+	if err := dec.Read(&got); err != nil {
+		t.Fatal(err)
+	}
+	c := cap(dec.buf)
+	for i := 1; i < 64; i++ {
+		if err := dec.Read(&got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cap(dec.buf) != c {
+		t.Fatalf("buffer regrew: %d -> %d", c, cap(dec.buf))
+	}
+}
