@@ -12,6 +12,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/ior"
 	"repro/internal/pfs"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/swf"
 )
@@ -327,6 +328,28 @@ func BenchmarkDeltaSweepFabricDense(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc.Sweep(delta.Uncoordinated, dts)
+	}
+}
+
+// BenchmarkDeltaPointReused measures the marginal cost of one additional
+// ∆-sweep point on a reused platform — what every point after a worker's
+// first costs since the resettable-platform rework: pure simulation, zero
+// allocations.
+func BenchmarkDeltaPointReused(b *testing.B) {
+	sc := experiments.SurveyorPlatform()
+	sc.TrueNetwork = true
+	w := ior.Workload{Pattern: ior.Contiguous, BlockSize: 32 << 20, BlocksPerProc: 1, ReqBytes: 4 << 20}
+	sc.Apps = []delta.AppSpec{
+		{Name: "A", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
+		{Name: "B", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
+	}
+	pl := platform.NewPool().Acquire(sc.Spec(), nil)
+	starts := []float64{0, 5}
+	pl.Run(starts, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Run(starts, nil)
 	}
 }
 

@@ -90,4 +90,55 @@
 //
 // TestReassignSteadyStateAllocFree and the determinism regression tests in
 // internal/delta pin these properties in CI.
+//
+// # Platform reuse
+//
+// The ∆-graph methodology re-runs one scenario at dozens of start offsets,
+// and what-if analytics re-evaluate one platform against many schedules.
+// internal/platform makes that cheap: it builds the whole simulated
+// platform — engine, optional fabric, pfs servers and stores, mpi apps,
+// the coordination layer, the IOR runners — once, and Reset re-arms it for
+// the next run instead of rebuilding. platform.Pool caches built platforms
+// by spec on one engine (the per-sweep-worker reuse point); delta.RunOn,
+// the solo calibrations and the figure harnesses all run through it.
+//
+// The reuse contract, layer by layer — Reset RETAINS capacity, CLEARS
+// logical state:
+//
+//   - sim.Engine.Reset: retains the event-record free list, the Post ring,
+//     the heap backing and the pooled procs (channel + wake timer + bound
+//     closures each; the per-body goroutine exits with its body, so an
+//     abandoned engine leaks nothing); clears the clock, sequence counter
+//     and pending events.
+//   - fabric.Fabric.Reset: retains links (and any capacity changes), solver
+//     scratch and retired flows (moved to the free list, so Start stops
+//     allocating); clears active flows, flow IDs and the progress clock.
+//   - fluid.Resource.Reset / disk.Store.Reset: retain water-fill scratch
+//     and retired jobs; clear job sets, dirty bytes and fill state, and
+//     restore construction-time capacity.
+//   - pfs.System.Reset: retains servers, stores, the file table with its
+//     cached per-server request-name strings, pooled server requests (with
+//     pre-bound completion closures) and pooled wait groups; clears queues
+//     and file layout order (File.first is recomputed per Create).
+//   - mpi.Platform.Reset: everything is immutable after construction; the
+//     call only revalidates invariants.
+//   - core.Layer.Reset: retains registrations (and so arrival tie-break
+//     order) and the policy; clears protocol states, accounting and the
+//     decision log — with fresh backing, so Log slices already handed out
+//     stay valid.
+//   - ior.Runner.Reset: retains the armed workload (presets fold their
+//     defaults in exactly once, at construction) and cached file names;
+//     clears per-run statistics, keeping their backing.
+//
+// Construction order is reproduced exactly on reuse (fabric, then server
+// links, then app NICs, then registrations), so dense IDs — and with them
+// every float accumulation order — match a fresh build: a reused platform
+// is bit-identical to a fresh one, pinned by TestReusedPlatformMatchesFresh
+// and the ior event-for-event regression. The payoff is pinned too: from a
+// worker's second sweep point on, a TrueNetwork point runs with ZERO
+// allocations (TestSweepPointSteadyStateAllocFree, BenchmarkDeltaPointReused):
+//
+//	BenchmarkDeltaSweepFabric        0.60 ms/op  7077 allocs → 0.32 ms/op  1002 allocs  (7.1x)
+//	BenchmarkDeltaSweepFabricDense   3.59 ms/op 43553 allocs → 1.65 ms/op  1002 allocs  (43x, 2.2x time)
+//	BenchmarkDeltaPointReused        (new)                     38 µs/op    0 allocs/op
 package repro

@@ -23,9 +23,10 @@ type AppState struct {
 	// never touches it.
 	Data any
 
-	name  string
-	cores int
-	idx   int // position in Arbiter.apps; -1 once unregistered
+	name     string
+	cores    int
+	regCores int // cores at registration; Prepare may override cores, Reset restores this
+	idx      int // position in Arbiter.apps; -1 once unregistered
 
 	state      State
 	arrival    float64
@@ -240,6 +241,30 @@ func (ar *Arbiter) Policy() Policy { return ar.policy }
 // (constants instead of formatted text).
 func (ar *Arbiter) SetIndexed(on bool) { ar.useIndexed = on }
 
+// Reset returns the arbiter to its just-constructed state while keeping the
+// registered applications (in registration order) and the arbitration
+// scratch: every AppState goes back to Idle/unauthorized with an empty info
+// stack, and the decision log restarts with fresh backing — the old log
+// slice may have escaped via Log and must stay valid for its holder.
+func (ar *Arbiter) Reset() {
+	for _, a := range ar.apps {
+		a.state = Idle
+		a.arrival = 0
+		a.authorized = false
+		a.cores = a.regCores // undo any Prepare(KeyCores) override
+		a.bytesTotal, a.bytesDone = 0, 0
+		a.files, a.rounds = 0, 0
+		a.aloneBW = 0
+		a.allowedNow = false
+		for i := range a.infoStack {
+			a.infoStack[i] = nil
+		}
+		a.infoStack = a.infoStack[:0]
+	}
+	ar.log = nil
+	ar.logHead = 0
+}
+
 // SetLogBound bounds the decision log: negative keeps everything (default),
 // zero disables logging, positive keeps the most recent n records in a ring
 // whose steady state allocates nothing. Set it before the first Arbitrate;
@@ -284,7 +309,7 @@ func (ar *Arbiter) Register(name string, cores int) (*AppState, error) {
 			return nil, fmt.Errorf("core: duplicate coordinator %q", name)
 		}
 	}
-	a := &AppState{name: name, cores: cores, idx: len(ar.apps)}
+	a := &AppState{name: name, cores: cores, regCores: cores, idx: len(ar.apps)}
 	ar.apps = append(ar.apps, a)
 	return a, nil
 }

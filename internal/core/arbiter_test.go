@@ -136,3 +136,27 @@ func TestArbiterUnregisterPreservesOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestResetRestoresRegistrationCores: Prepare(KeyCores) overrides the view's
+// core count for the phase; Reset must restore the registration value so a
+// reused arbiter arbitrates exactly like a fresh one.
+func TestResetRestoresRegistrationCores(t *testing.T) {
+	ar := NewArbiter(FCFSPolicy{})
+	a, err := ar.Register("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := Info{}
+	info.SetInt(KeyCores, 64)
+	a.Prepare(info)
+	if a.Cores() != 64 {
+		t.Fatalf("cores after Prepare = %d, want 64", a.Cores())
+	}
+	ar.Reset()
+	if a.Cores() != 8 {
+		t.Fatalf("cores after Reset = %d, want the registration value 8", a.Cores())
+	}
+	if a.State() != Idle || a.Authorized() || len(ar.Log()) != 0 {
+		t.Fatal("Reset left protocol state or log behind")
+	}
+}

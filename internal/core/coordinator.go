@@ -34,6 +34,17 @@ type Coordinator struct {
 	phases     int
 }
 
+// reset clears the simulator-specific per-run state (the parked-process
+// resumer and the phase-time accounting); the shared AppState is reset by
+// the owning Arbiter.
+func (c *Coordinator) reset() {
+	c.waiting = nil
+	c.phaseStart = 0
+	c.ioTime = 0
+	c.waitTime = 0
+	c.phases = 0
+}
+
 // Name returns the application name.
 func (c *Coordinator) Name() string { return c.app.name }
 

@@ -132,6 +132,20 @@ func NewLayer(eng *sim.Engine, policy Policy, latency float64) *Layer {
 // Policy returns the active policy.
 func (l *Layer) Policy() Policy { return l.arb.Policy() }
 
+// Reset returns the layer to its just-constructed state on a freshly reset
+// engine, keeping the registered coordinators (and hence the policy and the
+// arrival tie-break order) so a reused platform re-runs a scenario without
+// re-registering. The decision log restarts with fresh backing — log slices
+// already handed out via Log stay valid. The pending recheck event, if any,
+// was dropped by the engine reset.
+func (l *Layer) Reset() {
+	l.recheck = nil
+	l.arb.Reset()
+	for _, c := range l.coords {
+		c.reset()
+	}
+}
+
 // Latency returns the one-way message latency.
 func (l *Layer) Latency() float64 { return l.latency }
 

@@ -11,28 +11,21 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/fabric"
 	"repro/internal/fluid"
 	"repro/internal/ior"
 	"repro/internal/metrics"
-	"repro/internal/mpi"
 	"repro/internal/pfs"
-	"repro/internal/sim"
+	"repro/internal/platform"
 	"repro/internal/timeline"
 )
 
 // AppSpec describes one application in a scenario.
-type AppSpec struct {
-	Name  string
-	Procs int
-	Nodes int // 0 = one proc per node
-	W     ior.Workload
-	Gran  ior.Granularity
-}
+type AppSpec = platform.AppSpec
 
 // Scenario is a full experimental setup: platform constants plus the
-// applications. One Scenario value is immutable and reusable; every Run
-// builds a fresh engine from it.
+// applications. One Scenario value is immutable and reusable; runs execute
+// on a platform.Pool, which builds the pfs+ior+mpi+layer object graph once
+// per distinct spec and resets it per run.
 type Scenario struct {
 	Name          string
 	FS            pfs.Config
@@ -47,6 +40,19 @@ type Scenario struct {
 	// plus per-server links) under global max-min fairness. Used by the
 	// network-model ablation.
 	TrueNetwork bool
+}
+
+// Spec converts the scenario to the platform package's build description.
+func (sc Scenario) Spec() platform.Spec {
+	return platform.Spec{
+		FS:            sc.FS,
+		TrueNetwork:   sc.TrueNetwork,
+		ProcNIC:       sc.ProcNIC,
+		CommBWPerProc: sc.CommBWPerProc,
+		CommAlpha:     sc.CommAlpha,
+		CoordLatency:  sc.CoordLatency,
+		Apps:          sc.Apps,
+	}
 }
 
 // PolicyFactory builds a fresh policy for one run; the model carries the
@@ -85,12 +91,7 @@ type Result struct {
 }
 
 // Model returns the performance model for the scenario's platform.
-func (sc Scenario) Model() *core.PerfModel {
-	return &core.PerfModel{
-		FSBandwidth: float64(sc.FS.Servers) * sc.FS.ServerBW,
-		ProcNIC:     sc.ProcNIC,
-	}
-}
+func (sc Scenario) Model() *core.PerfModel { return sc.Spec().Model() }
 
 // Run executes the scenario once with each app's I/O phase starting at the
 // given absolute time.
@@ -101,54 +102,32 @@ func (sc Scenario) Run(factory PolicyFactory, starts []float64) Result {
 // RunWithTimeline is Run with an optional interval recorder for Gantt
 // rendering. The recorder must not be shared between concurrent runs.
 func (sc Scenario) RunWithTimeline(factory PolicyFactory, starts []float64, rec *timeline.Recorder) Result {
-	return sc.RunOn(sim.NewEngine(), factory, starts, rec)
+	return sc.RunOn(platform.NewPool(), factory, starts, rec)
 }
 
-// RunOn executes the scenario on a caller-provided engine, resetting it
-// first. A sweep worker reuses one engine across all its points, so the
-// pooled event records of earlier points pay for the later ones (see
-// sim.Engine.Reset); results are bit-identical to a fresh engine.
-func (sc Scenario) RunOn(eng *sim.Engine, factory PolicyFactory, starts []float64, rec *timeline.Recorder) Result {
+// RunOn executes the scenario on a caller-provided pool, reusing its cached
+// platform when the pool has run this scenario (with this coordination
+// mode) before. A harness that re-runs one scenario — a sweep worker, a
+// what-if loop — holds one pool and stops paying per-run platform
+// construction; results are bit-identical to a fresh platform. One pool
+// must not mix policy families (see platform.Pool), and Result.Stats
+// aliases the pooled runners' statistics: it is valid until the pool runs
+// the same spec again (IOTime, Decisions and Makespan are snapshots and
+// always remain valid).
+func (sc Scenario) RunOn(pool *platform.Pool, factory PolicyFactory, starts []float64, rec *timeline.Recorder) Result {
 	if len(starts) != len(sc.Apps) {
 		panic("delta: starts length mismatch")
 	}
-	eng.Reset()
-	fsCfg := sc.FS
-	if sc.TrueNetwork {
-		fsCfg.Fabric = fabric.New(eng)
-	}
-	fs := pfs.New(eng, fsCfg)
-	plat := &mpi.Platform{
-		Eng:           eng,
-		FS:            fs,
-		ProcNIC:       sc.ProcNIC,
-		CommBWPerProc: sc.CommBWPerProc,
-		CommAlpha:     sc.CommAlpha,
-	}
-	var layer *core.Layer
-	if factory != nil {
-		layer = core.NewLayer(eng, factory(sc.Model()), sc.CoordLatency)
-	}
-	runners := make([]*ior.Runner, len(sc.Apps))
-	for i, as := range sc.Apps {
-		app := plat.NewApp(as.Name, as.Procs, as.Nodes)
-		var sess *core.Session
-		if layer != nil {
-			sess = core.NewSession(layer.Register(as.Name, as.Procs))
-		}
-		runners[i] = ior.NewRunner(app, as.W, sess, as.Gran)
-		runners[i].Timeline = rec
-		runners[i].Start(starts[i])
-	}
-	end := eng.Run()
+	pl := pool.Acquire(sc.Spec(), factory)
+	end := pl.Run(starts, rec)
 
 	res := Result{Makespan: end}
-	for _, r := range runners {
+	for _, r := range pl.Runners {
 		res.IOTime = append(res.IOTime, r.Stats.TotalIOTime())
 		res.Stats = append(res.Stats, &r.Stats)
 	}
-	if layer != nil {
-		res.Decisions = layer.Log()
+	if pl.Layer != nil {
+		res.Decisions = pl.Layer.Log()
 	}
 	return res
 }
@@ -156,15 +135,19 @@ func (sc Scenario) RunOn(eng *sim.Engine, factory PolicyFactory, starts []float6
 // Solo runs application i alone (starting at 0, uncoordinated) and returns
 // its observed I/O time — the T_alone calibration for interference factors.
 func (sc Scenario) Solo(i int) float64 {
-	return sc.soloOn(sim.NewEngine(), i)
+	return sc.SoloOn(platform.NewPool(), i)
 }
 
-// soloOn is Solo on a reused engine (see RunOn).
-func (sc Scenario) soloOn(eng *sim.Engine, i int) float64 {
+// SoloOn is Solo on a reused pool: the solo platform for app i is cached
+// alongside any other specs the pool has built (see RunOn).
+func (sc Scenario) SoloOn(pool *platform.Pool, i int) float64 {
 	solo := sc
-	solo.Apps = []AppSpec{sc.Apps[i]}
-	return solo.RunOn(eng, nil, []float64{0}, nil).IOTime[0]
+	solo.Apps = sc.Apps[i : i+1 : i+1]
+	return solo.RunOn(pool, nil, soloStart[:], nil).IOTime[0]
 }
+
+// soloStart is the shared zero start vector of every solo calibration.
+var soloStart = [1]float64{0}
 
 // Series is a swept ∆-graph for a two-application scenario under one policy.
 type Series struct {
@@ -191,21 +174,22 @@ func policyName(sc Scenario, factory PolicyFactory) string {
 // Sweep runs the two-app scenario at every dt under the policy. dt > 0
 // means B starts after A, matching the paper's convention. A fixed pool of
 // worker goroutines (one per OS thread) pulls points off a shared counter —
-// no goroutine-per-point churn — and each worker reuses its own engine
-// (reset between points, so pooled event records carry over) plus its start
-// and report scratch across the points it runs. Each point is still its own
-// deterministic engine, so results are independent of the worker count and
-// of scheduling order.
+// no goroutine-per-point churn. Each worker builds the platform once (its
+// own engine, fabric, file system, apps, coordination layer) and re-runs it
+// per point: pooled event records, flows, server requests and file objects
+// all amortize across the worker's points, so the steady-state point
+// allocates nothing. Each point is still its own deterministic run, so
+// results are independent of the worker count and of scheduling order.
 func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 	if len(sc.Apps) != 2 {
 		panic(fmt.Sprintf("delta: Sweep needs exactly 2 apps, got %d", len(sc.Apps)))
 	}
-	calib := sim.NewEngine() // one engine for both solo calibrations
+	calib := platform.NewPool() // one engine for both solo calibrations
 	s := Series{
 		Policy: policyName(sc, factory),
 		DT:     append([]float64(nil), dts...),
-		SoloA:  sc.soloOn(calib, 0),
-		SoloB:  sc.soloOn(calib, 1),
+		SoloA:  sc.SoloOn(calib, 0),
+		SoloB:  sc.SoloOn(calib, 1),
 	}
 	n := len(dts)
 	s.TimeA = make([]float64, n)
@@ -218,13 +202,15 @@ func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 	if workers > n {
 		workers = n
 	}
+	spec := sc.Spec()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng := sim.NewEngine() // reused across this worker's points
+			// One platform per worker, reused across all its points.
+			pl := platform.NewPool().Acquire(spec, factory)
 			starts := make([]float64, 2)
 			rep := metrics.Report{Apps: make([]metrics.AppResult, 2)}
 			for {
@@ -237,13 +223,15 @@ func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 				if dt < 0 {
 					starts[0], starts[1] = -dt, 0
 				}
-				res := sc.RunOn(eng, factory, starts, nil)
-				s.TimeA[k] = res.IOTime[0]
-				s.TimeB[k] = res.IOTime[1]
-				s.FactorA[k] = res.IOTime[0] / s.SoloA
-				s.FactorB[k] = res.IOTime[1] / s.SoloB
-				rep.Apps[0] = metrics.AppResult{Name: sc.Apps[0].Name, Cores: sc.Apps[0].Procs, IOTime: res.IOTime[0], AloneTime: s.SoloA}
-				rep.Apps[1] = metrics.AppResult{Name: sc.Apps[1].Name, Cores: sc.Apps[1].Procs, IOTime: res.IOTime[1], AloneTime: s.SoloB}
+				pl.Run(starts, nil)
+				ta := pl.Runners[0].Stats.TotalIOTime()
+				tb := pl.Runners[1].Stats.TotalIOTime()
+				s.TimeA[k] = ta
+				s.TimeB[k] = tb
+				s.FactorA[k] = ta / s.SoloA
+				s.FactorB[k] = tb / s.SoloB
+				rep.Apps[0] = metrics.AppResult{Name: sc.Apps[0].Name, Cores: sc.Apps[0].Procs, IOTime: ta, AloneTime: s.SoloA}
+				rep.Apps[1] = metrics.AppResult{Name: sc.Apps[1].Name, Cores: sc.Apps[1].Procs, IOTime: tb, AloneTime: s.SoloB}
 				s.CPUPerCore[k] = rep.CPUSecondsPerCore()
 			}
 		}()
@@ -265,11 +253,12 @@ func (sc Scenario) Expected(dts []float64) Series {
 	if len(sc.Apps) != 2 {
 		panic("delta: Expected needs exactly 2 apps")
 	}
+	calib := platform.NewPool()
 	s := Series{
 		Policy: "expected",
 		DT:     append([]float64(nil), dts...),
-		SoloA:  sc.Solo(0),
-		SoloB:  sc.Solo(1),
+		SoloA:  sc.SoloOn(calib, 0),
+		SoloB:  sc.SoloOn(calib, 1),
 	}
 	flows := []fluid.Flow{
 		{Work: s.SoloA, Weight: 1},

@@ -3,6 +3,8 @@ package delta
 import (
 	"runtime"
 	"testing"
+
+	"repro/internal/platform"
 )
 
 // fabricScenario is testScenario under the explicit-fabric contention model
@@ -72,6 +74,31 @@ func TestSweepDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	for k := range dts {
 		if parallel.TimeA[k] != again.TimeA[k] || parallel.TimeB[k] != again.TimeB[k] {
 			t.Fatalf("dt=%v: sweep not reproducible run-to-run", dts[k])
+		}
+	}
+}
+
+// TestSweepPointSteadyStateAllocFree guards the resettable-platform
+// property the sweep workers rely on, alongside the fabric and engine alloc
+// guards: from the 2nd point on, a reused platform runs a TrueNetwork sweep
+// point with zero allocations — per-point cost is pure simulation, no
+// object-graph churn.
+func TestSweepPointSteadyStateAllocFree(t *testing.T) {
+	sc := fabricScenario()
+	pl := platform.NewPool().Acquire(sc.Spec(), nil)
+	starts := []float64{0, 0}
+	dts := []float64{-1, 0, 1, 3}
+	run := func(dt float64) {
+		starts[0], starts[1] = 0, dt
+		if dt < 0 {
+			starts[0], starts[1] = -dt, 0
+		}
+		pl.Run(starts, nil)
+	}
+	run(dts[0]) // first point builds the pools
+	for _, dt := range dts {
+		if allocs := testing.AllocsPerRun(20, func() { run(dt) }); allocs != 0 {
+			t.Fatalf("dt=%v: steady-state sweep point allocates %.1f objects, want 0", dt, allocs)
 		}
 	}
 }

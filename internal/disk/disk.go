@@ -60,6 +60,22 @@ func New(eng *sim.Engine, name string, p Params) *Store {
 
 func (s *Store) cached() bool { return s.p.CacheBytes > 0 }
 
+// Reset returns the store to its just-constructed state on a freshly reset
+// engine: empty cache, construction-time ingest capacity, no pending
+// threshold crossing. The underlying fluid resource is reset too (its job
+// pool survives), so a reused store replays a run allocation-free.
+func (s *Store) Reset() {
+	s.dirty = 0
+	s.ingestRate = 0
+	s.full = false
+	s.lastT = s.eng.Now()
+	// The crossing event, if any, was dropped by the engine reset; a stale
+	// handle Cancel is a safe no-op either way.
+	s.eng.Cancel(s.crossing)
+	s.crossing = nil
+	s.res.Reset()
+}
+
 // Name returns the store name.
 func (s *Store) Name() string { return s.name }
 

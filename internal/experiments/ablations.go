@@ -5,6 +5,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/ior"
 	"repro/internal/pfs"
+	"repro/internal/platform"
 )
 
 // AblationServerScheduler contrasts server-side request scheduling (the
@@ -21,6 +22,9 @@ func AblationServerScheduler() *Table {
 			"3=CALCioM FCFS. Server-side policies lack app knowledge; requests still interleave\n" +
 			"across servers, so only the coordination layer fully protects the first app",
 	}
+	// One pool across modes: every scheduling mode is a distinct spec, and
+	// the only coordinated entry runs FCFS, so no policy families mix.
+	pool := platform.NewPool()
 	for mode, setup := range []struct {
 		policy  pfs.SchedPolicy
 		factory delta.PolicyFactory
@@ -32,7 +36,7 @@ func AblationServerScheduler() *Table {
 	} {
 		sc := surveyorContiguous(2048)
 		sc.FS.Policy = setup.policy
-		res := sc.Run(setup.factory, []float64{0, 5})
+		res := sc.RunOn(pool, setup.factory, []float64{0, 5}, nil)
 		t.AddRow(float64(mode), res.IOTime[0], res.IOTime[1], res.IOTime[0]+res.IOTime[1])
 	}
 	return t
@@ -48,9 +52,10 @@ func AblationGranularity() *Table {
 		Columns: []string{"granularity", "timeA_s", "timeB_s"},
 		Notes:   "granularity: 0=phase (cannot interrupt), 1=file, 2=round; finer helps B",
 	}
+	pool := platform.NewPool() // all entries run Interrupt: one family
 	for _, g := range []ior.Granularity{ior.PerPhase, ior.PerFile, ior.PerRound} {
 		sc := fig10Scenario(g)
-		res := sc.Run(delta.Interrupt, []float64{0, 5})
+		res := sc.RunOn(pool, delta.Interrupt, []float64{0, 5}, nil)
 		t.AddRow(float64(g), res.IOTime[0], res.IOTime[1])
 	}
 	return t
@@ -66,15 +71,16 @@ func AblationMessageLatency() *Table {
 		Columns: []string{"latency_s", "percore_calciom_s", "percore_interfere_s"},
 		Notes:   "coordination stays profitable while latency << round time (~0.5s here)",
 	}
+	pool := platform.NewPool() // coordinated entries all run the same dynamic policy
 	base := fig10Scenario(ior.PerRound)
-	interfere := base.Run(delta.Uncoordinated, []float64{0, 2})
+	interfere := base.RunOn(pool, delta.Uncoordinated, []float64{0, 2}, nil)
 	perCore := func(res delta.Result) float64 {
 		return (2048*res.IOTime[0] + 2048*res.IOTime[1]) / 4096
 	}
 	for _, lat := range []float64{1e-4, 1e-3, 1e-2, 1e-1, 0.5} {
 		sc := fig10Scenario(ior.PerRound)
 		sc.CoordLatency = lat
-		res := sc.Run(delta.Dynamic(core.CPUSecondsWasted{}, false), []float64{0, 2})
+		res := sc.RunOn(pool, delta.Dynamic(core.CPUSecondsWasted{}, false), []float64{0, 2}, nil)
 		t.AddRow(lat, perCore(res), perCore(interfere))
 	}
 	return t
@@ -90,13 +96,14 @@ func AblationCollectiveBuffer() *Table {
 		Columns: []string{"buf_MiB", "rounds", "soloA_s", "timeA_s", "timeB_s"},
 		Notes:   "smaller buffers -> more rounds -> faster yields for the interrupted app",
 	}
+	pool := platform.NewPool() // coordinated entries all run Interrupt
 	for _, bufMiB := range []int64{4, 8, 16, 32, 64} {
 		sc := surveyorStrided()
 		for i := range sc.Apps {
 			sc.Apps[i].W.CB.BufBytes = bufMiB * MiB
 		}
-		solo := sc.Solo(0)
-		res := sc.Run(delta.Interrupt, []float64{0, 5})
+		solo := sc.SoloOn(pool, 0)
+		res := sc.RunOn(pool, delta.Interrupt, []float64{0, 5}, nil)
 		// Recompute the round count for reporting.
 		aggs := nodesFor(2048, SurveyorCoresPerNode)
 		fileBytes := sc.Apps[0].W.FileBytes(2048)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/delta"
 	"repro/internal/ior"
+	"repro/internal/platform"
 )
 
 // ExtensionAdaptive exercises the application-side reorganization the
@@ -21,6 +22,7 @@ func ExtensionAdaptive() *Table {
 			"without adaptation every phase collides; polling SystemBusy before each\n" +
 			"phase and computing first desynchronizes them after one swap",
 	}
+	pool := platform.NewPool() // every coordinated entry runs Interfere
 	for _, adaptive := range []bool{false, true} {
 		sc := NancyPlatform(false)
 		w := ior.Workload{
@@ -35,10 +37,10 @@ func ExtensionAdaptive() *Table {
 			{Name: "A", Procs: 336, Nodes: nodesFor(336, NancyCoresPerNode), W: w, Gran: ior.PerPhase},
 			{Name: "B", Procs: 336, Nodes: nodesFor(336, NancyCoresPerNode), W: w, Gran: ior.PerPhase},
 		}
-		soloA, soloB := sc.Solo(0), sc.Solo(1)
+		soloA, soloB := sc.SoloOn(pool, 0), sc.SoloOn(pool, 1)
 		// Interference policy: nobody blocks anybody; the adaptive app
 		// only uses the shared knowledge to reschedule itself.
-		res := sc.Run(delta.Interfere, []float64{0, 0.5})
+		res := sc.RunOn(pool, delta.Interfere, []float64{0, 0.5}, nil)
 		sum := res.IOTime[0]/soloA + res.IOTime[1]/soloB
 		flag := 0.0
 		if adaptive {

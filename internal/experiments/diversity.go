@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/ior"
+	"repro/internal/platform"
 )
 
 // ExtensionDiversity reproduces the paper's §II-E motivation as a measured
@@ -43,9 +44,12 @@ func ExtensionDiversity() *Table {
 		{1, delta.FCFS},
 		{2, delta.Dynamic(core.SumInterferenceFactors{Model: model}, true)},
 	}
+	// The solo calibrations share one pool; the policy runs keep their own
+	// platforms since each iteration runs a different policy family.
+	calib := platform.NewPool()
 	sc := build()
-	soloCM1 := sc.Solo(0)
-	soloNAMD := sc.Solo(1)
+	soloCM1 := sc.SoloOn(calib, 0)
+	soloNAMD := sc.SoloOn(calib, 1)
 	for _, p := range policies {
 		res := build().Run(p.factory, []float64{0, 0})
 		fCM1 := res.IOTime[0] / soloCM1

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/delta"
 	"repro/internal/ior"
+	"repro/internal/platform"
 )
 
 // fig2Scenario: Grid'5000 Nancy, PVFS on 35 nodes; two applications of 336
@@ -73,13 +74,17 @@ func Fig3(iterations int) *Table {
 		mkApp("seven", 7, iterations+iterations/2),
 	}
 
+	// One pool serves both the solo calibration and the interfered run —
+	// distinct specs, so each keeps its own cached platform and stats.
+	pool := platform.NewPool()
+
 	// Solo run of the 10-second writer.
 	soloSc := sc
 	soloSc.Apps = sc.Apps[:1]
-	solo := soloSc.Run(delta.Uncoordinated, []float64{0})
+	solo := soloSc.RunOn(pool, delta.Uncoordinated, []float64{0}, nil)
 
 	// Interfered run: both instances.
-	both := sc.Run(delta.Uncoordinated, []float64{0, 0})
+	both := sc.RunOn(pool, delta.Uncoordinated, []float64{0, 0}, nil)
 
 	t := &Table{
 		ID:      "fig3",
@@ -110,14 +115,15 @@ func Fig4() *Table {
 		Notes:   "paper: B on 8 cores sees ~6x lower throughput than alone; each process writes 16 MB",
 	}
 	w := ior.Workload{Pattern: ior.Contiguous, BlockSize: 16 * MiB, BlocksPerProc: 1, ReqBytes: 4 * MiB}
+	pool := platform.NewPool() // shared engine across every size split
 	for _, nb := range []int{8, 16, 32, 64, 128, 192, 336} {
 		sc := NancyPlatform(false)
 		sc.Apps = []delta.AppSpec{
 			{Name: "A", Procs: 336, Nodes: nodesFor(336, NancyCoresPerNode), W: w, Gran: ior.PerRound},
 			{Name: "B", Procs: nb, Nodes: nodesFor(nb, NancyCoresPerNode), W: w, Gran: ior.PerRound},
 		}
-		soloB := sc.Solo(1)
-		res := sc.Run(delta.Uncoordinated, []float64{0, 0})
+		soloB := sc.SoloOn(pool, 1)
+		res := sc.RunOn(pool, delta.Uncoordinated, []float64{0, 0}, nil)
 		bytesA := float64(w.PhaseBytes(336))
 		bytesB := float64(w.PhaseBytes(nb))
 		thrBalone := bytesB / soloB / float64(MiB)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/delta"
 	"repro/internal/ior"
+	"repro/internal/platform"
 )
 
 // surveyorContiguous builds the Surveyor scenario of Fig. 7: two equal
@@ -121,15 +122,19 @@ func Fig8b() *Table {
 		Columns: []string{"case_dt_s", "commA_s", "writeA_s", "totalA_s"},
 		Notes:   "case_dt = -1 means no interference (A alone); comm is nearly unaffected",
 	}
+	// One pool: the solo spec and the two-app spec cache separate
+	// platforms; the dt=0 and dt=10 cases re-run the cached two-app one.
+	pool := platform.NewPool()
+
 	// Alone.
 	soloSc := sc
 	soloSc.Apps = sc.Apps[:1]
-	solo := soloSc.Run(delta.Uncoordinated, []float64{0})
+	solo := soloSc.RunOn(pool, delta.Uncoordinated, []float64{0}, nil)
 	ph := solo.Stats[0].Phases[0]
 	t.AddRow(-1, ph.CommTime, ph.WriteTime, ph.IOTime())
 
 	for _, dt := range []float64{0, 10} {
-		res := sc.Run(delta.Uncoordinated, []float64{0, dt})
+		res := sc.RunOn(pool, delta.Uncoordinated, []float64{0, dt}, nil)
 		ph := res.Stats[0].Phases[0]
 		t.AddRow(dt, ph.CommTime, ph.WriteTime, ph.IOTime())
 	}

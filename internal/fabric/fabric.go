@@ -106,6 +106,14 @@ type Fabric struct {
 	lastUpdate float64
 	completion *sim.Timer
 
+	// Flow recycling. Completed and cancelled flows retire (bounded) but are
+	// NOT reused within the same run: a caller may legitimately hold a
+	// finished flow's handle and read Done/Remaining. Reset moves retired
+	// flows to the free list, so a reused fabric replays a run without
+	// re-paying its flow allocations.
+	flowFree    []*Flow
+	flowRetired []*Flow
+
 	// Solver scratch, reused across reassign calls so the steady state
 	// performs no allocations. Per-link arrays are indexed by Link.id;
 	// frozen is indexed by Flow.idx.
@@ -139,6 +147,9 @@ func (fb *Fabric) NewLink(name string, capacity float64) *Link {
 // Start begins a transfer of `bytes` across the given links (all must
 // belong to this fabric). Weight scales the flow's share on every link it
 // crosses. onDone runs in scheduler context at completion.
+//
+// The links slice is copied into flow-owned storage, so callers may reuse
+// their own scratch slice across Start calls.
 func (fb *Fabric) Start(name string, bytes, weight float64, links []*Link, onDone func()) *Flow {
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("fabric: bad byte count %v", bytes))
@@ -149,16 +160,20 @@ func (fb *Fabric) Start(name string, bytes, weight float64, links []*Link, onDon
 	if len(links) == 0 {
 		panic("fabric: flow must cross at least one link")
 	}
-	f := &Flow{
-		fab: fb, id: fb.nextID, name: name, links: links, weight: weight,
-		remaining: bytes, total: bytes, onDone: onDone,
-		pos: make([]int, len(links)),
+	f := fb.getFlow()
+	f.fab, f.id, f.name, f.weight = fb, fb.nextID, name, weight
+	f.remaining, f.total, f.onDone = bytes, bytes, onDone
+	f.rate, f.done, f.cancelled = 0, false, false
+	f.links = append(f.links[:0], links...)
+	f.pos = f.pos[:0]
+	for range links {
+		f.pos = append(f.pos, 0)
 	}
 	fb.nextID++
 	fb.advance()
 	f.idx = len(fb.flows)
 	fb.flows = append(fb.flows, f)
-	for k, l := range links {
+	for k, l := range f.links {
 		if l.fab != fb {
 			panic("fabric: link belongs to a different fabric")
 		}
@@ -169,6 +184,29 @@ func (fb *Fabric) Start(name string, bytes, weight float64, links []*Link, onDon
 	return f
 }
 
+// getFlow pops a pooled flow or allocates a fresh one.
+func (fb *Fabric) getFlow() *Flow {
+	if n := len(fb.flowFree); n > 0 {
+		f := fb.flowFree[n-1]
+		fb.flowFree[n-1] = nil
+		fb.flowFree = fb.flowFree[:n-1]
+		return f
+	}
+	return &Flow{}
+}
+
+// maxRetired bounds the retired-flow list: a run that churns through more
+// flows than this simply lets the excess be garbage collected, trading a
+// little steady-state allocation for a bounded pool.
+const maxRetired = 4096
+
+// retire parks a finished or cancelled flow for recycling at the next Reset.
+func (fb *Fabric) retire(f *Flow) {
+	if len(fb.flowRetired) < maxRetired {
+		fb.flowRetired = append(fb.flowRetired, f)
+	}
+}
+
 // Cancel removes an unfinished flow; its onDone never runs.
 func (f *Flow) Cancel() {
 	if f.done || f.cancelled {
@@ -177,6 +215,8 @@ func (f *Flow) Cancel() {
 	f.fab.advance()
 	f.cancelled = true
 	f.fab.remove(f)
+	f.onDone = nil
+	f.fab.retire(f)
 	f.fab.reassign()
 }
 
@@ -270,11 +310,51 @@ func (fb *Fabric) reassign() {
 		}
 	}
 	// Retain the (now drained) batch buffer, dropping the flow pointers so
-	// completed flows do not leak through the scratch.
-	for i := range finished {
+	// completed flows do not leak through the scratch; the flows themselves
+	// retire for recycling at the next Reset.
+	for i, f := range finished {
+		f.onDone = nil
+		fb.retire(f)
 		finished[i] = nil
 	}
 	fb.finished = finished[:0]
+}
+
+// Reset returns the fabric to a pristine state on a freshly reset engine:
+// no active flows, flow IDs restarted, progress clock re-anchored at the
+// engine's current time. Links — and any capacity changes made to them —
+// survive, as do the solver scratch arrays and the retired flows, which move
+// to the free list so a reused fabric replays a run allocation-free.
+//
+// Call Reset only after sim.Engine.Reset (or with no pending completion
+// event); flow handles from before the reset must not be used afterwards,
+// as their structs are recycled.
+func (fb *Fabric) Reset() {
+	// A run stopped mid-flight leaves active flows; retire them too. Link
+	// membership lists are wiped wholesale below.
+	for _, f := range fb.flows {
+		f.idx = -1
+		f.onDone = nil
+		fb.retire(f)
+	}
+	for _, l := range fb.links {
+		for i := range l.flows {
+			l.flows[i] = linkRef{}
+		}
+		l.flows = l.flows[:0]
+	}
+	for i := range fb.flows {
+		fb.flows[i] = nil
+	}
+	fb.flows = fb.flows[:0]
+	fb.flowFree = append(fb.flowFree, fb.flowRetired...)
+	for i := range fb.flowRetired {
+		fb.flowRetired[i] = nil
+	}
+	fb.flowRetired = fb.flowRetired[:0]
+	fb.nextID = 0
+	fb.lastUpdate = fb.eng.Now()
+	fb.completion.Cancel()
 }
 
 func (fb *Fabric) onCompletion() {

@@ -27,6 +27,7 @@ type Resource struct {
 	eng        *sim.Engine
 	name       string
 	capacity   float64
+	initCap    float64 // capacity at construction, restored by Reset
 	jobs       []*Job
 	lastUpdate float64
 	completion *sim.Timer
@@ -42,6 +43,14 @@ type Resource struct {
 	// no allocations.
 	finished []*Job
 	uncapped []*Job
+
+	// Job recycling. Completed and cancelled jobs retire (bounded) but are
+	// not reused within the same run — callers may hold a finished job's
+	// handle and read Done/Remaining. Reset moves retired jobs to the free
+	// list, so a reused resource replays a run without re-paying its job
+	// allocations.
+	jobFree    []*Job
+	jobRetired []*Job
 }
 
 // Job is a unit of work being serviced by a Resource.
@@ -64,9 +73,57 @@ func NewResource(eng *sim.Engine, name string, capacity float64) *Resource {
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("fluid: negative or NaN capacity %v", capacity))
 	}
-	r := &Resource{eng: eng, name: name, capacity: capacity, lastUpdate: eng.Now()}
+	r := &Resource{eng: eng, name: name, capacity: capacity, initCap: capacity, lastUpdate: eng.Now()}
 	r.completion = eng.NewTimer(r.onCompletion)
 	return r
+}
+
+// Reset returns the resource to its just-constructed state on a freshly
+// reset engine: no jobs, construction-time capacity, progress clock
+// re-anchored at the engine's current time. The reallocation scratch
+// survives, and retired jobs move to the free list so a reused resource
+// replays a run allocation-free. Job handles from before the reset must not
+// be used afterwards, as their structs are recycled.
+func (r *Resource) Reset() {
+	for _, j := range r.jobs {
+		j.cancelled = true
+		j.onDone = nil
+		r.retire(j)
+	}
+	for i := range r.jobs {
+		r.jobs[i] = nil
+	}
+	r.jobs = r.jobs[:0]
+	r.jobFree = append(r.jobFree, r.jobRetired...)
+	for i := range r.jobRetired {
+		r.jobRetired[i] = nil
+	}
+	r.jobRetired = r.jobRetired[:0]
+	r.capacity = r.initCap
+	r.totalRate = 0
+	r.lastUpdate = r.eng.Now()
+	r.completion.Cancel()
+}
+
+// maxRetired bounds the retired-job list; beyond it, excess jobs are left
+// to the garbage collector.
+const maxRetired = 4096
+
+func (r *Resource) retire(j *Job) {
+	if len(r.jobRetired) < maxRetired {
+		r.jobRetired = append(r.jobRetired, j)
+	}
+}
+
+// getJob pops a pooled job or allocates a fresh one.
+func (r *Resource) getJob() *Job {
+	if n := len(r.jobFree); n > 0 {
+		j := r.jobFree[n-1]
+		r.jobFree[n-1] = nil
+		r.jobFree = r.jobFree[:n-1]
+		return j
+	}
+	return &Job{}
 }
 
 // Name returns the resource name.
@@ -107,7 +164,8 @@ func (r *Resource) Submit(name string, work, weight, rateCap float64, onDone fun
 	if rateCap < 0 {
 		panic(fmt.Sprintf("fluid: negative rate cap %v", rateCap))
 	}
-	j := &Job{
+	j := r.getJob()
+	*j = Job{
 		res: r, name: name, total: work, remaining: work,
 		weight: weight, rateCap: rateCap, onDone: onDone,
 		started: r.eng.Now(),
@@ -128,6 +186,8 @@ func (j *Job) Cancel() {
 	r.advance()
 	j.cancelled = true
 	r.remove(j)
+	j.onDone = nil
+	r.retire(j)
 	r.reallocate()
 }
 
@@ -267,7 +327,9 @@ func (r *Resource) reallocate() {
 			r.eng.Post(j.onDone)
 		}
 	}
-	for i := range finished {
+	for i, j := range finished {
+		j.onDone = nil
+		r.retire(j)
 		finished[i] = nil
 	}
 	r.finished = finished[:0]

@@ -225,7 +225,11 @@ func (s *Stats) TotalBytes() int64 {
 	return b
 }
 
-// Runner executes a workload for one application.
+// Runner executes a workload for one application. A Runner is reusable: the
+// workload is armed (defaults folded in) once at construction, and Reset
+// clears only the per-run statistics, keeping the armed workload, the
+// cached file names and the stats backing array, so re-running a scenario
+// on a reused platform allocates nothing in steady state.
 type Runner struct {
 	App     *mpi.App
 	W       Workload
@@ -236,6 +240,14 @@ type Runner struct {
 	// Timeline, when non-nil, records compute/wait/comm/write intervals
 	// for Gantt rendering (see internal/timeline).
 	Timeline *timeline.Recorder
+
+	// fileNames caches the formatted file name per (phase, file) index so
+	// repeated runs of a reused runner format no strings.
+	fileNames []string
+
+	// runFn is r.Run bound once, so starting the runner does not allocate
+	// a method-value closure per run.
+	runFn func(p *sim.Proc)
 }
 
 // NewRunner builds a runner; session may be nil for uncoordinated runs.
@@ -243,10 +255,34 @@ func NewRunner(app *mpi.App, w Workload, session *core.Session, gran Granularity
 	return &Runner{App: app, W: w.withDefaults(), Session: session, Gran: gran}
 }
 
+// Reset clears the per-run statistics (retaining their backing) and drops
+// the timeline recorder, preparing the runner for another run on a reset
+// platform. The armed workload and session binding are retained — the
+// reuse contract: Reset re-arms, it never re-derives.
+func (r *Runner) Reset() {
+	r.Stats.Phases = r.Stats.Phases[:0]
+	r.Timeline = nil
+}
+
+// fileName returns the cached name for file f of the given phase.
+func (r *Runner) fileName(phase, f int) string {
+	if r.fileNames == nil {
+		r.fileNames = make([]string, r.W.Phases*r.W.Files)
+	}
+	idx := phase*r.W.Files + f
+	if r.fileNames[idx] == "" {
+		r.fileNames[idx] = fmt.Sprintf("%s.p%d.f%d", r.App.Name, phase, f)
+	}
+	return r.fileNames[idx]
+}
+
 // Start launches the workload as a process at absolute time t and returns
 // the process.
 func (r *Runner) Start(t float64) *sim.Proc {
-	return r.App.Plat.Eng.GoAt(t, r.App.Name, r.Run)
+	if r.runFn == nil {
+		r.runFn = r.Run
+	}
+	return r.App.Plat.Eng.GoAt(t, r.App.Name, r.runFn)
 }
 
 // Run executes all phases from process p. The schedule is
@@ -301,7 +337,7 @@ func (r *Runner) runPhase(p *sim.Proc, phase int) {
 	var bytesDone int64
 
 	for f := 0; f < w.Files; f++ {
-		file := app.Plat.FS.Create(fmt.Sprintf("%s.p%d.f%d", app.Name, phase, f))
+		file := app.Plat.FS.Create(r.fileName(phase, f))
 		fileBytes := w.FileBytes(app.Procs)
 		var off int64
 		for round := 0; round < pl.rounds; round++ {

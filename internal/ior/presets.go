@@ -4,6 +4,11 @@ package ior
 // workload diversity. They cannot be captured by a storage system that only
 // sees raw requests — which is exactly why CALCioM has applications declare
 // them.
+//
+// Every preset returns a fully armed workload — defaults already folded in
+// via withDefaults — so building a Runner from a preset, and re-running
+// that Runner after a platform Reset, never re-derives configuration: the
+// reuse contract is that arming happens exactly once, here.
 
 // CM1Workload models the CM1 atmospheric simulation on Blue Waters as the
 // paper describes it: synchronous snapshot files of 23 MB per core every
@@ -16,7 +21,7 @@ func CM1Workload(phases int) Workload {
 		ReqBytes:      4 << 20,
 		Phases:        phases,
 		ComputeTime:   180,
-	}
+	}.withDefaults()
 }
 
 // NAMDWorkload models the NAMD chemistry simulation: trajectory writes of a
@@ -32,7 +37,7 @@ func NAMDWorkload(phases int) Workload {
 		CB:            CollectiveBuffering{Aggregators: 8, BufBytes: 1 << 20},
 		Phases:        phases,
 		ComputeTime:   1,
-	}
+	}.withDefaults()
 }
 
 // CheckpointWorkload models a periodic defensive checkpoint: every core
@@ -46,5 +51,5 @@ func CheckpointWorkload(mbPerCore int64, period float64, phases int) Workload {
 		ReqBytes:      4 << 20,
 		Phases:        phases,
 		ComputeTime:   period,
-	}
+	}.withDefaults()
 }

@@ -1,0 +1,90 @@
+package ior_test
+
+import (
+	"testing"
+
+	"repro/internal/ior"
+	"repro/internal/pfs"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+)
+
+// reuseSpec builds a two-app platform spec around the given preset
+// workloads — the configurations internal/ior/presets.go arms once at
+// construction.
+func reuseSpec(wA, wB ior.Workload) platform.Spec {
+	return platform.Spec{
+		FS:            pfs.Config{Servers: 4, StripeBytes: 1 << 20, ServerBW: 256 << 20},
+		ProcNIC:       8 << 20,
+		CommBWPerProc: 8 << 20,
+		CommAlpha:     1e-6,
+		CoordLatency:  1e-4,
+		Apps: []platform.AppSpec{
+			{Name: "cm1", Procs: 16, Nodes: 4, W: wA, Gran: ior.PerRound},
+			{Name: "namd", Procs: 16, Nodes: 4, W: wB, Gran: ior.PerRound},
+		},
+	}
+}
+
+// TestReusedRunnerMatchesFreshEventForEvent is the ior.Reset regression for
+// preset configurations: a run on a reused platform (Reset re-arms the
+// runners; presets are never re-parsed) must emit exactly the same timeline
+// — every compute/comm/write/read interval, in order, with identical
+// endpoints — and the same phase statistics as a run on a fresh platform.
+func TestReusedRunnerMatchesFreshEventForEvent(t *testing.T) {
+	spec := reuseSpec(ior.CM1Workload(2), ior.NAMDWorkload(3))
+	starts := []float64{0, 0.5}
+
+	record := func(p *platform.Platform) (*timeline.Recorder, [2]ior.Stats) {
+		rec := &timeline.Recorder{}
+		p.Run(starts, rec)
+		var st [2]ior.Stats
+		for i, r := range p.Runners {
+			st[i].Phases = append([]ior.PhaseStat(nil), r.Stats.Phases...)
+		}
+		return rec, st
+	}
+
+	fresh, freshStats := record(platform.New(sim.NewEngine(), spec, nil))
+
+	reused := platform.New(sim.NewEngine(), spec, nil)
+	reused.Run(starts, nil) // warm the platform: the next run is a true reuse
+	got, gotStats := record(reused)
+
+	fi, gi := fresh.Intervals(), got.Intervals()
+	if len(fi) != len(gi) {
+		t.Fatalf("interval count: fresh %d vs reused %d", len(fi), len(gi))
+	}
+	for i := range fi {
+		if fi[i] != gi[i] {
+			t.Fatalf("interval %d diverged: fresh %+v vs reused %+v", i, fi[i], gi[i])
+		}
+	}
+	for a := range freshStats {
+		fp, gp := freshStats[a].Phases, gotStats[a].Phases
+		if len(fp) != len(gp) {
+			t.Fatalf("app %d: phase count %d vs %d", a, len(fp), len(gp))
+		}
+		for i := range fp {
+			if fp[i] != gp[i] {
+				t.Fatalf("app %d phase %d diverged: %+v vs %+v", a, i, fp[i], gp[i])
+			}
+		}
+	}
+}
+
+// TestPresetsArmed: presets arrive with defaults folded in (armed once at
+// construction), so building a runner from one — and resetting it — never
+// re-derives configuration.
+func TestPresetsArmed(t *testing.T) {
+	for name, w := range map[string]ior.Workload{
+		"cm1":        ior.CM1Workload(2),
+		"namd":       ior.NAMDWorkload(2),
+		"checkpoint": ior.CheckpointWorkload(4, 60, 2),
+	} {
+		if w.Files <= 0 || w.Phases <= 0 || w.CB.BufBytes <= 0 || w.ReqBytes <= 0 {
+			t.Fatalf("%s: preset not armed: %+v", name, w)
+		}
+	}
+}

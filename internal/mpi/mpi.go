@@ -42,6 +42,19 @@ type Platform struct {
 	CommAlpha float64
 }
 
+// Reset re-arms the platform for another simulation run. The reuse
+// contract: everything in this package is immutable after construction —
+// Platform carries machine constants, App carries a job's shape and its
+// fabric NIC link (whose transient flow state lives in the fabric, reset
+// there) — so Reset only revalidates the invariants. It exists so the
+// platform-level reset sequence (engine, fabric, pfs, mpi, layer, runners)
+// is explicit at every layer.
+func (pl *Platform) Reset() {
+	if err := pl.Validate(); err != nil {
+		panic(err)
+	}
+}
+
 // Validate checks platform invariants.
 func (pl *Platform) Validate() error {
 	if pl.Eng == nil || pl.FS == nil {

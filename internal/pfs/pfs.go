@@ -79,12 +79,29 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// System is a deployed parallel file system.
+// System is a deployed parallel file system. A System is reusable across
+// simulation runs: Reset returns it to its just-deployed state while
+// retaining everything that is expensive to rebuild (servers, stores, the
+// file table with its cached request names, pooled server requests and wait
+// groups, striping scratch), so a sweep re-running the same scenario pays
+// the object graph once.
 type System struct {
 	eng     *sim.Engine
 	cfg     Config
 	servers []*Server
 	nfiles  int
+
+	// files caches File objects by name across runs. Logical layout state
+	// (the first server, derived from creation order) is recomputed on
+	// every Create, so a reused file behaves exactly like a fresh one.
+	files map[string]*File
+
+	// Hot-path pools and scratch: per-transfer striping scratch, pooled
+	// wait groups, and pooled server requests with their pre-bound
+	// completion closures.
+	perScratch []int64
+	wgFree     []*sim.WaitGroup
+	reqFree    []*serverReq
 }
 
 // New deploys a file system on the engine.
@@ -92,11 +109,69 @@ func New(eng *sim.Engine, cfg Config) *System {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &System{eng: eng, cfg: cfg}
+	s := &System{eng: eng, cfg: cfg, files: make(map[string]*File)}
+	s.perScratch = make([]int64, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
-		s.servers = append(s.servers, newServer(eng, i, cfg))
+		s.servers = append(s.servers, newServer(s, eng, i, cfg))
 	}
 	return s
+}
+
+// Reset returns the file system to its just-deployed state on a freshly
+// reset engine: no files laid out, empty server queues, empty stores.
+// Retained across Reset: the server and store objects, cached File objects
+// and their request-name strings, pooled server requests and wait groups.
+// In explicit-fabric mode the fabric is owned by the caller and must be
+// reset separately (see fabric.Fabric.Reset).
+func (s *System) Reset() {
+	s.nfiles = 0
+	for _, sv := range s.servers {
+		for i := range sv.queue {
+			sv.queue[i] = nil
+		}
+		sv.queue = sv.queue[:0]
+		sv.current = nil
+		sv.curApp = ""
+		sv.inFlite = 0
+		sv.store.Reset()
+	}
+}
+
+// getWG pops a pooled wait group or builds a fresh one.
+func (s *System) getWG() *sim.WaitGroup {
+	if n := len(s.wgFree); n > 0 {
+		wg := s.wgFree[n-1]
+		s.wgFree[n-1] = nil
+		s.wgFree = s.wgFree[:n-1]
+		return wg
+	}
+	return sim.NewWaitGroup(s.eng)
+}
+
+func (s *System) putWG(wg *sim.WaitGroup) {
+	s.wgFree = append(s.wgFree, wg)
+}
+
+// getReq pops a pooled server request or builds one with its completion
+// closure pre-bound, so submitting a request never allocates in steady
+// state.
+func (s *System) getReq() *serverReq {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree[n-1] = nil
+		s.reqFree = s.reqFree[:n-1]
+		return r
+	}
+	r := &serverReq{}
+	r.completeFn = r.complete
+	return r
+}
+
+func (s *System) putReq(r *serverReq) {
+	r.sv = nil
+	r.client = nil
+	r.wg = nil
+	s.reqFree = append(s.reqFree, r)
 }
 
 // Config returns the deployment configuration.
@@ -117,13 +192,41 @@ type File struct {
 	sys   *System
 	name  string
 	first int // first server for offset 0
+
+	// reqNames caches the per-server request-name strings, keyed by the
+	// (app, direction) that last used each server, so the steady-state
+	// transfer path formats no strings. The cache survives System.Reset.
+	reqNames []reqName
 }
 
-// Create creates (or truncates) a striped file.
+type reqName struct {
+	app, dir, name string
+}
+
+// Create creates (or truncates) a striped file. Re-creating a name returns
+// the cached File object with its layout recomputed from the current
+// creation order — indistinguishable from a fresh file, but reusable across
+// runs without reallocation.
 func (s *System) Create(name string) *File {
-	f := &File{sys: s, name: name, first: s.nfiles % s.cfg.Servers}
+	f := s.files[name]
+	if f == nil {
+		f = &File{sys: s, name: name, reqNames: make([]reqName, s.cfg.Servers)}
+		s.files[name] = f
+	}
+	f.first = s.nfiles % s.cfg.Servers
 	s.nfiles++
 	return f
+}
+
+// reqName returns the cached request name for server i, app and direction,
+// formatting (and caching) it only on a miss.
+func (f *File) reqName(i int, app, dir string) string {
+	rn := &f.reqNames[i]
+	if rn.name == "" || rn.app != app || rn.dir != dir {
+		rn.app, rn.dir = app, dir
+		rn.name = fmt.Sprintf("%s@%s[%d]%s", app, f.name, i, dir)
+	}
+	return rn.name
 }
 
 // Name returns the file name.
@@ -172,14 +275,17 @@ func (f *File) transfer(p *sim.Proc, req Request, dir string) float64 {
 		req.Weight = 1
 	}
 	sys := f.sys
-	per := PerServerBytes(req.Offset, req.Length, sys.cfg.StripeBytes, sys.cfg.Servers, f.first)
+	// The striping scratch is safe to share system-wide: between filling it
+	// and the last submit below, the process never parks, and submit paths
+	// only enqueue completions (they never re-enter transfer).
+	per := PerServerBytesInto(sys.perScratch, req.Offset, req.Length, sys.cfg.StripeBytes, sys.cfg.Servers, f.first)
 	touched := 0
 	for _, b := range per {
 		if b > 0 {
 			touched++
 		}
 	}
-	wg := sim.NewWaitGroup(p.Engine())
+	wg := sys.getWG()
 	perWeight := req.Weight / float64(touched)
 	var perCap float64
 	if req.RateCap > 0 {
@@ -190,26 +296,33 @@ func (f *File) transfer(p *sim.Proc, req Request, dir string) float64 {
 			continue
 		}
 		wg.Add(1)
-		sys.servers[i].submit(&serverReq{
-			app:    req.App,
-			name:   fmt.Sprintf("%s@%s[%d]%s", req.App, f.name, i, dir),
-			bytes:  float64(b),
-			weight: perWeight,
-			cap:    perCap,
-			client: req.ClientLink,
-			done:   wg.Done,
-		})
+		r := sys.getReq()
+		r.sv = sys.servers[i]
+		r.app = req.App
+		r.name = f.reqName(i, req.App, dir)
+		r.bytes = float64(b)
+		r.weight = perWeight
+		r.cap = perCap
+		r.client = req.ClientLink
+		r.wg = wg
+		r.sv.submit(r)
 	}
 	wg.Wait(p)
+	sys.putWG(wg)
 	return p.Now() - start
 }
 
 // Server is one storage server.
 type Server struct {
+	sys   *System
 	id    int
 	cfg   Config
 	store *disk.Store
 	link  *fabric.Link // non-nil in fabric mode
+
+	// linkScratch backs the (at most two-element) path slice handed to
+	// fabric.Start, which copies it; reused across requests.
+	linkScratch [2]*fabric.Link
 
 	// FIFO / Exclusive queueing state.
 	queue   []*serverReq
@@ -218,18 +331,35 @@ type Server struct {
 	inFlite int        // Exclusive: live jobs of curApp
 }
 
+// serverReq is one per-server share of an application request. Requests are
+// pooled on the System; completeFn is the completion closure bound once at
+// allocation so completions never allocate.
 type serverReq struct {
-	app    string
-	name   string
-	bytes  float64
-	weight float64
-	cap    float64
-	client *fabric.Link
-	done   func()
+	sv         *Server
+	app        string
+	name       string
+	bytes      float64
+	weight     float64
+	cap        float64
+	client     *fabric.Link
+	wg         *sim.WaitGroup
+	completeFn func()
 }
 
-func newServer(eng *sim.Engine, id int, cfg Config) *Server {
+// complete notifies the issuing transfer, advances the server's queueing
+// policy and returns the request to the pool.
+func (r *serverReq) complete() {
+	sv := r.sv
+	if r.wg != nil {
+		r.wg.Done()
+	}
+	sv.finished(r)
+	sv.sys.putReq(r)
+}
+
+func newServer(sys *System, eng *sim.Engine, id int, cfg Config) *Server {
 	sv := &Server{
+		sys: sys,
 		id:  id,
 		cfg: cfg,
 		store: disk.New(eng, fmt.Sprintf("srv%d", id), disk.Params{
@@ -271,22 +401,16 @@ func (sv *Server) submit(r *serverReq) {
 // start launches the request on the store (or, in fabric mode, as a flow
 // crossing the client NIC and the server link).
 func (sv *Server) start(r *serverReq) {
-	done := r.done
-	complete := func() {
-		if done != nil {
-			done()
-		}
-		sv.finished(r)
-	}
 	if sv.cfg.Fabric != nil {
-		links := []*fabric.Link{sv.link}
+		sv.linkScratch[0] = sv.link
+		links := sv.linkScratch[:1]
 		if r.client != nil {
 			links = append(links, r.client)
 		}
-		sv.cfg.Fabric.Start(r.name, r.bytes, r.weight, links, complete)
+		sv.cfg.Fabric.Start(r.name, r.bytes, r.weight, links, r.completeFn)
 		return
 	}
-	sv.store.Resource().Submit(r.name, r.bytes, r.weight, r.cap, complete)
+	sv.store.Resource().Submit(r.name, r.bytes, r.weight, r.cap, r.completeFn)
 }
 
 func (sv *Server) finished(r *serverReq) {
@@ -306,8 +430,11 @@ func (sv *Server) pumpFIFO() {
 	if sv.current != nil || len(sv.queue) == 0 {
 		return
 	}
+	// Pop by copy-down so the queue keeps one stable backing array.
 	r := sv.queue[0]
-	sv.queue = sv.queue[1:]
+	copy(sv.queue, sv.queue[1:])
+	sv.queue[len(sv.queue)-1] = nil
+	sv.queue = sv.queue[:len(sv.queue)-1]
 	sv.current = r
 	sv.start(r)
 }
@@ -322,7 +449,9 @@ func (sv *Server) pumpExclusive() {
 	if sv.curApp == "" {
 		sv.curApp = sv.queue[0].app
 	}
-	// Admit every queued request of the active application.
+	// Admit every queued request of the active application, compacting the
+	// rest in place (start never re-enters the pump synchronously:
+	// completions arrive via posted callbacks).
 	keep := sv.queue[:0]
 	for _, r := range sv.queue {
 		if r.app == sv.curApp {
@@ -332,5 +461,8 @@ func (sv *Server) pumpExclusive() {
 			keep = append(keep, r)
 		}
 	}
-	sv.queue = append([]*serverReq(nil), keep...)
+	for i := len(keep); i < len(sv.queue); i++ {
+		sv.queue[i] = nil
+	}
+	sv.queue = keep
 }

@@ -5,7 +5,19 @@ package pfs
 // stripe unit, starting at server (offset/stripe + firstServer) % nservers.
 // It runs in O(nservers) regardless of extent size.
 func PerServerBytes(offset, length, stripe int64, nservers int, firstServer int) []int64 {
-	out := make([]int64, nservers)
+	return PerServerBytesInto(make([]int64, nservers), offset, length, stripe, nservers, firstServer)
+}
+
+// PerServerBytesInto is PerServerBytes writing into caller-provided scratch,
+// which must have length nservers; it returns the scratch. The transfer hot
+// path uses it so striping a request allocates nothing.
+func PerServerBytesInto(out []int64, offset, length, stripe int64, nservers int, firstServer int) []int64 {
+	if len(out) != nservers {
+		panic("pfs: PerServerBytesInto scratch length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	if length <= 0 {
 		return out
 	}

@@ -1,0 +1,203 @@
+// Package platform builds and reuses the whole simulated platform — the
+// pfs + ior + mpi + core.Layer object graph on one sim.Engine — so that
+// re-running a scenario (a ∆-sweep point, a solo calibration, a what-if
+// evaluation) costs a Reset instead of a rebuild.
+//
+// The reuse contract mirrors sim.Engine.Reset: Reset retains everything
+// that is expensive to construct — servers and stores with their request
+// and job pools, fabric links and pooled flows, cached file objects and
+// request-name strings, registered coordinators, runners with their armed
+// workloads and stats backing — and clears only logical state (queues,
+// in-flight transfers, protocol states, statistics, the virtual clock).
+// Construction order is identical to a from-scratch build (fabric, then
+// servers, then app NICs, then coordinator registrations), so link and
+// registration IDs — and therefore every float accumulation order in the
+// solvers — match a fresh platform exactly: a reused platform's results
+// are bit-identical to a fresh one's.
+package platform
+
+import (
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/ior"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+)
+
+// AppSpec describes one application of a scenario.
+type AppSpec struct {
+	Name  string
+	Procs int
+	Nodes int // 0 = one proc per node
+	W     ior.Workload
+	Gran  ior.Granularity
+}
+
+// Spec is the comparable description of a platform: the machine constants
+// plus the applications. Spec.FS.Fabric must be nil; explicit-fabric mode
+// is requested via TrueNetwork and the fabric is built (and reset) by the
+// platform itself.
+type Spec struct {
+	FS            pfs.Config
+	TrueNetwork   bool
+	ProcNIC       float64
+	CommBWPerProc float64
+	CommAlpha     float64
+	CoordLatency  float64
+	Apps          []AppSpec
+}
+
+// Equal reports whether two specs describe the same platform.
+func (s Spec) Equal(o Spec) bool {
+	if s.FS != o.FS || s.TrueNetwork != o.TrueNetwork ||
+		s.ProcNIC != o.ProcNIC || s.CommBWPerProc != o.CommBWPerProc ||
+		s.CommAlpha != o.CommAlpha || s.CoordLatency != o.CoordLatency ||
+		len(s.Apps) != len(o.Apps) {
+		return false
+	}
+	for i := range s.Apps {
+		if s.Apps[i] != o.Apps[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Model returns the coordination-layer performance model for the spec.
+func (s Spec) Model() *core.PerfModel {
+	return &core.PerfModel{
+		FSBandwidth: float64(s.FS.Servers) * s.FS.ServerBW,
+		ProcNIC:     s.ProcNIC,
+	}
+}
+
+// Platform is a built simulation platform, reusable across runs.
+type Platform struct {
+	Eng     *sim.Engine
+	Fab     *fabric.Fabric // nil without TrueNetwork
+	FS      *pfs.System
+	MPI     *mpi.Platform
+	Apps    []*mpi.App
+	Layer   *core.Layer // nil for uncoordinated platforms
+	Runners []*ior.Runner
+}
+
+// New builds a platform on the engine, which must be freshly reset (or
+// new). newPolicy, when non-nil, is called once to build the coordination
+// policy; nil builds an uncoordinated platform.
+func New(eng *sim.Engine, spec Spec, newPolicy func(*core.PerfModel) core.Policy) *Platform {
+	if spec.FS.Fabric != nil {
+		panic("platform: Spec.FS.Fabric must be nil; set TrueNetwork")
+	}
+	fsCfg := spec.FS
+	p := &Platform{Eng: eng}
+	if spec.TrueNetwork {
+		p.Fab = fabric.New(eng)
+		fsCfg.Fabric = p.Fab
+	}
+	p.FS = pfs.New(eng, fsCfg)
+	p.MPI = &mpi.Platform{
+		Eng:           eng,
+		FS:            p.FS,
+		ProcNIC:       spec.ProcNIC,
+		CommBWPerProc: spec.CommBWPerProc,
+		CommAlpha:     spec.CommAlpha,
+	}
+	if newPolicy != nil {
+		p.Layer = core.NewLayer(eng, newPolicy(spec.Model()), spec.CoordLatency)
+	}
+	for _, as := range spec.Apps {
+		app := p.MPI.NewApp(as.Name, as.Procs, as.Nodes)
+		var sess *core.Session
+		if p.Layer != nil {
+			sess = core.NewSession(p.Layer.Register(as.Name, as.Procs))
+		}
+		p.Apps = append(p.Apps, app)
+		p.Runners = append(p.Runners, ior.NewRunner(app, as.W, sess, as.Gran))
+	}
+	return p
+}
+
+// Reset re-arms the platform for another run: engine clock and event pools,
+// fabric flows, file-system queues and stores, coordination protocol state
+// and runner statistics all return to their just-built state; see the
+// package comment for what is retained. Reset panics (via the engine) if a
+// previous run is still in flight.
+func (p *Platform) Reset() {
+	p.Eng.Reset()
+	if p.Fab != nil {
+		p.Fab.Reset()
+	}
+	p.FS.Reset()
+	p.MPI.Reset()
+	if p.Layer != nil {
+		p.Layer.Reset()
+	}
+	for _, r := range p.Runners {
+		r.Reset()
+	}
+}
+
+// Run resets the platform and executes one run with each app's I/O phase
+// starting at the given absolute time; rec, when non-nil, records
+// compute/wait/comm/write intervals (it must not be shared between
+// concurrent platforms). It returns the makespan (the final clock value).
+func (p *Platform) Run(starts []float64, rec *timeline.Recorder) float64 {
+	if len(starts) != len(p.Runners) {
+		panic("platform: starts length mismatch")
+	}
+	p.Reset()
+	for i, r := range p.Runners {
+		r.Timeline = rec
+		r.Start(starts[i])
+	}
+	return p.Eng.Run()
+}
+
+// Pool builds platforms on one shared engine and caches them by spec, so a
+// sweep worker acquires its platform once and every later Acquire with an
+// equal spec is a Reset, not a rebuild. Distinct specs (a solo calibration
+// next to the full scenario, say) coexist as separate entries; only one
+// platform of a pool may run at a time, since they share the engine.
+//
+// The pool distinguishes coordinated from uncoordinated entries, but it
+// cannot compare policy constructors: callers that sweep different policy
+// families must use one Pool per family (as the delta sweep workers do).
+type Pool struct {
+	eng     *sim.Engine
+	entries []poolEntry
+}
+
+type poolEntry struct {
+	spec        Spec
+	coordinated bool
+	plat        *Platform
+}
+
+// NewPool returns an empty pool with its own engine.
+func NewPool() *Pool { return &Pool{eng: sim.NewEngine()} }
+
+// Engine returns the pool's shared engine.
+func (p *Pool) Engine() *sim.Engine { return p.eng }
+
+// Acquire returns a platform for the spec, reusing the cached object graph
+// when an entry with an equal spec and the same coordination mode exists,
+// and building one otherwise. Platform.Run resets before starting, so the
+// returned platform is ready to use either way.
+func (p *Pool) Acquire(spec Spec, newPolicy func(*core.PerfModel) core.Policy) *Platform {
+	coordinated := newPolicy != nil
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.coordinated == coordinated && e.spec.Equal(spec) {
+			return e.plat
+		}
+	}
+	p.eng.Reset()
+	plat := New(p.eng, spec, newPolicy)
+	apps := append([]AppSpec(nil), spec.Apps...)
+	spec.Apps = apps // own the slice: callers may mutate theirs
+	p.entries = append(p.entries, poolEntry{spec: spec, coordinated: coordinated, plat: plat})
+	return plat
+}

@@ -106,6 +106,14 @@ type Engine struct {
 	// returning control to the scheduler.
 	yield chan struct{}
 
+	// procFree holds pooled procs (channel + wake timer + bound closures;
+	// no goroutine while idle) ready for reuse by Go/GoAt. Finished procs
+	// first land on procRetired — not directly on the free list — so a
+	// *Proc handle returned by Go stays valid (Done, Name) for the rest of
+	// the run; Reset moves retired procs to the free list.
+	procFree    []*Proc
+	procRetired []*Proc
+
 	procs   int // live (started, not finished) processes
 	stopped bool
 	tracer  Tracer
@@ -253,6 +261,11 @@ func (e *Engine) Reset() {
 	}
 	e.zq = e.zq[:0]
 	e.zhead = 0
+	e.procFree = append(e.procFree, e.procRetired...)
+	for i := range e.procRetired {
+		e.procRetired[i] = nil
+	}
+	e.procRetired = e.procRetired[:0]
 	e.now = 0
 	e.seq = 0
 	e.stopped = false

@@ -6,19 +6,31 @@ import "fmt"
 // other goroutines (including the scheduler) are blocked. Procs communicate
 // and synchronize only through the engine, never through Go channels of
 // their own, which keeps runs deterministic.
+//
+// Procs are pooled: when a body returns, its goroutine exits and the proc
+// (channel, wake timer, bound closures) parks on a retired list; Engine.Reset
+// moves retired procs to a free list for reuse by later Go/GoAt calls, which
+// spawn a fresh goroutine per body. A *Proc handle therefore stays valid —
+// Done, Name — until the engine is reset, and must not be retained across a
+// Reset. An idle pooled proc holds no goroutine, so discarding an engine
+// leaks nothing.
 type Proc struct {
 	eng  *Engine
 	name string
 	run  chan struct{} // scheduler -> proc token
 	done bool
+	body func(p *Proc)
 
-	// transferFn is p.transfer bound once, so wake-ups can be posted
-	// without allocating a method-value closure per sleep.
+	// transferFn and bodyFn are p.transfer / p.runBody bound once, so
+	// posting wake-ups and spawning the per-body goroutine never allocate
+	// method-value closures.
 	transferFn func()
+	bodyFn     func()
 
 	// wake is the reusable timer that resumes a sleeping proc. A proc has
 	// at most one pending sleep, so a single owned record suffices and
-	// sleeping never allocates.
+	// sleeping never allocates. While the proc is not yet started, the same
+	// timer carries the start event, so launching never allocates either.
 	wake *Timer
 }
 
@@ -29,25 +41,52 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 	return e.GoAt(e.now, name, body)
 }
 
-// GoAt starts body as a new process at absolute time t.
+// GoAt starts body as a new process at absolute time t. The proc comes from
+// the engine's free pool when one is available, so in steady state
+// (re-running a schedule after Reset) starting a process allocates nothing.
 func (e *Engine) GoAt(t float64, name string, body func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, run: make(chan struct{})}
-	p.transferFn = p.transfer
-	p.wake = e.NewTimer(p.transferFn)
+	p := e.getProc()
+	p.name = name
+	p.body = body
+	p.done = false
 	e.procs++
-	e.At(t, func() {
-		go func() {
-			<-p.run // wait for the scheduler to hand over control
-			defer func() {
-				p.done = true
-				e.procs--
-				e.yield <- struct{}{}
-			}()
-			body(p)
-		}()
-		p.transfer()
-	})
+	// The wake timer is necessarily unarmed here (the proc is not running),
+	// so it can carry the start event.
+	p.wake.ScheduleAt(t)
 	return p
+}
+
+// getProc pops a pooled proc or builds a fresh one, then spawns the
+// goroutine that will run exactly one body and exit. The goroutine is
+// per-body — never parked idle — so an engine that falls out of scope is
+// ordinary garbage; only the proc's channel, timer and closures recycle.
+func (e *Engine) getProc() *Proc {
+	var p *Proc
+	if n := len(e.procFree); n > 0 {
+		p = e.procFree[n-1]
+		e.procFree[n-1] = nil
+		e.procFree = e.procFree[:n-1]
+	} else {
+		p = &Proc{eng: e, run: make(chan struct{})}
+		p.transferFn = p.transfer
+		p.bodyFn = p.runBody
+		p.wake = e.NewTimer(p.transferFn)
+	}
+	go p.bodyFn()
+	return p
+}
+
+func (p *Proc) runBody() {
+	<-p.run // wait for the scheduler to hand over control
+	e := p.eng
+	defer func() {
+		p.done = true
+		p.body = nil
+		e.procs--
+		e.procRetired = append(e.procRetired, p)
+		e.yield <- struct{}{}
+	}()
+	p.body(p)
 }
 
 // transfer hands control to the proc goroutine and blocks until it parks or
@@ -214,12 +253,16 @@ func (w *WaitGroup) Add(delta int) {
 	if w.n < 0 {
 		panic("sim: negative WaitGroup counter")
 	}
-	if w.n == 0 {
+	if w.n == 0 && len(w.conds) > 0 {
+		// Release waiters, keeping the backing array so a reused wait group
+		// does not re-pay the waiter-list allocation. Post only enqueues, so
+		// no new waiter can arrive while the loop runs.
 		ws := w.conds
-		w.conds = nil
-		for _, pr := range ws {
+		for i, pr := range ws {
 			w.eng.Post(pr.transferFn)
+			ws[i] = nil
 		}
+		w.conds = ws[:0]
 	}
 }
 
