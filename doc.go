@@ -10,8 +10,10 @@
 // application model (mpi), the IOR-derived benchmark (ior), the CALCioM
 // coordination layer itself (core), machine-wide efficiency metrics
 // (metrics), the ∆-graph harness (delta), SWF workload-trace tooling (swf),
-// the per-figure experiment reproductions (experiments), and the live
-// coordination daemon (wire, server, client).
+// the per-figure experiment reproductions (experiments), the live
+// coordination daemon (wire, server, client), and the coordination-trace
+// record/replay subsystem (trace, replay) that re-arbitrates captured
+// daemon traffic offline under any policy.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this
@@ -54,6 +56,77 @@
 //
 //	go run ./cmd/calciomd -listen 127.0.0.1:9595 -policy fcfs
 //	go run ./cmd/calciom-load -addr 127.0.0.1:9595 -clients 64 -phases 4
+//
+// # Trace record and replay
+//
+// The daemon can record everything its arbitration goroutine did —
+// state-mutating requests, explicit re-arbitrations, and the authorization
+// flips they produced — into a compact, versioned, append-only event log
+// (internal/trace), and internal/replay re-drives such a log through
+// core.Arbiter on a virtual clock. That closes the paper's loop as an
+// observe → replay → decide pipeline: record live traffic once, then ask
+// which coordination strategy fits it, without re-running the applications.
+//
+// Quickstart (three terminals):
+//
+//	go run ./cmd/calciomd -listen 127.0.0.1:9595 -record run.trace   # 1: record
+//	go run ./cmd/calciom-load -addr 127.0.0.1:9595 -clients 64      # 2: traffic
+//	go run ./cmd/calciom-replay -trace run.trace                    # 3: decide
+//
+// (calciom-load -record captures the same traffic client-side instead, for
+// daemons that cannot record.)
+//
+// The trace format (version 1): a "CALTRACE" magic, a u16 format version,
+// a JSON header (source, recording policy, performance-model constants),
+// then little-endian records — every record is a u8 type, f64 timestamp
+// and u32 session id plus type-specific extras — and a mandatory trailer
+// carrying the recorded and dropped counts:
+//
+//	register    name, cores      session introduced (assigns the id)
+//	prepare     sorted info map  stacked MPI_Info-style hints
+//	complete    —                hint unstacked
+//	inform      bytes done?      phase opened/continued (arbitrates)
+//	progress    bytes done       progress only, no arbitration
+//	check       —                authorization polled
+//	wait        —                wait accepted (immediate or deferred)
+//	release     bytes done?      access step ended (arbitrates)
+//	end         —                phase ended (arbitrates)
+//	unregister  —                session left (disconnect/eviction)
+//	recheck     —                arbitration not implied by a request
+//	grant       —                outcome: authorization flipped on
+//	revoke      —                outcome: authorization flipped off
+//
+// Versioning rules (authoritative in internal/trace): magic and version
+// never move; unknown versions and record types are rejected; additive
+// changes bump the version and newer readers accept older files; a file
+// without a trailer is reported as truncated, and the trailer's drop count
+// marks a trace lossy — replay refuses it rather than silently diverging.
+//
+// Recording rides the arbitration goroutine without touching its
+// guarantees: events travel by value through a fixed-capacity channel to a
+// drain goroutine that owns all encoding and file I/O, so the hot path
+// neither blocks nor allocates (BenchmarkServerArbitrateRecording: 0
+// allocs/op, pinned by TestRecordingStaysAllocFree). Overflow is dropped
+// and counted, never waited on — and replay refuses lossy traces rather
+// than silently diverging.
+//
+// Replay has two modes. Verify replays a daemon trace under its own
+// recorded policy, re-arbitrating exactly where the recording did, and
+// requires the reproduced grant/revoke sequence to match the recorded one
+// event for event — exact, because the daemon serializes all coordination
+// through one goroutine and the trace captures that serialized order (the
+// CI daemon-smoke job records a 64-client burst and asserts the replayed
+// grant count and sequence match the live run). What-if replay
+// (replay.Under / replay.Compare) re-arbitrates the same arrival pattern
+// under any policy, synthesizing delay-policy rechecks on the virtual
+// clock, and derives a per-policy comparison: total and tail wait, the
+// same convoy-vs-protocol wait decomposition the live wire.Stats reports,
+// permitted-interference overlap, and estimated interference factors and
+// CPU-seconds wasted under the paper's equal-share stretch model. The
+// replay is open-loop (request instants stay where the recording put
+// them), so cross-policy numbers are comparative estimates, not absolute
+// predictions; calciom-replay prints the comparison with a recommended
+// policy and is byte-identical across runs on one trace.
 //
 // # Performance
 //
@@ -141,4 +214,18 @@
 //	BenchmarkDeltaSweepFabric        0.60 ms/op  7077 allocs → 0.32 ms/op  1002 allocs  (7.1x)
 //	BenchmarkDeltaSweepFabricDense   3.59 ms/op 43553 allocs → 1.65 ms/op  1002 allocs  (43x, 2.2x time)
 //	BenchmarkDeltaPointReused        (new)                     38 µs/op    0 allocs/op
+//
+// The remaining ~1000 allocations were per-Sweep setup: each call built
+// per-worker platforms, solo calibrations and output slices from scratch.
+// delta.Sweeper is the persistent executor that keeps them: it owns the
+// solo-calibration pool and one platform pool per worker slot, reused
+// across sweeps, and SweepInto reuses a caller-owned Series' backing.
+// Repeated sweeps of one scenario (parameter studies, the macro
+// benchmarks) now pay only the worker goroutines:
+//
+//	BenchmarkDeltaSweepFabric        0.32 ms/op  1002 allocs → 0.27 ms/op  8 allocs
+//	BenchmarkDeltaSweepFabricDense   1.65 ms/op  1002 allocs → 1.60 ms/op  9 allocs
+//
+// TestSweeperSteadyStateAllocs guards the bound; TestSweeperReuseBitIdentical
+// pins that executor reuse stays bit-identical to fresh sweeps.
 package repro

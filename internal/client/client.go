@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -39,6 +40,12 @@ type Client struct {
 	// round trip (authoritative) while pushes keep it warm in between.
 	authorized atomic.Bool
 
+	// Client-side trace capture (CaptureTo); nil when not recording.
+	tw       *trace.Writer
+	tsid     uint32
+	tclock   func() float64
+	traceReg atomic.Bool // a successful Register was recorded
+
 	done chan struct{}
 }
 
@@ -58,8 +65,40 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// CaptureTo attaches a client-side trace recorder: every successful
+// coordination call is recorded (at its send time) under the given session
+// identity, and a served Wait additionally records the observed grant. The
+// writer may be shared by many clients — calciom-load records its whole
+// fleet into one file. Unlike a daemon-side trace this capture is
+// observational: timestamps are client clocks, and the grant events are
+// client-observed, so it supports what-if replay but not exact
+// verification. Set it before the first call; the recorded Info maps must
+// not be mutated afterwards.
+func (c *Client) CaptureTo(w *trace.Writer, sid uint32, clock func() float64) {
+	c.tw, c.tsid, c.tclock = w, sid, clock
+}
+
+func (c *Client) rec(ev trace.Event) {
+	if c.tw != nil {
+		ev.SID = c.tsid
+		c.tw.Record(ev)
+	}
+}
+
+func (c *Client) tnow() float64 {
+	if c.tclock == nil {
+		return 0
+	}
+	return c.tclock()
+}
+
 // Close tears the connection down; outstanding calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.tw != nil && c.traceReg.CompareAndSwap(true, false) {
+		c.rec(trace.Event{Type: trace.EvUnregister, Time: c.tnow()})
+	}
+	return c.conn.Close()
+}
 
 // readLoop dispatches responses to their waiting callers and folds
 // unsolicited grant/revoke pushes into the cached authorization state.
@@ -146,27 +185,44 @@ func (c *Client) call(req wire.Request) (wire.Response, error) {
 // Register introduces the application to the daemon. It must be the first
 // call; names must be unique among live sessions.
 func (c *Client) Register(name string, cores int) error {
+	t := c.tnow()
 	_, err := c.call(wire.Request{Type: wire.TypeRegister, App: name, Cores: cores})
+	if err == nil {
+		c.traceReg.Store(true)
+		c.rec(trace.Event{Type: trace.EvRegister, Time: t, App: name, Cores: int32(cores)})
+	}
 	return err
 }
 
 // Prepare stacks information about the upcoming I/O accesses, as the
 // paper's Prepare(MPI_Info) does.
 func (c *Client) Prepare(info core.Info) error {
+	t := c.tnow()
 	_, err := c.call(wire.Request{Type: wire.TypePrepare, Info: info})
+	if err == nil {
+		c.rec(trace.Event{Type: trace.EvPrepare, Time: t, Info: info})
+	}
 	return err
 }
 
 // Complete unstacks the most recent Prepare.
 func (c *Client) Complete() error {
+	t := c.tnow()
 	_, err := c.call(wire.Request{Type: wire.TypeComplete})
+	if err == nil {
+		c.rec(trace.Event{Type: trace.EvComplete, Time: t})
+	}
 	return err
 }
 
 // Inform announces the application's intent (or continued intent) to do
 // I/O. Non-blocking beyond the round trip; triggers arbitration.
 func (c *Client) Inform() error {
+	t := c.tnow()
 	_, err := c.call(wire.Request{Type: wire.TypeInform})
+	if err == nil {
+		c.rec(trace.Event{Type: trace.EvInform, Time: t})
+	}
 	return err
 }
 
@@ -176,7 +232,11 @@ func (c *Client) Inform() error {
 // the Session helpers piggyback progress anyway, so an explicit Progress
 // round trip is only needed between coordination points.
 func (c *Client) Progress(bytesDone float64) error {
+	t := c.tnow()
 	_, err := c.call(wire.Request{Type: wire.TypeProgress, BytesDone: bytesDone})
+	if err == nil {
+		c.rec(trace.Event{Type: trace.EvProgress, Time: t, Bytes: bytesDone})
+	}
 	return err
 }
 
@@ -184,10 +244,12 @@ func (c *Client) Progress(bytesDone float64) error {
 // a grant: an application free to reorganize its work can Check and do
 // something else when denied.
 func (c *Client) Check() (bool, error) {
+	t := c.tnow()
 	resp, err := c.call(wire.Request{Type: wire.TypeCheck})
 	if err != nil {
 		return false, err
 	}
+	c.rec(trace.Event{Type: trace.EvCheck, Time: t})
 	return resp.Authorized, nil
 }
 
@@ -196,22 +258,40 @@ func (c *Client) Check() (bool, error) {
 func (c *Client) Authorized() bool { return c.authorized.Load() }
 
 // Wait blocks until the daemon authorizes the application's access. The
-// response is deferred server-side until arbitration grants access.
+// response is deferred server-side until arbitration grants access. With a
+// capture attached, the wait is recorded at send time — BEFORE the round
+// trip, unlike the quick calls, because a deferred Wait can return seconds
+// later and a post-hoc record would land after other clients' events and
+// collapse the measured wait in replay — and the observed grant at
+// response time. A failed Wait leaves a pending wait event in the trace;
+// replay censors it, exactly like a session that vanished mid-wait.
 func (c *Client) Wait() error {
+	c.rec(trace.Event{Type: trace.EvWait, Time: c.tnow()})
 	_, err := c.call(wire.Request{Type: wire.TypeWait})
+	if err == nil {
+		c.rec(trace.Event{Type: trace.EvGrant, Time: c.tnow()})
+	}
 	return err
 }
 
 // Release ends one step of the I/O access, reporting progress. A new
 // Inform is required before the next access step.
 func (c *Client) Release(bytesDone float64) error {
+	t := c.tnow()
 	_, err := c.call(wire.Request{Type: wire.TypeRelease, BytesDone: bytesDone})
+	if err == nil {
+		c.rec(trace.Event{Type: trace.EvRelease, Time: t, Bytes: bytesDone})
+	}
 	return err
 }
 
 // End terminates the I/O phase entirely.
 func (c *Client) End() error {
+	t := c.tnow()
 	_, err := c.call(wire.Request{Type: wire.TypeEnd})
+	if err == nil {
+		c.rec(trace.Event{Type: trace.EvEnd, Time: t})
+	}
 	return err
 }
 

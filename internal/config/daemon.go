@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Daemon is the JSON configuration of calciomd, the live coordination
@@ -30,6 +31,15 @@ type Daemon struct {
 	// factors in stats. Optional for model-free policies.
 	FSMiBps      float64 `json:"fs_mibps,omitempty"`
 	ProcNICMiBps float64 `json:"proc_nic_mibps,omitempty"`
+	// RecordPath, when set, records every coordination event to this file
+	// (internal/trace format) for offline re-arbitration with
+	// calciom-replay. Recording never blocks or allocates on the
+	// arbitration hot path; overflow beyond RecordBuffer in-flight events
+	// is dropped and counted instead.
+	RecordPath string `json:"record_path,omitempty"`
+	// RecordBuffer is the in-flight event capacity between the arbitration
+	// goroutine and the trace writer; 0 means the trace package default.
+	RecordBuffer int `json:"record_buffer,omitempty"`
 }
 
 // DefaultListenAddr is used when listen_addr is omitted.
@@ -81,7 +91,33 @@ func (d Daemon) Validate() error {
 	if d.FSMiBps < 0 || d.ProcNICMiBps < 0 {
 		return fmt.Errorf("config: fs_mibps and proc_nic_mibps must be >= 0")
 	}
+	// record_buffer without record_path is deliberately allowed: the path
+	// often arrives later as a flag override (calciomd -record), and an
+	// unused buffer size is harmless.
+	if d.RecordBuffer < 0 {
+		return fmt.Errorf("config: record_buffer must be >= 0")
+	}
 	return nil
+}
+
+// PolicyName returns the configured policy with the default applied.
+func (d Daemon) PolicyName() string {
+	if d.Policy == "" {
+		return "fcfs"
+	}
+	return d.Policy
+}
+
+// TraceHeader describes this configuration in a trace header, so offline
+// replay can rebuild the recording policy and its performance model.
+func (d Daemon) TraceHeader() trace.Header {
+	return trace.Header{
+		Source:       trace.SourceDaemon,
+		Policy:       d.PolicyName(),
+		DelayOverlap: d.DelayOverlap,
+		FSMiBps:      d.FSMiBps,
+		ProcNICMiBps: d.ProcNICMiBps,
+	}
 }
 
 // Addr returns the listen address with the default applied.

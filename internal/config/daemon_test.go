@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // TestStrictErrorsCarryLineNumbers pins the failure-reporting contract for
@@ -162,6 +163,59 @@ func TestParseDaemon(t *testing.T) {
 				if err == nil || !strings.Contains(err.Error(), "line 2") ||
 					!strings.Contains(err.Error(), "listen_adr") {
 					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+		{
+			name: "record section",
+			in: `{"policy": "delay", "delay_overlap": 0.25, "fs_mibps": 2048,
+			     "record_path": "run.trace", "record_buffer": 4096}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.RecordPath != "run.trace" || d.RecordBuffer != 4096 {
+					t.Fatalf("record settings = %+v", d)
+				}
+				hdr := d.TraceHeader()
+				if hdr.Source != trace.SourceDaemon || hdr.Policy != "delay" ||
+					hdr.DelayOverlap != 0.25 || hdr.FSMiBps != 2048 {
+					t.Fatalf("trace header = %+v", hdr)
+				}
+			},
+		},
+		{
+			name: "trace header applies policy default",
+			in:   `{"record_path": "run.trace"}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hdr := d.TraceHeader(); hdr.Policy != "fcfs" {
+					t.Fatalf("header policy = %q, want fcfs default", hdr.Policy)
+				}
+			},
+		},
+		{
+			name: "negative record buffer",
+			in:   `{"record_path": "x", "record_buffer": -1}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "record_buffer") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+		{
+			// The path may arrive later as a -record flag override, so a
+			// config carrying only the buffer size must load cleanly.
+			name: "record buffer without path is allowed",
+			in:   `{"record_buffer": 16}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.RecordBuffer != 16 {
+					t.Fatalf("record buffer = %d", d.RecordBuffer)
 				}
 			},
 		},

@@ -298,6 +298,20 @@ func (ar *Arbiter) LastRecord() *DecisionRecord {
 // is owned by the Arbiter.
 func (ar *Arbiter) Apps() []*AppState { return ar.apps }
 
+// OtherAuthorized reports whether any registered application other than app
+// currently holds authorization. The daemon and offline trace replay both
+// use it to classify a deferred Wait as convoy (queued behind a holder)
+// versus protocol (deferred with nobody authorized), so the classification
+// cannot drift between live stats and replay.
+func (ar *Arbiter) OtherAuthorized(app *AppState) bool {
+	for _, a := range ar.apps {
+		if a != app && a.authorized {
+			return true
+		}
+	}
+	return false
+}
+
 // Register adds an application. Names must be unique among currently
 // registered applications.
 func (ar *Arbiter) Register(name string, cores int) (*AppState, error) {

@@ -13,7 +13,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/fluid"
 	"repro/internal/ior"
-	"repro/internal/metrics"
 	"repro/internal/pfs"
 	"repro/internal/platform"
 	"repro/internal/timeline"
@@ -172,47 +171,90 @@ func policyName(sc Scenario, factory PolicyFactory) string {
 }
 
 // Sweep runs the two-app scenario at every dt under the policy. dt > 0
-// means B starts after A, matching the paper's convention. A fixed pool of
-// worker goroutines (one per OS thread) pulls points off a shared counter —
-// no goroutine-per-point churn. Each worker builds the platform once (its
-// own engine, fabric, file system, apps, coordination layer) and re-runs it
-// per point: pooled event records, flows, server requests and file objects
-// all amortize across the worker's points, so the steady-state point
-// allocates nothing. Each point is still its own deterministic run, so
-// results are independent of the worker count and of scheduling order.
+// means B starts after A, matching the paper's convention. It is the
+// one-shot convenience over a fresh Sweeper; harnesses that sweep one
+// policy family repeatedly (parameter studies, benchmarks) should hold a
+// Sweeper so the per-sweep platform construction amortizes away too.
 func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
+	return NewSweeper().Sweep(sc, factory, dts)
+}
+
+// Sweeper is a persistent ∆-sweep executor: it owns the solo-calibration
+// pool and one platform pool per worker slot, all reused across Sweep
+// calls, so a repeated sweep pays neither platform construction nor solo
+// recalibration — the per-sweep setup cost drops to the worker goroutines
+// and the output series. Results are bit-identical to a fresh Sweep.
+//
+// Like platform.Pool, a Sweeper cannot distinguish policy constructors: use
+// one Sweeper per policy family (the pools would otherwise hand a platform
+// built for one policy to a sweep of another). A Sweeper is not
+// goroutine-safe; one Sweep runs at a time.
+type Sweeper struct {
+	calib *platform.Pool   // solo calibrations, shared across sweeps
+	pools []*platform.Pool // one per worker slot, grown on demand
+}
+
+// NewSweeper returns an empty executor.
+func NewSweeper() *Sweeper { return &Sweeper{calib: platform.NewPool()} }
+
+// Sweep runs the scenario at every dt under the policy on the reused
+// platforms, returning a freshly allocated Series.
+func (sw *Sweeper) Sweep(sc Scenario, factory PolicyFactory, dts []float64) Series {
+	var s Series
+	sw.SweepInto(&s, sc, factory, dts)
+	return s
+}
+
+// grow returns v resized to n, reusing its backing array when possible.
+func grow(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+// SweepInto is Sweep writing into a caller-owned Series, reusing its slice
+// backing: a harness that sweeps in a loop with one Series allocates
+// nothing for the output after the first call. A fixed pool of worker
+// goroutines (one per OS thread) pulls points off a shared counter; each
+// worker re-arms its pooled platform per point, so the steady-state point
+// allocates nothing and every point is its own deterministic run —
+// results are independent of the worker count and of scheduling order.
+func (sw *Sweeper) SweepInto(s *Series, sc Scenario, factory PolicyFactory, dts []float64) {
 	if len(sc.Apps) != 2 {
 		panic(fmt.Sprintf("delta: Sweep needs exactly 2 apps, got %d", len(sc.Apps)))
 	}
-	calib := platform.NewPool() // one engine for both solo calibrations
-	s := Series{
-		Policy: policyName(sc, factory),
-		DT:     append([]float64(nil), dts...),
-		SoloA:  sc.SoloOn(calib, 0),
-		SoloB:  sc.SoloOn(calib, 1),
-	}
 	n := len(dts)
-	s.TimeA = make([]float64, n)
-	s.TimeB = make([]float64, n)
-	s.FactorA = make([]float64, n)
-	s.FactorB = make([]float64, n)
-	s.CPUPerCore = make([]float64, n)
+	s.Policy = policyName(sc, factory)
+	s.DT = append(s.DT[:0], dts...)
+	s.SoloA = sc.SoloOn(sw.calib, 0)
+	s.SoloB = sc.SoloOn(sw.calib, 1)
+	s.TimeA = grow(s.TimeA, n)
+	s.TimeB = grow(s.TimeB, n)
+	s.FactorA = grow(s.FactorA, n)
+	s.FactorB = grow(s.FactorB, n)
+	s.CPUPerCore = grow(s.CPUPerCore, n)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	for len(sw.pools) < workers {
+		sw.pools = append(sw.pools, platform.NewPool())
+	}
 	spec := sc.Spec()
+	coresA := float64(sc.Apps[0].Procs)
+	coresB := float64(sc.Apps[1].Procs)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(pool *platform.Pool) {
 			defer wg.Done()
-			// One platform per worker, reused across all its points.
-			pl := platform.NewPool().Acquire(spec, factory)
-			starts := make([]float64, 2)
-			rep := metrics.Report{Apps: make([]metrics.AppResult, 2)}
+			// One platform per worker, reused across all its points — and,
+			// through the pool, across sweeps.
+			pl := pool.Acquire(spec, factory)
+			var starts [2]float64
 			for {
 				k := int(next.Add(1)) - 1
 				if k >= n {
@@ -223,21 +265,20 @@ func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 				if dt < 0 {
 					starts[0], starts[1] = -dt, 0
 				}
-				pl.Run(starts, nil)
+				pl.Run(starts[:], nil)
 				ta := pl.Runners[0].Stats.TotalIOTime()
 				tb := pl.Runners[1].Stats.TotalIOTime()
 				s.TimeA[k] = ta
 				s.TimeB[k] = tb
 				s.FactorA[k] = ta / s.SoloA
 				s.FactorB[k] = tb / s.SoloB
-				rep.Apps[0] = metrics.AppResult{Name: sc.Apps[0].Name, Cores: sc.Apps[0].Procs, IOTime: ta, AloneTime: s.SoloA}
-				rep.Apps[1] = metrics.AppResult{Name: sc.Apps[1].Name, Cores: sc.Apps[1].Procs, IOTime: tb, AloneTime: s.SoloB}
-				s.CPUPerCore[k] = rep.CPUSecondsPerCore()
+				// f/Σcores inlined (metrics.Report.CPUSecondsPerCore for two
+				// apps) so the inner loop stays scratch-free.
+				s.CPUPerCore[k] = (coresA*ta + coresB*tb) / (coresA + coresB)
 			}
-		}()
+		}(sw.pools[w])
 	}
 	wg.Wait()
-	return s
 }
 
 // Expected computes the paper's analytic "expected interference" ∆-graph:

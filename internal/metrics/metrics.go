@@ -39,6 +39,20 @@ func (r Report) SumInterference() float64 {
 	return s
 }
 
+// SumInterferenceFinite is SumInterference restricted to applications with
+// a calibrated AloneTime, so the aggregate stays finite when some apps have
+// no solo estimate. The daemon's live snapshot and offline trace replay
+// both report this form.
+func (r Report) SumInterferenceFinite() float64 {
+	var s float64
+	for _, a := range r.Apps {
+		if a.AloneTime > 0 {
+			s += a.InterferenceFactor()
+		}
+	}
+	return s
+}
+
 // CPUSecondsWasted is f = Σ_X N_X · T_X (paper §IV-D): core-seconds spent
 // in I/O rather than computation.
 func (r Report) CPUSecondsWasted() float64 {

@@ -1,0 +1,688 @@
+// Package replay re-arbitrates a recorded coordination trace offline: it
+// drives the request events of an internal/trace log through core.Arbiter —
+// the same arbitration state machine the live daemon runs — on a virtual
+// clock taken from the recorded timestamps.
+//
+// Two modes exist:
+//
+//   - Verify replays a daemon-side trace under its own recorded policy,
+//     re-arbitrating exactly where the recording did (request events plus
+//     the recorded recheck instants), and checks that the reproduced
+//     authorization-flip sequence matches the recorded grant/revoke events
+//     one for one. Because the daemon serializes all coordination through a
+//     single goroutine, the trace captures the full serialized order and the
+//     replay is exact — a mismatch means the trace is lossy or the
+//     arbitration logic changed.
+//
+//   - Under replays the same arrival pattern under any policy ("what would
+//     delay have done with last night's traffic?"). Here the recorded
+//     outcome events are ignored and recheck arbitrations are synthesized
+//     from the policy's own RecheckAfter requests on the virtual clock.
+//
+// The what-if replay is open-loop, in the tradition of LASSi-style
+// after-the-fact I/O analytics: request instants stay where the recording
+// put them, even though a live application blocked longer in Wait would
+// have issued its next request later. Wait durations, their convoy-vs-
+// protocol decomposition (identical to the daemon's live wire.Stats
+// breakdown), and the derived interference and CPU-seconds estimates are
+// therefore comparative figures across policies, not absolute predictions.
+// Waits still pending when the trace ends are censored at the last recorded
+// instant and counted as Unserved.
+package replay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Flip is one authorization change, in delivery order.
+type Flip struct {
+	Time  float64
+	SID   uint32
+	Grant bool // true = granted, false = revoked
+}
+
+// String renders one flip compactly.
+func (f Flip) String() string {
+	kind := "revoke"
+	if f.Grant {
+		kind = "grant"
+	}
+	return fmt.Sprintf("%s sid=%d t=%.6f", kind, f.SID, f.Time)
+}
+
+// AppResult is one session's replayed outcome. Sessions are identified by
+// the trace SID; a name can recur if an application re-registered.
+type AppResult struct {
+	SID    uint32
+	Name   string
+	Cores  int
+	Phases int
+	Grants uint64
+
+	WaitsImmediate uint64
+	WaitsDeferred  uint64
+	WaitS          float64 // total deferred-wait time (censored waits included)
+	ConvoyWaitS    float64
+	ProtocolWaitS  float64
+	IOTimeS        float64 // recorded phase-open time (trace-fixed)
+
+	// ActiveS is the time this session spent inside an access step (between
+	// a served Wait and the next Release/End, at recorded instants);
+	// StretchedActiveS weighs each active second by the number of
+	// concurrently active sessions — the paper's equal-share interference
+	// model (two overlapped accesses each progress at half speed), used by
+	// Compare to stretch service time under interference-permitting
+	// policies.
+	ActiveS          float64
+	StretchedActiveS float64
+
+	Unserved int // waits still pending at end of trace
+	Aborted  int // waits cancelled by phase end or session departure
+}
+
+// Result is the outcome of one replay.
+type Result struct {
+	Policy string
+	Events int
+
+	Arbitrations uint64
+	GrantsServed uint64
+
+	WaitsImmediate uint64
+	WaitsDeferred  uint64
+	TotalWaitS     float64
+	ConvoyWaitS    float64
+	ProtocolWaitS  float64
+
+	Unserved int
+	Aborted  int
+
+	// OverlapS integrates max(0, n-1) over time, n being the number of
+	// concurrently active sessions: the machine-seconds of interference this
+	// policy permitted (0 under strict serialization).
+	OverlapS float64
+
+	// MakespanS is the last virtual-clock instant of the replay.
+	MakespanS float64
+
+	// Flips is the reproduced authorization-change sequence.
+	Flips []Flip
+	// Waits holds every deferred-wait duration (seconds, censored pending
+	// waits included), sorted ascending for percentile queries. Immediate
+	// waits contribute a zero.
+	Waits []float64
+	// Apps holds per-session outcomes sorted by (Name, SID).
+	Apps []AppResult
+}
+
+// WaitPercentile returns the p-th percentile (0..100, ceil-rank semantics)
+// of the wait durations, 0 when no waits were observed.
+func (r *Result) WaitPercentile(p float64) float64 {
+	if len(r.Waits) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(r.Waits)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.Waits) {
+		idx = len(r.Waits) - 1
+	}
+	return r.Waits[idx]
+}
+
+// MaxWait returns the largest wait duration, 0 when none.
+func (r *Result) MaxWait() float64 {
+	if len(r.Waits) == 0 {
+		return 0
+	}
+	return r.Waits[len(r.Waits)-1]
+}
+
+// RecordingPolicy rebuilds the policy the trace was recorded under from its
+// header, via the same construction path as the daemon configuration.
+func RecordingPolicy(hdr trace.Header) (core.Policy, error) {
+	return headerDaemon(hdr).BuildPolicy()
+}
+
+// Model rebuilds the recording daemon's performance model from the header;
+// nil when the daemon had none.
+func Model(hdr trace.Header) *core.PerfModel {
+	return headerDaemon(hdr).Model()
+}
+
+func headerDaemon(hdr trace.Header) config.Daemon {
+	return config.Daemon{
+		Policy:       hdr.Policy,
+		DelayOverlap: hdr.DelayOverlap,
+		FSMiBps:      hdr.FSMiBps,
+		ProcNICMiBps: hdr.ProcNICMiBps,
+	}
+}
+
+// checkReplayable rejects traces a replay would silently misrepresent.
+func checkReplayable(tr *trace.Trace) error {
+	if tr.Dropped > 0 {
+		return fmt.Errorf("replay: trace is lossy (%d events dropped on overflow); replaying it would silently diverge", tr.Dropped)
+	}
+	return nil
+}
+
+// Under replays the trace's request events under the given policy,
+// synthesizing recheck arbitrations from the policy's RecheckAfter requests
+// (the recorded outcome and recheck events are ignored).
+func Under(tr *trace.Trace, pol core.Policy) (Result, error) {
+	if err := checkReplayable(tr); err != nil {
+		return Result{}, err
+	}
+	m := newMachine(pol, true, false)
+	if err := m.run(tr.Events); err != nil {
+		return Result{}, err
+	}
+	return m.finish(), nil
+}
+
+// VerifyResult is the outcome of an exact reproduction check.
+type VerifyResult struct {
+	Result
+	// Recorded is the grant/revoke sequence the daemon logged.
+	Recorded []Flip
+	// Match reports whether the replayed flips equal the recorded ones
+	// event for event; Mismatch describes the first divergence otherwise.
+	Match    bool
+	Mismatch string
+}
+
+// Verify replays a daemon-side trace under its own recorded policy and
+// compares the reproduced authorization-flip sequence against the recorded
+// one, event for event.
+func Verify(tr *trace.Trace) (VerifyResult, error) {
+	if tr.Header.Source != trace.SourceDaemon {
+		return VerifyResult{}, fmt.Errorf("replay: exact verification needs a daemon-side trace (source %q)", tr.Header.Source)
+	}
+	if err := checkReplayable(tr); err != nil {
+		return VerifyResult{}, err
+	}
+	pol, err := RecordingPolicy(tr.Header)
+	if err != nil {
+		return VerifyResult{}, fmt.Errorf("replay: recording policy: %w", err)
+	}
+	m := newMachine(pol, false, true)
+	if err := m.run(tr.Events); err != nil {
+		return VerifyResult{}, err
+	}
+	v := VerifyResult{Result: m.finish(), Recorded: m.recorded}
+	v.Match, v.Mismatch = compareFlips(v.Recorded, v.Flips)
+	return v, nil
+}
+
+func compareFlips(recorded, replayed []Flip) (bool, string) {
+	n := len(recorded)
+	if len(replayed) < n {
+		n = len(replayed)
+	}
+	for i := 0; i < n; i++ {
+		if recorded[i] != replayed[i] {
+			return false, fmt.Sprintf("flip %d: recorded %s, replayed %s", i, recorded[i], replayed[i])
+		}
+	}
+	if len(recorded) != len(replayed) {
+		return false, fmt.Sprintf("recorded %d flips, replayed %d", len(recorded), len(replayed))
+	}
+	return true, ""
+}
+
+// sess mirrors the daemon's per-session accounting.
+type sess struct {
+	sid   uint32
+	name  string
+	cores int
+	app   *core.AppState // nil once unregistered
+
+	pending    bool
+	waitFrom   float64
+	waitConvoy bool
+	phaseStart float64
+
+	res AppResult
+}
+
+// machine drives core.Arbiter through one replay. It mirrors
+// internal/server's handle/arbitrate logic without the network.
+type machine struct {
+	arb        *core.Arbiter
+	byID       map[uint32]*sess
+	order      []*sess
+	now        float64
+	recheckAt  float64
+	synthesize bool // derive rechecks from RecheckAfter (what-if mode)
+	collect    bool // collect recorded EvGrant/EvRevoke for verification
+
+	events   int
+	recorded []Flip
+	res      Result
+}
+
+func newMachine(pol core.Policy, synthesize, collect bool) *machine {
+	arb := core.NewArbiter(pol)
+	arb.SetIndexed(true)
+	arb.SetLogBound(0)
+	return &machine{
+		arb:        arb,
+		byID:       make(map[uint32]*sess),
+		recheckAt:  math.Inf(1),
+		synthesize: synthesize,
+		collect:    collect,
+		res:        Result{Policy: pol.Name()},
+	}
+}
+
+func (m *machine) run(events []trace.Event) error {
+	for i := range events {
+		if err := m.step(&events[i]); err != nil {
+			return fmt.Errorf("replay: event %d (%s): %w", i, events[i].Type, err)
+		}
+	}
+	return nil
+}
+
+func (m *machine) step(ev *trace.Event) error {
+	// The virtual clock never runs backwards: daemon traces are monotone by
+	// construction; client-side captures may interleave slightly out of
+	// order across connections and are clamped.
+	t := ev.Time
+	if t < m.now {
+		t = m.now
+	}
+	// Synthesized rechecks due before this event fire first, exactly as the
+	// daemon's recheck timer would have.
+	for m.synthesize && m.recheckAt <= t {
+		rt := m.recheckAt
+		m.recheckAt = math.Inf(1)
+		m.accrue(rt - m.now)
+		m.now = rt
+		m.arbitrate(rt)
+		if m.recheckAt <= rt { // policies must move rechecks forward
+			m.recheckAt = math.Inf(1)
+		}
+	}
+	m.accrue(t - m.now)
+	m.now = t
+	m.events++
+
+	s := m.byID[ev.SID]
+	if ev.Type != trace.EvRegister && ev.Type != trace.EvRecheck &&
+		(s == nil || s.app == nil) {
+		// A session the replay does not know (or that already left): a
+		// client-side capture can record such skew; ignore.
+		if ev.Type == trace.EvGrant || ev.Type == trace.EvRevoke {
+			if m.collect {
+				m.recorded = append(m.recorded, Flip{Time: t, SID: ev.SID, Grant: ev.Type == trace.EvGrant})
+			}
+		}
+		return nil
+	}
+
+	switch ev.Type {
+	case trace.EvRegister:
+		if s != nil {
+			return fmt.Errorf("duplicate sid %d", ev.SID)
+		}
+		app, err := m.arb.Register(ev.App, int(ev.Cores))
+		if err != nil {
+			return err
+		}
+		s = &sess{sid: ev.SID, name: ev.App, cores: int(ev.Cores), app: app}
+		app.Data = s
+		m.byID[ev.SID] = s
+		m.order = append(m.order, s)
+
+	case trace.EvPrepare:
+		s.app.Prepare(core.Info(ev.Info))
+
+	case trace.EvComplete:
+		_ = s.app.Complete() // only successful Completes are recorded
+
+	case trace.EvInform:
+		if ev.Bytes > 0 {
+			s.app.Progress(ev.Bytes)
+		}
+		if s.app.Inform(t) {
+			s.phaseStart = t
+			s.res.Phases++
+		}
+		m.arbitrate(t)
+
+	case trace.EvProgress:
+		if ev.Bytes > 0 {
+			s.app.Progress(ev.Bytes)
+		}
+
+	case trace.EvCheck:
+		// State-free.
+
+	case trace.EvWait:
+		if s.app.State() == core.Idle || s.pending {
+			return nil // client-capture skew; the daemon never records these
+		}
+		if s.app.Authorized() {
+			s.app.Activate()
+			s.res.WaitsImmediate++
+			s.res.Grants++
+			m.res.GrantsServed++
+			m.res.Waits = append(m.res.Waits, 0)
+			return nil
+		}
+		s.pending = true
+		s.waitFrom = t
+		s.waitConvoy = m.arb.OtherAuthorized(s.app)
+
+	case trace.EvRelease:
+		if ev.Bytes > 0 {
+			s.app.Progress(ev.Bytes)
+		}
+		if s.app.Release() == nil {
+			m.arbitrate(t)
+		}
+
+	case trace.EvEnd:
+		if s.pending {
+			// The daemon fails a Wait pending under its own phase teardown.
+			s.pending = false
+			s.res.Aborted++
+		}
+		if s.app.State() != core.Idle {
+			s.res.IOTimeS += t - s.phaseStart
+		}
+		s.app.End()
+		m.arbitrate(t)
+
+	case trace.EvUnregister:
+		if s.pending {
+			s.pending = false
+			s.res.Aborted++
+		}
+		wasBusy := s.app.State() != core.Idle
+		if wasBusy {
+			s.res.IOTimeS += t - s.phaseStart
+		}
+		m.arb.Unregister(s.app)
+		s.app = nil
+		if m.synthesize && wasBusy {
+			// Mirrors the daemon's re-arbitration after a mid-phase session
+			// vanished; in verify mode the recorded EvRecheck drives it.
+			m.arbitrate(t)
+		}
+
+	case trace.EvRecheck:
+		if !m.synthesize {
+			m.arbitrate(t)
+		}
+
+	case trace.EvGrant, trace.EvRevoke:
+		if m.collect {
+			m.recorded = append(m.recorded, Flip{Time: t, SID: ev.SID, Grant: ev.Type == trace.EvGrant})
+		}
+
+	default:
+		return fmt.Errorf("unhandled event type %d", ev.Type)
+	}
+	return nil
+}
+
+// accrue charges dt of virtual time to every session currently inside an
+// access step: plain seconds into ActiveS, concurrency-weighted seconds
+// into StretchedActiveS, and the surplus into the machine-wide OverlapS. A
+// revoked-but-still-active session keeps accruing — preemption takes effect
+// only at its next coordination point, exactly as in the live protocol.
+func (m *machine) accrue(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	n := 0
+	for _, s := range m.order {
+		if s.app != nil && s.app.State() == core.Active {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	for _, s := range m.order {
+		if s.app != nil && s.app.State() == core.Active {
+			s.res.ActiveS += dt
+			s.res.StretchedActiveS += dt * float64(n)
+		}
+	}
+	m.res.OverlapS += dt * float64(n-1)
+}
+
+func (m *machine) arbitrate(t float64) {
+	out := m.arb.Arbitrate(t)
+	m.res.Arbitrations++
+	m.recheckAt = math.Inf(1)
+	if !out.Acted {
+		return
+	}
+	for _, a := range out.Granted {
+		s := a.Data.(*sess)
+		m.res.Flips = append(m.res.Flips, Flip{Time: t, SID: s.sid, Grant: true})
+		if s.pending {
+			s.app.Activate() // the served Wait enters the access step
+			d := t - s.waitFrom
+			s.res.WaitS += d
+			if s.waitConvoy {
+				s.res.ConvoyWaitS += d
+			} else {
+				s.res.ProtocolWaitS += d
+			}
+			s.res.WaitsDeferred++
+			s.res.Grants++
+			m.res.GrantsServed++
+			m.res.Waits = append(m.res.Waits, d)
+			s.pending = false
+		}
+	}
+	for _, a := range out.Revoked {
+		s := a.Data.(*sess)
+		m.res.Flips = append(m.res.Flips, Flip{Time: t, SID: s.sid, Grant: false})
+	}
+	if out.RecheckAfter > 0 {
+		m.recheckAt = t + out.RecheckAfter
+	}
+}
+
+// finish closes the books: open phases and pending waits are censored at
+// the final virtual-clock instant, per-session results are aggregated and
+// sorted, and wait durations are sorted for percentile queries.
+func (m *machine) finish() Result {
+	for _, s := range m.order {
+		if s.app != nil && s.app.State() != core.Idle {
+			s.res.IOTimeS += m.now - s.phaseStart
+		}
+		if s.pending {
+			d := m.now - s.waitFrom
+			s.res.WaitS += d
+			if s.waitConvoy {
+				s.res.ConvoyWaitS += d
+			} else {
+				s.res.ProtocolWaitS += d
+			}
+			s.res.Unserved++
+			m.res.Waits = append(m.res.Waits, d)
+			s.pending = false
+		}
+		s.res.SID = s.sid
+		s.res.Name = s.name
+		s.res.Cores = s.cores
+		m.res.Apps = append(m.res.Apps, s.res)
+
+		m.res.WaitsImmediate += s.res.WaitsImmediate
+		m.res.WaitsDeferred += s.res.WaitsDeferred
+		m.res.TotalWaitS += s.res.WaitS
+		m.res.ConvoyWaitS += s.res.ConvoyWaitS
+		m.res.ProtocolWaitS += s.res.ProtocolWaitS
+		m.res.Unserved += s.res.Unserved
+		m.res.Aborted += s.res.Aborted
+	}
+	sort.Slice(m.res.Apps, func(i, j int) bool {
+		if m.res.Apps[i].Name != m.res.Apps[j].Name {
+			return m.res.Apps[i].Name < m.res.Apps[j].Name
+		}
+		return m.res.Apps[i].SID < m.res.Apps[j].SID
+	})
+	sort.Float64s(m.res.Waits)
+	m.res.Events = m.events
+	m.res.MakespanS = m.now
+	return m.res
+}
+
+// Named pairs a display name with a policy for comparison runs.
+type Named struct {
+	Name   string
+	Policy core.Policy
+}
+
+// Outcome is one policy's replay plus the derived cross-policy estimates.
+//
+// The estimation follows the quantitative-interference tradition: each
+// session's recorded I/O time splits into service time (phase time minus
+// the wait the baseline replay attributes to coordination) and wait. Under
+// another policy the wait is re-arbitrated, and the service time is
+// stretched by the equal-share interference model — every active second
+// shared with n-1 other active sessions costs n seconds (the paper's
+// expected-∆ model), so permissive policies pay in stretch what they save
+// in waiting. EstIOTimeS is Σ stretched service + wait, the per-app
+// interference factor is (stretched+wait)/service, and CPUSecondsWasted is
+// Σ cores · (stretched + wait).
+type Outcome struct {
+	Result
+	EstIOTimeS       float64
+	SumInterference  float64
+	CPUSecondsWasted float64
+}
+
+// Comparison is a full cross-policy what-if study of one trace.
+type Comparison struct {
+	// Recording is the policy name the trace was recorded under.
+	Recording string
+	// Baseline is the what-if replay under the recording policy; its wait
+	// attribution defines each session's service time.
+	Baseline Result
+	// Outcomes holds one entry per requested policy, in input order.
+	Outcomes []Outcome
+	// Best indexes the recommended outcome: minimal CPUSecondsWasted, ties
+	// broken by total wait, then input order.
+	Best int
+}
+
+// Compare replays the trace under every given policy and derives the
+// comparison metrics against the recording-policy baseline.
+func Compare(tr *trace.Trace, policies []Named) (Comparison, error) {
+	if len(policies) == 0 {
+		return Comparison{}, fmt.Errorf("replay: no policies to compare")
+	}
+	basePol, err := RecordingPolicy(tr.Header)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("replay: recording policy: %w", err)
+	}
+	base, err := Under(tr, basePol)
+	if err != nil {
+		return Comparison{}, err
+	}
+	// Service time per session, by SID: recorded phase time minus the wait
+	// the baseline attributes to coordination.
+	service := make(map[uint32]float64, len(base.Apps))
+	for _, a := range base.Apps {
+		s := a.IOTimeS - a.WaitS
+		if s < 0 {
+			s = 0
+		}
+		service[a.SID] = s
+	}
+	c := Comparison{Recording: tr.Header.Policy, Baseline: base}
+	for _, np := range policies {
+		var res Result
+		if np.Policy.Name() == base.Policy {
+			// The candidate is the recording policy itself: reuse the
+			// baseline replay instead of re-arbitrating the whole trace.
+			res = base
+		} else {
+			var err error
+			res, err = Under(tr, np.Policy)
+			if err != nil {
+				return Comparison{}, fmt.Errorf("replay: %s: %w", np.Name, err)
+			}
+		}
+		res.Policy = np.Name
+		rep := metrics.Report{Apps: make([]metrics.AppResult, 0, len(res.Apps))}
+		var est float64
+		for _, a := range res.Apps {
+			sv := service[a.SID]
+			scaled := sv
+			if a.ActiveS > 0 {
+				scaled = sv * a.StretchedActiveS / a.ActiveS
+			}
+			estApp := scaled + a.WaitS
+			est += estApp
+			rep.Apps = append(rep.Apps, metrics.AppResult{
+				Name:   a.Name,
+				Cores:  a.Cores,
+				IOTime: estApp,
+				// AloneTime is the contention-free service time, so the
+				// factor isolates what this policy's waiting and permitted
+				// interference cost.
+				AloneTime: sv,
+			})
+		}
+		c.Outcomes = append(c.Outcomes, Outcome{
+			Result:           res,
+			EstIOTimeS:       est,
+			SumInterference:  rep.SumInterferenceFinite(),
+			CPUSecondsWasted: rep.CPUSecondsWasted(),
+		})
+	}
+	c.Best = 0
+	for i := 1; i < len(c.Outcomes); i++ {
+		a, b := &c.Outcomes[i], &c.Outcomes[c.Best]
+		switch {
+		case a.CPUSecondsWasted < b.CPUSecondsWasted:
+			c.Best = i
+		case a.CPUSecondsWasted == b.CPUSecondsWasted && a.TotalWaitS < b.TotalWaitS:
+			c.Best = i
+		}
+	}
+	return c, nil
+}
+
+// StandardPolicies builds the canonical comparison set for a trace: the
+// three static policies always, plus the delay and dynamic policies when
+// the header carries a performance model. overlap < 0 uses the header's
+// recorded overlap (falling back to 0.5 when unset).
+func StandardPolicies(hdr trace.Header, overlap float64) []Named {
+	out := []Named{
+		{Name: "fcfs", Policy: core.FCFSPolicy{}},
+		{Name: "interrupt", Policy: core.InterruptPolicy{}},
+		{Name: "interfere", Policy: core.InterferePolicy{}},
+	}
+	if m := Model(hdr); m != nil {
+		if overlap < 0 {
+			overlap = hdr.DelayOverlap
+			if overlap == 0 {
+				overlap = 0.5
+			}
+		}
+		out = append(out,
+			Named{Name: fmt.Sprintf("delay(%.2f)", overlap), Policy: core.DelayPolicy{Overlap: overlap, Model: m}},
+			Named{Name: "dynamic(cpu-seconds)", Policy: core.DynamicPolicy{Metric: core.CPUSecondsWasted{}, Model: m, AllowInterfere: true}},
+		)
+	}
+	return out
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -57,6 +58,14 @@ type Config struct {
 	// Logf, when set, receives one line per lifecycle event (connects,
 	// evictions, shutdown). The arbitration hot path never logs.
 	Logf func(format string, args ...any)
+	// Trace, when set, records every state-mutating coordination event (and
+	// the authorization flips arbitration produced) for offline replay with
+	// internal/replay. Recording rides the arbitration goroutine but adds
+	// neither blocking nor allocation to it: events travel by value into the
+	// writer's buffered channel, and overflow is drop-counted, never waited
+	// on. The caller owns the writer and must Close it only after the server
+	// has shut down.
+	Trace *trace.Writer
 }
 
 // envelope kinds flowing into the arbitration goroutine.
@@ -83,11 +92,13 @@ type session struct {
 	out  chan wire.Response
 	dead atomic.Bool
 
-	app      *core.AppState
-	gone     bool   // unregistered/evicted; later envelopes are ignored
-	waitSeq  uint64 // Seq of the deferred Wait response; 0 = none pending
-	waitFrom float64
-	lastSeen float64
+	app        *core.AppState
+	sid        uint32 // trace session identity, assigned at register
+	gone       bool   // unregistered/evicted; later envelopes are ignored
+	waitSeq    uint64 // Seq of the deferred Wait response; 0 = none pending
+	waitFrom   float64
+	waitConvoy bool // deferred behind another authorized app (vs protocol)
+	lastSeen   float64
 
 	// LASSi-style live accounting, mirroring the simulator Coordinator.
 	phaseStart float64
@@ -95,6 +106,13 @@ type session struct {
 	grants     uint64
 	ioTime     float64
 	waitTime   float64
+
+	// Wait decomposition (see wire.AppStats): immediate vs deferred counts,
+	// and deferred time split by what the wait was for.
+	waitsImmediate uint64
+	waitsDeferred  uint64
+	convoyWait     float64
+	protoWait      float64
 }
 
 // send enqueues a response without ever blocking the arbitration loop: a
@@ -128,6 +146,7 @@ type Server struct {
 	serving   bool
 	serveDone chan struct{}
 	loopDone  chan struct{}
+	closeDone chan struct{} // closed once the first Close finished teardown
 	wg        sync.WaitGroup
 	final     wire.Stats // last snapshot, served after the loop exits
 
@@ -136,6 +155,16 @@ type Server struct {
 	recheck      *time.Timer
 	arbitrations uint64
 	grantsServed uint64
+	sidSeq       uint32 // last trace session identity handed out
+
+	// Wait-decomposition counters of departed sessions, folded in by drop,
+	// so the machine-wide Stats aggregates are cumulative like GrantsServed
+	// (and like offline replay's totals) rather than shrinking as sessions
+	// disconnect.
+	goneWaitsImmediate uint64
+	goneWaitsDeferred  uint64
+	goneConvoyWait     float64
+	goneProtoWait      float64
 }
 
 // New validates the configuration and builds a server (not yet listening).
@@ -166,6 +195,7 @@ func New(cfg Config) (*Server, error) {
 		stop:      make(chan struct{}),
 		serveDone: make(chan struct{}),
 		loopDone:  make(chan struct{}),
+		closeDone: make(chan struct{}),
 		sessions:  make(map[*session]struct{}),
 	}, nil
 }
@@ -234,15 +264,22 @@ func (srv *Server) Serve(ln net.Listener) error {
 
 // Close stops the daemon: the listener, every session and the arbitration
 // loop are torn down, and Close returns once all goroutines have exited.
+// Concurrent and repeated Close calls are safe, and every one of them
+// blocks until the teardown is complete — a caller that saw Serve return
+// (the accept loop exits before the arbitration loop) can Close and then
+// safely release resources the arbitration goroutine was using, such as a
+// trace writer.
 func (srv *Server) Close() error {
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
+		<-srv.closeDone
 		return nil
 	}
 	srv.closed = true
 	ln, serving := srv.ln, srv.serving
 	srv.mu.Unlock()
+	defer close(srv.closeDone)
 	if ln != nil {
 		ln.Close()
 	}
@@ -396,7 +433,9 @@ func (srv *Server) dispatch(env envelope) {
 	case kindDisconnect:
 		srv.drop(env.s, "disconnect")
 	case kindRecheck:
-		srv.arbitrate(srv.clock())
+		now := srv.clock()
+		srv.rec(trace.Event{Type: trace.EvRecheck, Time: now})
+		srv.arbitrate(now)
 	case kindStats:
 		env.statsCh <- srv.snapshot(srv.clock())
 	case kindRequest:
@@ -417,17 +456,27 @@ func (srv *Server) drop(s *session, why string) {
 	}
 	s.gone = true
 	delete(srv.sessions, s)
+	srv.goneWaitsImmediate += s.waitsImmediate
+	srv.goneWaitsDeferred += s.waitsDeferred
+	srv.goneConvoyWait += s.convoyWait
+	srv.goneProtoWait += s.protoWait
 	wasBusy := false
 	if s.app != nil {
 		wasBusy = s.app.State() != core.Idle
 		srv.logf("calciomd: %s: %s", s.app.Name(), why)
 		srv.arb.Unregister(s.app)
 		s.app = nil
+		srv.rec(trace.Event{Type: trace.EvUnregister, Time: srv.clock(), SID: s.sid})
 	}
 	s.dead.Store(true)
 	close(s.out)
 	if wasBusy {
-		srv.arbitrate(srv.clock())
+		// A vanished mid-phase holder re-arbitrates the survivors; the trace
+		// records this as an explicit recheck so replay re-arbitrates at the
+		// same instant.
+		now := srv.clock()
+		srv.rec(trace.Event{Type: trace.EvRecheck, Time: now})
+		srv.arbitrate(now)
 	}
 }
 
@@ -499,6 +548,14 @@ func (srv *Server) serveGrant(s *session, seq uint64) {
 	s.send(wire.Response{Seq: seq, Type: wire.TypeResp, OK: true, Authorized: true})
 }
 
+// rec records one trace event when recording is enabled. It is safe on the
+// hot path: a nil check plus a by-value channel send.
+func (srv *Server) rec(ev trace.Event) {
+	if srv.cfg.Trace != nil {
+		srv.cfg.Trace.Record(ev)
+	}
+}
+
 // handle processes one request. It must stay panic-free for any request a
 // client can send: protocol violations become error responses.
 func (srv *Server) handle(s *session, req wire.Request) {
@@ -520,17 +577,28 @@ func (srv *Server) handle(s *session, req wire.Request) {
 		}
 		app.Data = s
 		s.app = app
+		srv.sidSeq++
+		s.sid = srv.sidSeq
+		srv.rec(trace.Event{Type: trace.EvRegister, Time: now, SID: s.sid,
+			App: req.App, Cores: int32(req.Cores)})
 		s.reply(req.Seq, true, nil)
 
 	case wire.TypePrepare:
+		// The request's Info map is decode-fresh and never written after
+		// this point, so recording it by reference is safe.
+		srv.rec(trace.Event{Type: trace.EvPrepare, Time: now, SID: s.sid, Info: req.Info})
 		s.app.Prepare(core.Info(req.Info))
 		s.reply(req.Seq, true, nil)
 
 	case wire.TypeComplete:
 		err := s.app.Complete()
+		if err == nil {
+			srv.rec(trace.Event{Type: trace.EvComplete, Time: now, SID: s.sid})
+		}
 		s.reply(req.Seq, err == nil, err)
 
 	case wire.TypeInform:
+		srv.rec(trace.Event{Type: trace.EvInform, Time: now, SID: s.sid, Bytes: req.BytesDone})
 		if req.BytesDone > 0 {
 			s.app.Progress(req.BytesDone)
 		}
@@ -545,12 +613,14 @@ func (srv *Server) handle(s *session, req wire.Request) {
 		// State-free, like the simulator's Coordinator.Progress: records
 		// progress without opening a phase or triggering arbitration (the
 		// value rides into the next inform/release arbitration).
+		srv.rec(trace.Event{Type: trace.EvProgress, Time: now, SID: s.sid, Bytes: req.BytesDone})
 		if req.BytesDone > 0 {
 			s.app.Progress(req.BytesDone)
 		}
 		s.reply(req.Seq, true, nil)
 
 	case wire.TypeCheck:
+		srv.rec(trace.Event{Type: trace.EvCheck, Time: now, SID: s.sid})
 		s.reply(req.Seq, true, nil)
 
 	case wire.TypeWait:
@@ -562,14 +632,20 @@ func (srv *Server) handle(s *session, req wire.Request) {
 			s.reply(req.Seq, false, errors.New("wait already pending"))
 			return
 		}
+		srv.rec(trace.Event{Type: trace.EvWait, Time: now, SID: s.sid})
 		if s.app.Authorized() {
+			s.waitsImmediate++
 			srv.serveGrant(s, req.Seq)
 			return
 		}
 		s.waitSeq = req.Seq
 		s.waitFrom = now
+		s.waitConvoy = srv.arb.OtherAuthorized(s.app)
 
 	case wire.TypeRelease:
+		// Recorded before the state-machine check: a failed Release still
+		// applied the progress report, and replay mirrors exactly that.
+		srv.rec(trace.Event{Type: trace.EvRelease, Time: now, SID: s.sid, Bytes: req.BytesDone})
 		if req.BytesDone > 0 {
 			s.app.Progress(req.BytesDone)
 		}
@@ -591,6 +667,7 @@ func (srv *Server) handle(s *session, req wire.Request) {
 				Err: "wait cancelled: phase ended"})
 			s.waitSeq = 0
 		}
+		srv.rec(trace.Event{Type: trace.EvEnd, Time: now, SID: s.sid})
 		if s.app.State() != core.Idle {
 			s.ioTime += now - s.phaseStart
 		}
@@ -624,8 +701,16 @@ func (srv *Server) arbitrate(now float64) {
 	}
 	for _, a := range out.Granted {
 		s := a.Data.(*session)
+		srv.rec(trace.Event{Type: trace.EvGrant, Time: now, SID: s.sid})
 		if s.waitSeq != 0 {
-			s.waitTime += now - s.waitFrom
+			d := now - s.waitFrom
+			s.waitTime += d
+			if s.waitConvoy {
+				s.convoyWait += d
+			} else {
+				s.protoWait += d
+			}
+			s.waitsDeferred++
 			srv.serveGrant(s, s.waitSeq)
 			s.waitSeq = 0
 		} else {
@@ -634,6 +719,7 @@ func (srv *Server) arbitrate(now float64) {
 	}
 	for _, a := range out.Revoked {
 		s := a.Data.(*session)
+		srv.rec(trace.Event{Type: trace.EvRevoke, Time: now, SID: s.sid})
 		s.send(wire.Response{Type: wire.TypeRevoke})
 	}
 	if out.RecheckAfter > 0 {
@@ -659,11 +745,15 @@ func secondsToDuration(s float64) time.Duration {
 // a performance model is configured — live interference factors.
 func (srv *Server) snapshot(now float64) wire.Stats {
 	st := wire.Stats{
-		Policy:       srv.cfg.Policy.Name(),
-		NowS:         now,
-		Sessions:     len(srv.sessions),
-		Arbitrations: srv.arbitrations,
-		GrantsServed: srv.grantsServed,
+		Policy:         srv.cfg.Policy.Name(),
+		NowS:           now,
+		Sessions:       len(srv.sessions),
+		Arbitrations:   srv.arbitrations,
+		GrantsServed:   srv.grantsServed,
+		WaitsImmediate: srv.goneWaitsImmediate,
+		WaitsDeferred:  srv.goneWaitsDeferred,
+		ConvoyWaitS:    srv.goneConvoyWait,
+		ProtocolWaitS:  srv.goneProtoWait,
 	}
 	if rec := srv.arb.LastRecord(); rec != nil {
 		st.LastDecision = fmt.Sprintf("t=%.3f allowed=%v %s", rec.Time, rec.Allowed, rec.Reason)
@@ -681,17 +771,25 @@ func (srv *Server) snapshot(now float64) wire.Stats {
 			ioTime += now - s.phaseStart
 		}
 		as := wire.AppStats{
-			Name:       v.Name,
-			Cores:      v.Cores,
-			State:      v.State.String(),
-			Authorized: a.Authorized(),
-			Phases:     s.phases,
-			Grants:     s.grants,
-			BytesTotal: v.BytesTotal,
-			BytesDone:  v.BytesDone,
-			IOTimeS:    ioTime,
-			WaitTimeS:  s.waitTime,
+			Name:           v.Name,
+			Cores:          v.Cores,
+			State:          v.State.String(),
+			Authorized:     a.Authorized(),
+			Phases:         s.phases,
+			Grants:         s.grants,
+			BytesTotal:     v.BytesTotal,
+			BytesDone:      v.BytesDone,
+			IOTimeS:        ioTime,
+			WaitTimeS:      s.waitTime,
+			WaitsImmediate: s.waitsImmediate,
+			WaitsDeferred:  s.waitsDeferred,
+			ConvoyWaitS:    s.convoyWait,
+			ProtocolWaitS:  s.protoWait,
 		}
+		st.WaitsImmediate += s.waitsImmediate
+		st.WaitsDeferred += s.waitsDeferred
+		st.ConvoyWaitS += s.convoyWait
+		st.ProtocolWaitS += s.protoWait
 		alone := 0.0
 		if srv.cfg.Model != nil {
 			// Live interference: observed time for the bytes moved so far
@@ -709,15 +807,7 @@ func (srv *Server) snapshot(now float64) wire.Stats {
 	sort.Slice(st.Apps, func(i, j int) bool { return st.Apps[i].Name < st.Apps[j].Name })
 	st.CPUSecondsWasted = rep.CPUSecondsWasted()
 	if srv.cfg.Model != nil {
-		// Sum only over apps the model could estimate (AloneTime > 0), so
-		// the aggregate stays finite.
-		var sum float64
-		for _, a := range rep.Apps {
-			if a.AloneTime > 0 {
-				sum += a.InterferenceFactor()
-			}
-		}
-		st.SumInterference = sum
+		st.SumInterference = rep.SumInterferenceFinite()
 	}
 	return st
 }

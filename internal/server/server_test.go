@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -388,7 +389,7 @@ func TestEndCancelsPendingWait(t *testing.T) {
 	drain(b)
 	srv.handle(b, wire.Request{Seq: 2, Type: wire.TypeInform})
 	srv.handle(b, wire.Request{Seq: 3, Type: wire.TypeWait}) // deferred
-	if got := drain(b); len(got) != 1 { // only the inform response
+	if got := drain(b); len(got) != 1 {                      // only the inform response
 		t.Fatalf("expected only the inform response before end, got %+v", got)
 	}
 	srv.handle(b, wire.Request{Seq: 4, Type: wire.TypeEnd})
@@ -405,6 +406,32 @@ func TestEndCancelsPendingWait(t *testing.T) {
 	if got[1].Seq != 4 || !got[1].OK {
 		t.Fatalf("end not acknowledged: %+v", got[1])
 	}
+}
+
+// TestCloseWaitersBlockUntilTeardown: every Close call — not just the
+// first — must return only after the arbitration loop has exited, so a
+// caller that saw Serve return can Close and then release resources the
+// arbitration goroutine was using (calciomd's trace writer relies on it).
+func TestCloseWaitersBlockUntilTeardown(t *testing.T) {
+	srv, addr := startTestServer(t, Config{})
+	c := dialT(t, addr)
+	if err := c.Register("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Close()
+			select {
+			case <-srv.loopDone:
+			default:
+				t.Error("Close returned before the arbitration loop exited")
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestStatsWithoutServeDoesNotHang: Stats on a server that never served

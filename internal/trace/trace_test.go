@@ -1,0 +1,292 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sampleEvents is a fixed sequence exercising every record shape.
+func sampleEvents() []Event {
+	return []Event{
+		{Type: EvRegister, Time: 0.25, SID: 1, App: "alpha", Cores: 64},
+		{Type: EvPrepare, Time: 0.5, SID: 1, Info: map[string]string{"bytes_total": "1024", "cores": "64"}},
+		{Type: EvInform, Time: 0.75, SID: 1, Bytes: 0},
+		{Type: EvGrant, Time: 0.75, SID: 1},
+		{Type: EvWait, Time: 1, SID: 1},
+		{Type: EvRegister, Time: 1.5, SID: 2, App: "beta", Cores: 8},
+		{Type: EvInform, Time: 1.75, SID: 2},
+		{Type: EvWait, Time: 1.75, SID: 2},
+		{Type: EvCheck, Time: 1.8, SID: 2},
+		{Type: EvProgress, Time: 2, SID: 1, Bytes: 512},
+		{Type: EvRelease, Time: 2.5, SID: 1, Bytes: 1024},
+		{Type: EvComplete, Time: 2.5, SID: 1},
+		{Type: EvEnd, Time: 2.5, SID: 1},
+		{Type: EvRevoke, Time: 2.5, SID: 1},
+		{Type: EvGrant, Time: 2.5, SID: 2},
+		{Type: EvRecheck, Time: 3},
+		{Type: EvEnd, Time: 3.5, SID: 2},
+		{Type: EvUnregister, Time: 4, SID: 2},
+	}
+}
+
+func writeSample(t *testing.T, hdr Header, evs []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, hdr, len(evs)+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		w.Record(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	hdr := Header{Source: SourceDaemon, Policy: "delay", DelayOverlap: 0.5, FSMiBps: 1024, ProcNICMiBps: 8}
+	evs := sampleEvents()
+	data := writeSample(t, hdr, evs)
+
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header != hdr {
+		t.Fatalf("header round trip: got %+v want %+v", tr.Header, hdr)
+	}
+	if tr.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped)
+	}
+	if len(tr.Events) != len(evs) {
+		t.Fatalf("got %d events, want %d", len(tr.Events), len(evs))
+	}
+	for i := range evs {
+		if !reflect.DeepEqual(tr.Events[i], evs[i]) {
+			t.Fatalf("event %d: got %+v want %+v", i, tr.Events[i], evs[i])
+		}
+	}
+	first, last := tr.Span()
+	if first != 0.25 || last != 4 {
+		t.Fatalf("span = %g..%g, want 0.25..4", first, last)
+	}
+}
+
+// TestGoldenBytes pins the version-1 encoding byte for byte: a format
+// change that breaks old traces must be deliberate (bump Version and update
+// this test), never accidental.
+func TestGoldenBytes(t *testing.T) {
+	data := writeSample(t, Header{Source: SourceDaemon, Policy: "fcfs"}, []Event{
+		{Type: EvRegister, Time: 1.5, SID: 7, App: "ab", Cores: 3},
+		{Type: EvPrepare, Time: 2, SID: 7, Info: map[string]string{"b": "2", "a": "1"}},
+		{Type: EvInform, Time: 2.5, SID: 7, Bytes: 8},
+		{Type: EvGrant, Time: 2.5, SID: 7},
+	})
+	want := "" +
+		// magic, version, header length, header JSON
+		"CALTRACE" + "\x01\x00" + "\x25\x00" +
+		`{"source":"calciomd","policy":"fcfs"}` +
+		// register: type 1, time 1.5, sid 7, "ab", cores 3
+		"\x01\x00\x00\x00\x00\x00\x00\xf8\x3f\x07\x00\x00\x00\x02\x00ab\x03\x00\x00\x00" +
+		// prepare: type 2, time 2.0, sid 7, 2 sorted pairs a=1 b=2
+		"\x02\x00\x00\x00\x00\x00\x00\x00\x40\x07\x00\x00\x00\x02\x00" +
+		"\x01\x00a\x01\x001" + "\x01\x00b\x01\x002" +
+		// inform: type 4, time 2.5, sid 7, bytes 8.0
+		"\x04\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00\x00\x00\x00\x00\x00\x00\x20\x40" +
+		// grant: type 12, time 2.5, sid 7
+		"\x0c\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00" +
+		// trailer: 0xFF, time 0, recorded 4, dropped 0
+		"\xff\x00\x00\x00\x00\x00\x00\x00\x00\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+	if string(data) != want {
+		t.Fatalf("version-%d encoding changed:\n got %q\nwant %q", Version, data, want)
+	}
+}
+
+func TestTruncatedAndCorrupt(t *testing.T) {
+	full := writeSample(t, Header{Policy: "fcfs"}, sampleEvents())
+
+	t.Run("no trailer", func(t *testing.T) {
+		// Cut exactly the trailer (25 bytes): clean record boundary, no close.
+		_, err := Read(bytes.NewReader(full[:len(full)-25]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", err)
+		}
+	})
+	t.Run("torn record", func(t *testing.T) {
+		_, err := Read(bytes.NewReader(full[:len(full)-30]))
+		if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("want unexpected EOF, got %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte("NOTATRCE"), full[8:]...)
+		if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("want bad-magic error, got %v", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		binary.LittleEndian.PutUint16(bad[8:10], Version+1)
+		if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("want version error, got %v", err)
+		}
+	})
+	t.Run("unknown record type", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		// First record starts right after magic+version+len+header JSON.
+		off := 8 + 2 + 2 + int(binary.LittleEndian.Uint16(full[10:12]))
+		bad[off] = 0x7E
+		if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "unknown record type") {
+			t.Fatalf("want corrupt-type error, got %v", err)
+		}
+	})
+	t.Run("trailer count mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		binary.LittleEndian.PutUint64(bad[len(bad)-16:], 999)
+		if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "trailer records") {
+			t.Fatalf("want trailer-mismatch error, got %v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Read(bytes.NewReader(nil)); err == nil {
+			t.Fatal("want error on empty stream")
+		}
+	})
+}
+
+// blockingWriter blocks every Write until released, so the drain goroutine
+// stalls and the channel fills up.
+type blockingWriter struct {
+	release chan struct{}
+	buf     bytes.Buffer
+	mu      sync.Mutex
+}
+
+func (b *blockingWriter) Write(p []byte) (int, error) {
+	<-b.release
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// TestOverflowDropAccounting fills a tiny buffer past capacity while the
+// drain goroutine is stalled: the surplus must be dropped (never blocking
+// the recorder), counted, written into the trailer and surfaced by the
+// reader — and replayable consumers can see the trace is lossy.
+func TestOverflowDropAccounting(t *testing.T) {
+	bw := &blockingWriter{release: make(chan struct{})}
+	close(bw.release) // let the header through
+	w, err := NewWriter(bw, Header{Policy: "fcfs"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw.release = make(chan struct{}) // stall all record writes
+
+	// Each record is bigger than the writer's internal buffer, so the very
+	// first one the drain goroutine picks up blocks it inside Write; the
+	// channel (capacity 4) then fills and the surplus must be dropped.
+	const total = 64
+	bigName := strings.Repeat("x", 8<<10)
+	for i := 0; i < total; i++ {
+		w.Record(Event{Type: EvRegister, Time: float64(i), SID: 1, App: bigName, Cores: 1})
+	}
+	rec, drop := w.Recorded(), w.Dropped()
+	if rec < 4 || drop == 0 || rec+drop != total {
+		t.Fatalf("recorded=%d dropped=%d, want >=4 recorded, >0 dropped, summing to %d", rec, drop, total)
+	}
+	// Channel capacity plus the few records the drain consumed first.
+	if rec > 12 {
+		t.Fatalf("recorded=%d, want <= 12 with a stalled drain and capacity 4", rec)
+	}
+	close(bw.release)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bw.mu.Lock()
+	data := append([]byte(nil), bw.buf.Bytes()...)
+	bw.mu.Unlock()
+	tr, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(tr.Events)) != rec {
+		t.Fatalf("reader got %d events, writer recorded %d", len(tr.Events), rec)
+	}
+	if tr.Dropped != drop {
+		t.Fatalf("reader dropped=%d, writer dropped=%d", tr.Dropped, drop)
+	}
+}
+
+// TestRecordDoesNotAllocate pins the hot-path contract: enqueueing an event
+// (including one carrying a string and a map by reference) performs zero
+// allocations.
+func TestRecordDoesNotAllocate(t *testing.T) {
+	w, err := NewWriter(io.Discard, Header{Policy: "fcfs"}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	info := map[string]string{"bytes_total": "4096"}
+	ev := Event{Type: EvPrepare, Time: 1, SID: 3, Info: info}
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.Record(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestUnencodableStringFailsLoudly: a string beyond the format's 64 KiB
+// field limit must fail the recording (Close errors, the file reads back
+// truncated) instead of being silently truncated into data replay would
+// trust.
+func TestUnencodableStringFailsLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Policy: "fcfs"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(Event{Type: EvRegister, Time: 1, SID: 1, App: strings.Repeat("x", 1<<16+1), Cores: 1})
+	if err := w.Close(); err == nil || !strings.Contains(err.Error(), "unencodable") {
+		t.Fatalf("want unencodable error from Close, got %v", err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("failed recording should read back as truncated, got %v", err)
+	}
+}
+
+func TestWriterCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Policy: "fcfs"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(Event{Type: EvCheck, Time: 1, SID: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Record after Close must not panic; the event is simply dropped once
+	// the buffer fills (the drain goroutine is gone).
+	for i := 0; i < 8; i++ {
+		w.Record(Event{Type: EvCheck, Time: 2, SID: 1})
+	}
+	tr, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 {
+		t.Fatalf("got %d events, want 1", len(tr.Events))
+	}
+}

@@ -108,6 +108,21 @@ type AppStats struct {
 	BytesDone  float64 `json:"bytes_done,omitempty"`
 	IOTimeS    float64 `json:"io_time_s"`
 	WaitTimeS  float64 `json:"wait_time_s"`
+	// WaitsImmediate counts Waits answered without deferral (the app was
+	// already authorized — the only cost was the protocol round trip);
+	// WaitsDeferred counts Waits parked until a later arbitration granted
+	// access. Their sum is Grants.
+	WaitsImmediate uint64 `json:"waits_immediate,omitempty"`
+	WaitsDeferred  uint64 `json:"waits_deferred,omitempty"`
+	// ConvoyWaitS and ProtocolWaitS decompose WaitTimeS by the cause at the
+	// moment the Wait was deferred: convoy time was spent queued behind
+	// another authorized application (the fcfs start-up convoy the load
+	// generator's -stagger flag works around); protocol time was deferred
+	// with no other holder — pure arbitration/recheck latency (a delay
+	// policy holding everyone back, for example). Replay (internal/replay)
+	// computes the identical decomposition offline.
+	ConvoyWaitS   float64 `json:"convoy_wait_s,omitempty"`
+	ProtocolWaitS float64 `json:"protocol_wait_s,omitempty"`
 	// Interference is observed I/O time over model-estimated solo time for
 	// the work declared so far — the live analogue of the paper's I factor.
 	// Zero when the daemon has no performance model.
@@ -118,15 +133,23 @@ type AppStats struct {
 // wait accounting plus machine-wide aggregates, computed on demand from the
 // arbitration loop so it is always consistent. Apps are sorted by name.
 type Stats struct {
-	Policy           string     `json:"policy"`
-	NowS             float64    `json:"now_s"`
-	Sessions         int        `json:"sessions"`
-	Arbitrations     uint64     `json:"arbitrations"`
-	GrantsServed     uint64     `json:"grants_served"`
-	CPUSecondsWasted float64    `json:"cpu_seconds_wasted"`
-	SumInterference  float64    `json:"sum_interference,omitempty"`
-	LastDecision     string     `json:"last_decision,omitempty"`
-	Apps             []AppStats `json:"apps,omitempty"`
+	Policy           string  `json:"policy"`
+	NowS             float64 `json:"now_s"`
+	Sessions         int     `json:"sessions"`
+	Arbitrations     uint64  `json:"arbitrations"`
+	GrantsServed     uint64  `json:"grants_served"`
+	CPUSecondsWasted float64 `json:"cpu_seconds_wasted"`
+	SumInterference  float64 `json:"sum_interference,omitempty"`
+	// Machine-wide sums of the per-app wait decomposition (see AppStats),
+	// cumulative like GrantsServed: departed sessions' counters remain
+	// included, so the aggregates match what a replay of the full trace
+	// reports (the Apps list itself covers only live sessions).
+	WaitsImmediate uint64     `json:"waits_immediate,omitempty"`
+	WaitsDeferred  uint64     `json:"waits_deferred,omitempty"`
+	ConvoyWaitS    float64    `json:"convoy_wait_s,omitempty"`
+	ProtocolWaitS  float64    `json:"protocol_wait_s,omitempty"`
+	LastDecision   string     `json:"last_decision,omitempty"`
+	Apps           []AppStats `json:"apps,omitempty"`
 }
 
 // Write marshals v and writes it as one frame.
