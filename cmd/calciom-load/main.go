@@ -9,6 +9,13 @@
 // connections and each client runs its jobs back to back (submit times are
 // ignored), so the daemon sees a sustained concurrency of -clients.
 //
+// With -targets N the workload exercises the daemon's per-storage-target
+// arbitration: phases are spread round-robin across targets t0..tN-1 (phase
+// j coordinates on target t(j mod N)), and the byte-stable aggregate block
+// gains one deterministic "agg-target:" line per target, sorted by name.
+// -targets 0 or 1 keeps every phase on the default target — the original
+// single-target traffic, byte for byte.
+//
 // Output is split into an "agg:" block — aggregate counters that are
 // byte-stable across runs for a fixed workload, independent of goroutine
 // interleaving — and a "timing:" block (throughput, latency percentiles)
@@ -40,21 +47,31 @@ import (
 const miB = float64(1 << 20)
 
 // task is one I/O phase a client performs: declared bytes, the job's core
-// count, and the number of atomic access steps (coordination points).
+// count, the number of atomic access steps (coordination points), and the
+// storage target the phase coordinates on ("" = the daemon's default).
 type task struct {
-	bytes float64
-	cores int
-	steps int
+	bytes  float64
+	cores  int
+	steps  int
+	target string
 }
 
-// result accumulates one client's deterministic counters and its wait
-// latencies. connected reports that Dial+Register succeeded, separating
-// "never reached the daemon" from "failed mid-workload".
+// counters is the deterministic slice of a workload: phases completed,
+// grants received, bytes declared.
+type counters struct {
+	phases int
+	grants int
+	bytes  float64
+}
+
+// result accumulates one client's deterministic counters (total and per
+// target) and its wait latencies. connected reports that Dial+Register
+// succeeded, separating "never reached the daemon" from "failed
+// mid-workload".
 type result struct {
 	connected bool
-	phases    int
-	grants    int
-	bytes     float64
+	counters
+	perTarget map[string]counters
 	lats      []time.Duration
 }
 
@@ -68,6 +85,7 @@ func main() {
 	cores := flag.Int("cores", 32, "synthetic: cores declared per application")
 	think := flag.Duration("think", 0, "compute time between phases")
 	stagger := flag.Duration("stagger", 0, "per-client start offset: client i begins i*stagger after launch, spreading the initial Inform burst so wait-latency percentiles measure protocol cost rather than the fcfs start-up convoy")
+	targets := flag.Int("targets", 1, "spread phases round-robin across this many storage targets (t0..tN-1); <=1 keeps the single default target")
 	swfPath := flag.String("swf", "", "replay this SWF trace instead of the synthetic mix")
 	jobs := flag.Int("jobs", 0, "SWF: cap on jobs replayed (0 = clients*phases)")
 	swfMiBPerProc := flag.Float64("swf-mib-per-proc", 1, "SWF: declared MiB per job process")
@@ -78,6 +96,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	// Phase j coordinates on target t(j mod N): round-robin by task index,
+	// so the per-target workload split is deterministic regardless of how
+	// tasks are later dealt to clients.
+	if *targets > 1 {
+		for i := range tasks {
+			tasks[i].target = fmt.Sprintf("t%d", i%*targets)
+		}
 	}
 
 	// Client-side capture: one shared writer, one session per client, all
@@ -133,6 +159,7 @@ func main() {
 	// counters; failures are explicit (attempted vs connected, the error
 	// count, and a partial: line), never silently folded in.
 	var tot, partial result
+	perTarget := map[string]counters{}
 	connected, nerr := 0, 0
 	for i := range results {
 		if results[i].connected {
@@ -150,6 +177,13 @@ func main() {
 		tot.grants += results[i].grants
 		tot.bytes += results[i].bytes
 		tot.lats = append(tot.lats, results[i].lats...)
+		for target, c := range results[i].perTarget {
+			agg := perTarget[target]
+			agg.phases += c.phases
+			agg.grants += c.grants
+			agg.bytes += c.bytes
+			perTarget[target] = agg
+		}
 	}
 
 	// The agg line holds only client-side counters for this run: for a
@@ -159,6 +193,19 @@ func main() {
 	policy, daemonGrants := daemonView(*addr)
 	fmt.Printf("agg: clients=%d connected=%d tasks=%d phases=%d grants=%d mib=%.0f errors=%d\n",
 		*clients, connected, len(tasks), tot.phases, tot.grants, tot.bytes/miB, nerr)
+	if *targets > 1 {
+		// One byte-stable line per target, deterministically sorted.
+		names := make([]string, 0, len(perTarget))
+		for target := range perTarget {
+			names = append(names, target)
+		}
+		sort.Strings(names)
+		for _, target := range names {
+			c := perTarget[target]
+			fmt.Printf("agg-target: target=%s phases=%d grants=%d mib=%.0f\n",
+				target, c.phases, c.grants, c.bytes/miB)
+		}
+	}
 	if nerr > 0 {
 		fmt.Printf("partial: clients=%d phases=%d grants=%d mib=%.0f\n",
 			nerr, partial.phases, partial.grants, partial.bytes/miB)
@@ -238,11 +285,12 @@ func buildTasks(swfPath string, clients, phases, steps int, mib float64, cores, 
 
 // runClient performs one connection's tasks: for each phase it runs the
 // canonical CALCioM sequence (Prepare, Inform, Wait, steps × [access,
-// Release/Inform/Wait], Complete, End), timing every Wait. A non-nil tw
-// captures the traffic client-side under the given trace session identity.
+// Release/Inform/Wait], Complete, End) on the phase's storage target,
+// timing every Wait. A non-nil tw captures the traffic client-side under
+// the given trace session identity.
 func runClient(addr, name string, tasks []task, think time.Duration,
 	tw *trace.Writer, sid uint32, clock func() float64) (result, error) {
-	var res result
+	res := result{perTarget: map[string]counters{}}
 	c, err := client.Dial(addr)
 	if err != nil {
 		return res, err
@@ -259,23 +307,27 @@ func runClient(addr, name string, tasks []task, think time.Duration,
 		return res, err
 	}
 	res.connected = true
-	wait := func() error {
-		t0 := time.Now()
-		if err := c.Wait(); err != nil {
-			return err
-		}
-		res.lats = append(res.lats, time.Since(t0))
-		res.grants++
-		return nil
-	}
 	for _, tk := range tasks {
+		tg := c.Target(tk.target)
+		wait := func() error {
+			t0 := time.Now()
+			if err := tg.Wait(); err != nil {
+				return err
+			}
+			res.lats = append(res.lats, time.Since(t0))
+			res.grants++
+			c := res.perTarget[tk.target]
+			c.grants++
+			res.perTarget[tk.target] = c
+			return nil
+		}
 		in := core.Info{}
 		in.SetFloat(core.KeyBytesTotal, tk.bytes)
 		in.SetInt(core.KeyCores, int64(tk.cores))
-		if err := c.Prepare(in); err != nil {
+		if err := tg.Prepare(in); err != nil {
 			return res, err
 		}
-		if err := c.Inform(); err != nil {
+		if err := tg.Inform(); err != nil {
 			return res, err
 		}
 		if err := wait(); err != nil {
@@ -284,29 +336,33 @@ func runClient(addr, name string, tasks []task, think time.Duration,
 		for s := 1; s <= tk.steps; s++ {
 			done := tk.bytes * float64(s) / float64(tk.steps)
 			if s < tk.steps {
-				if err := c.Release(done); err != nil {
+				if err := tg.Release(done); err != nil {
 					return res, err
 				}
-				if err := c.Inform(); err != nil {
+				if err := tg.Inform(); err != nil {
 					return res, err
 				}
 				if err := wait(); err != nil {
 					return res, err
 				}
 			} else {
-				if err := c.Release(done); err != nil {
+				if err := tg.Release(done); err != nil {
 					return res, err
 				}
 			}
 		}
-		if err := c.Complete(); err != nil {
+		if err := tg.Complete(); err != nil {
 			return res, err
 		}
-		if err := c.End(); err != nil {
+		if err := tg.End(); err != nil {
 			return res, err
 		}
 		res.phases++
 		res.bytes += tk.bytes
+		pc := res.perTarget[tk.target]
+		pc.phases++
+		pc.bytes += tk.bytes
+		res.perTarget[tk.target] = pc
 		if think > 0 {
 			time.Sleep(think)
 		}

@@ -79,6 +79,14 @@ func main() {
 		}
 		fmt.Printf("verify: policy=%s grants=%d arbitrations=%d flips=%d match=%v\n",
 			tr.Header.Policy, v.GrantsServed, v.Arbitrations, len(v.Flips), v.Match)
+		if len(v.Shards) > 1 {
+			// Sharded recording: the check is per storage target (each
+			// target's grant sequence is its own serialized order).
+			for _, sh := range v.Shards {
+				fmt.Printf("verify-target: target=%s grants=%d flips=%d match=%v\n",
+					sh.Target, sh.GrantsServed, sh.Flips, sh.Match)
+			}
+		}
 		if !v.Match {
 			fmt.Fprintf(os.Stderr, "calciom-replay: replay diverged from recording: %s\n", v.Mismatch)
 			os.Exit(1)

@@ -4,9 +4,15 @@
 // with Begin/Yield/End), so driver code written against the simulator's
 // coordination calls maps one-to-one onto the live daemon.
 //
-// A Client is safe for use by one application goroutine (like a Coordinator
-// belongs to one simulated process); the internal reader goroutine that
-// dispatches responses and authorization pushes is fully encapsulated.
+// Coordination is per storage target: Client.Target returns a handle scoped
+// to one target's independent coordination domain, and the plain Client
+// methods are the handle for the session's default target (set by
+// RegisterOn, itself defaulting to "") — so code that never mentions
+// targets speaks the original single-target protocol unchanged. Waiting on
+// one target never blocks calls on another from a different goroutine, but
+// a single Client remains a one-application-goroutine object per target
+// handle; the internal reader goroutine that dispatches responses and
+// per-target authorization pushes is fully encapsulated.
 package client
 
 import (
@@ -35,10 +41,16 @@ type Client struct {
 	pending map[uint64]chan wire.Response
 	err     error // terminal receive error; set once
 
-	// authorized caches the server's view, updated by responses and by
-	// pushed grant/revoke notifications, so Check can be answered with a
-	// round trip (authoritative) while pushes keep it warm in between.
-	authorized atomic.Bool
+	// auth caches the server's per-target view, updated by responses and by
+	// pushed grant/revoke notifications (the server echoes the resolved
+	// target on every frame), so Check can be answered with a round trip
+	// (authoritative) while pushes keep it warm in between.
+	amu  sync.Mutex
+	auth map[string]bool
+
+	// defTarget is the session's default target, set by RegisterOn before
+	// any other coordination call (so later reads need no lock).
+	defTarget string
 
 	// Client-side trace capture (CaptureTo); nil when not recording.
 	tw       *trace.Writer
@@ -59,6 +71,7 @@ func Dial(addr string) (*Client, error) {
 		conn:    conn,
 		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan wire.Response),
+		auth:    make(map[string]bool),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
@@ -92,10 +105,12 @@ func (c *Client) tnow() float64 {
 	return c.tclock()
 }
 
-// Close tears the connection down; outstanding calls fail.
+// Close tears the connection down; outstanding calls fail. With a capture
+// attached, one unregister is recorded for the whole session — replay
+// propagates it to every target the session coordinated on.
 func (c *Client) Close() error {
 	if c.tw != nil && c.traceReg.CompareAndSwap(true, false) {
-		c.rec(trace.Event{Type: trace.EvUnregister, Time: c.tnow()})
+		c.rec(trace.Event{Type: trace.EvUnregister, Time: c.tnow(), Target: c.defTarget})
 	}
 	return c.conn.Close()
 }
@@ -112,15 +127,16 @@ func (c *Client) readLoop() {
 		}
 		switch resp.Type {
 		case wire.TypeGrant:
-			c.authorized.Store(true)
+			c.setAuth(resp.Target, true)
 		case wire.TypeRevoke:
-			c.authorized.Store(false)
+			c.setAuth(resp.Target, false)
 		case wire.TypeResp:
-			// Every response carries the server's current authorization;
-			// caching it here — the single writer, in arrival order —
-			// means a pushed revocation can never be overwritten by a
-			// caller goroutine finishing an older round trip late.
-			c.authorized.Store(resp.Authorized)
+			// Every response carries the server's current authorization on
+			// the request's (resolved) target; caching it here — the single
+			// writer, in arrival order — means a pushed revocation can
+			// never be overwritten by a caller goroutine finishing an older
+			// round trip late.
+			c.setAuth(resp.Target, resp.Authorized)
 			c.mu.Lock()
 			ch := c.pending[resp.Seq]
 			delete(c.pending, resp.Seq)
@@ -182,80 +198,188 @@ func (c *Client) call(req wire.Request) (wire.Response, error) {
 	return resp, nil
 }
 
+func (c *Client) setAuth(target string, v bool) {
+	c.amu.Lock()
+	c.auth[target] = v
+	c.amu.Unlock()
+}
+
+func (c *Client) getAuth(target string) bool {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	return c.auth[target]
+}
+
+// Target is a handle for one storage target's coordination domain: the
+// same blocking call set as the Client, addressed at that target. Handles
+// are cheap values; a client may hold one per target and drive them from
+// different goroutines (each handle stays a one-goroutine object, like a
+// Client).
+type Target struct {
+	c *Client
+	// send is the wire Target field: "" lets the server resolve the
+	// session default, keeping the default path byte-identical to the
+	// pre-target protocol. The resolved name — used for the authorization
+	// cache and trace capture — is computed per call, so a handle created
+	// before RegisterOn still resolves the registered default.
+	send string
+}
+
+// Target returns the handle for one storage target. An empty name means
+// the session's default target.
+func (c *Client) Target(name string) Target { return Target{c: c, send: name} }
+
+// resolved is the target the server will route to: the explicit name, or
+// the session's default.
+func (t Target) resolved() string {
+	if t.send == "" {
+		return t.c.defTarget
+	}
+	return t.send
+}
+
+// Name returns the resolved target name.
+func (t Target) Name() string { return t.resolved() }
+
 // Register introduces the application to the daemon. It must be the first
 // call; names must be unique among live sessions.
 func (c *Client) Register(name string, cores int) error {
+	return c.RegisterOn(name, cores, "")
+}
+
+// RegisterOn is Register with a default storage target: requests that do
+// not name a target coordinate there. It must be the first call on the
+// client (later calls read the default without synchronization).
+func (c *Client) RegisterOn(name string, cores int, target string) error {
 	t := c.tnow()
-	_, err := c.call(wire.Request{Type: wire.TypeRegister, App: name, Cores: cores})
+	_, err := c.call(wire.Request{Type: wire.TypeRegister, App: name, Cores: cores, Target: target})
 	if err == nil {
+		c.defTarget = target
 		c.traceReg.Store(true)
-		c.rec(trace.Event{Type: trace.EvRegister, Time: t, App: name, Cores: int32(cores)})
+		c.rec(trace.Event{Type: trace.EvRegister, Time: t, App: name, Cores: int32(cores), Target: target})
 	}
 	return err
 }
 
-// Prepare stacks information about the upcoming I/O accesses, as the
-// paper's Prepare(MPI_Info) does.
-func (c *Client) Prepare(info core.Info) error {
-	t := c.tnow()
-	_, err := c.call(wire.Request{Type: wire.TypePrepare, Info: info})
+// Prepare stacks information about the upcoming I/O accesses on this
+// target, as the paper's Prepare(MPI_Info) does.
+func (t Target) Prepare(info core.Info) error {
+	at := t.c.tnow()
+	_, err := t.c.call(wire.Request{Type: wire.TypePrepare, Info: info, Target: t.send})
 	if err == nil {
-		c.rec(trace.Event{Type: trace.EvPrepare, Time: t, Info: info})
+		t.c.rec(trace.Event{Type: trace.EvPrepare, Time: at, Info: info, Target: t.resolved()})
 	}
 	return err
 }
 
 // Complete unstacks the most recent Prepare.
-func (c *Client) Complete() error {
-	t := c.tnow()
-	_, err := c.call(wire.Request{Type: wire.TypeComplete})
+func (t Target) Complete() error {
+	at := t.c.tnow()
+	_, err := t.c.call(wire.Request{Type: wire.TypeComplete, Target: t.send})
 	if err == nil {
-		c.rec(trace.Event{Type: trace.EvComplete, Time: t})
+		t.c.rec(trace.Event{Type: trace.EvComplete, Time: at, Target: t.resolved()})
 	}
 	return err
 }
 
 // Inform announces the application's intent (or continued intent) to do
-// I/O. Non-blocking beyond the round trip; triggers arbitration.
-func (c *Client) Inform() error {
-	t := c.tnow()
-	_, err := c.call(wire.Request{Type: wire.TypeInform})
+// I/O on this target. Non-blocking beyond the round trip; triggers the
+// target's arbitration.
+func (t Target) Inform() error {
+	at := t.c.tnow()
+	_, err := t.c.call(wire.Request{Type: wire.TypeInform, Target: t.send})
 	if err == nil {
-		c.rec(trace.Event{Type: trace.EvInform, Time: t})
+		t.c.rec(trace.Event{Type: trace.EvInform, Time: at, Target: t.resolved()})
 	}
 	return err
 }
 
 // Progress reports bytes moved so far. Like the simulator's state-free
 // Coordinator.Progress it neither opens a phase nor triggers arbitration;
-// the value influences the next inform/release arbitration. Release and
-// the Session helpers piggyback progress anyway, so an explicit Progress
-// round trip is only needed between coordination points.
-func (c *Client) Progress(bytesDone float64) error {
-	t := c.tnow()
-	_, err := c.call(wire.Request{Type: wire.TypeProgress, BytesDone: bytesDone})
+// the value influences the next inform/release arbitration.
+func (t Target) Progress(bytesDone float64) error {
+	at := t.c.tnow()
+	_, err := t.c.call(wire.Request{Type: wire.TypeProgress, BytesDone: bytesDone, Target: t.send})
 	if err == nil {
-		c.rec(trace.Event{Type: trace.EvProgress, Time: t, Bytes: bytesDone})
+		t.c.rec(trace.Event{Type: trace.EvProgress, Time: at, Bytes: bytesDone, Target: t.resolved()})
 	}
 	return err
 }
 
-// Check polls authorization with a round trip. It never blocks waiting for
-// a grant: an application free to reorganize its work can Check and do
-// something else when denied.
-func (c *Client) Check() (bool, error) {
-	t := c.tnow()
-	resp, err := c.call(wire.Request{Type: wire.TypeCheck})
+// Check polls authorization on this target with a round trip. It never
+// blocks waiting for a grant.
+func (t Target) Check() (bool, error) {
+	at := t.c.tnow()
+	resp, err := t.c.call(wire.Request{Type: wire.TypeCheck, Target: t.send})
 	if err != nil {
 		return false, err
 	}
-	c.rec(trace.Event{Type: trace.EvCheck, Time: t})
+	t.c.rec(trace.Event{Type: trace.EvCheck, Time: at, Target: t.resolved()})
 	return resp.Authorized, nil
 }
 
-// Authorized returns the cached authorization state, updated by pushed
-// grants/revocations — Check without the round trip.
-func (c *Client) Authorized() bool { return c.authorized.Load() }
+// Authorized returns the cached authorization state for this target,
+// updated by pushed grants/revocations — Check without the round trip.
+func (t Target) Authorized() bool { return t.c.getAuth(t.resolved()) }
+
+// Wait blocks until the daemon authorizes the application's access on this
+// target (a Wait on another target from another goroutine is unaffected —
+// the domains arbitrate independently). With a capture attached, the wait
+// is recorded at send time and the observed grant at response time.
+func (t Target) Wait() error {
+	t.c.rec(trace.Event{Type: trace.EvWait, Time: t.c.tnow(), Target: t.resolved()})
+	_, err := t.c.call(wire.Request{Type: wire.TypeWait, Target: t.send})
+	if err == nil {
+		t.c.rec(trace.Event{Type: trace.EvGrant, Time: t.c.tnow(), Target: t.resolved()})
+	}
+	return err
+}
+
+// Release ends one step of the I/O access, reporting progress. A new
+// Inform is required before the next access step.
+func (t Target) Release(bytesDone float64) error {
+	at := t.c.tnow()
+	_, err := t.c.call(wire.Request{Type: wire.TypeRelease, BytesDone: bytesDone, Target: t.send})
+	if err == nil {
+		t.c.rec(trace.Event{Type: trace.EvRelease, Time: at, Bytes: bytesDone, Target: t.resolved()})
+	}
+	return err
+}
+
+// End terminates the I/O phase on this target entirely.
+func (t Target) End() error {
+	at := t.c.tnow()
+	_, err := t.c.call(wire.Request{Type: wire.TypeEnd, Target: t.send})
+	if err == nil {
+		t.c.rec(trace.Event{Type: trace.EvEnd, Time: at, Target: t.resolved()})
+	}
+	return err
+}
+
+// Prepare stacks information about the upcoming I/O accesses on the
+// default target, as the paper's Prepare(MPI_Info) does.
+func (c *Client) Prepare(info core.Info) error { return c.Target("").Prepare(info) }
+
+// Complete unstacks the most recent Prepare.
+func (c *Client) Complete() error { return c.Target("").Complete() }
+
+// Inform announces the application's intent (or continued intent) to do
+// I/O. Non-blocking beyond the round trip; triggers arbitration.
+func (c *Client) Inform() error { return c.Target("").Inform() }
+
+// Progress reports bytes moved so far on the default target. Release and
+// the Session helpers piggyback progress anyway, so an explicit Progress
+// round trip is only needed between coordination points.
+func (c *Client) Progress(bytesDone float64) error { return c.Target("").Progress(bytesDone) }
+
+// Check polls authorization with a round trip. It never blocks waiting for
+// a grant: an application free to reorganize its work can Check and do
+// something else when denied.
+func (c *Client) Check() (bool, error) { return c.Target("").Check() }
+
+// Authorized returns the cached authorization state on the default target,
+// updated by pushed grants/revocations — Check without the round trip.
+func (c *Client) Authorized() bool { return c.getAuth(c.defTarget) }
 
 // Wait blocks until the daemon authorizes the application's access. The
 // response is deferred server-side until arbitration grants access. With a
@@ -265,35 +389,14 @@ func (c *Client) Authorized() bool { return c.authorized.Load() }
 // collapse the measured wait in replay — and the observed grant at
 // response time. A failed Wait leaves a pending wait event in the trace;
 // replay censors it, exactly like a session that vanished mid-wait.
-func (c *Client) Wait() error {
-	c.rec(trace.Event{Type: trace.EvWait, Time: c.tnow()})
-	_, err := c.call(wire.Request{Type: wire.TypeWait})
-	if err == nil {
-		c.rec(trace.Event{Type: trace.EvGrant, Time: c.tnow()})
-	}
-	return err
-}
+func (c *Client) Wait() error { return c.Target("").Wait() }
 
 // Release ends one step of the I/O access, reporting progress. A new
 // Inform is required before the next access step.
-func (c *Client) Release(bytesDone float64) error {
-	t := c.tnow()
-	_, err := c.call(wire.Request{Type: wire.TypeRelease, BytesDone: bytesDone})
-	if err == nil {
-		c.rec(trace.Event{Type: trace.EvRelease, Time: t, Bytes: bytesDone})
-	}
-	return err
-}
+func (c *Client) Release(bytesDone float64) error { return c.Target("").Release(bytesDone) }
 
 // End terminates the I/O phase entirely.
-func (c *Client) End() error {
-	t := c.tnow()
-	_, err := c.call(wire.Request{Type: wire.TypeEnd})
-	if err == nil {
-		c.rec(trace.Event{Type: trace.EvEnd, Time: t})
-	}
-	return err
-}
+func (c *Client) End() error { return c.Target("").End() }
 
 // Stats fetches the daemon's live metrics snapshot.
 func (c *Client) Stats() (wire.Stats, error) {
@@ -308,46 +411,53 @@ func (c *Client) Stats() (wire.Stats, error) {
 }
 
 // Session bundles the common call sequences a driver needs at its
-// coordination points, mirroring core.Session so the same driver shape runs
-// against the simulator or the daemon.
+// coordination points on one storage target, mirroring core.Session so the
+// same driver shape runs against the simulator or the daemon.
 type Session struct {
 	C *Client
+	t Target
 }
 
-// NewSession wraps a client.
-func NewSession(c *Client) *Session { return &Session{C: c} }
+// NewSession wraps a client, coordinating on its default target.
+func NewSession(c *Client) *Session { return NewSessionOn(c, "") }
+
+// NewSessionOn wraps a client, coordinating on the given storage target
+// ("" = the session's default target).
+func NewSessionOn(c *Client, target string) *Session {
+	return &Session{C: c, t: c.Target(target)}
+}
 
 // Begin opens an I/O phase: Prepare + Inform + Wait.
 func (s *Session) Begin(info core.Info) error {
-	if err := s.C.Prepare(info); err != nil {
+	if err := s.t.Prepare(info); err != nil {
 		return err
 	}
-	if err := s.C.Inform(); err != nil {
+	if err := s.t.Inform(); err != nil {
 		return err
 	}
-	return s.C.Wait()
+	return s.t.Wait()
 }
 
 // Yield is a coordination point between atomic accesses: Release + Inform +
 // Wait. If arbitration has revoked authorization, the call blocks until
 // access is granted back.
 func (s *Session) Yield(bytesDone float64) error {
-	if err := s.C.Release(bytesDone); err != nil {
+	if err := s.t.Release(bytesDone); err != nil {
 		return err
 	}
-	if err := s.C.Inform(); err != nil {
+	if err := s.t.Inform(); err != nil {
 		return err
 	}
-	return s.C.Wait()
+	return s.t.Wait()
 }
 
 // End closes the phase: Release + Complete + End.
 func (s *Session) End(bytesDone float64) error {
-	if err := s.C.Release(bytesDone); err != nil {
+	if err := s.t.Release(bytesDone); err != nil {
 		return err
 	}
-	if err := s.C.Complete(); err != nil {
+	if err := s.t.Complete(); err != nil {
 		return err
 	}
-	return s.C.End()
+	return s.t.End()
 }

@@ -145,6 +145,16 @@ func (sc Scenario) SoloOn(pool *platform.Pool, i int) float64 {
 	return solo.RunOn(pool, nil, soloStart[:], nil).IOTime[0]
 }
 
+// soloTimeOn is SoloOn without building a Result: the Sweeper's
+// steady-state calibration path, allocation-free on a warm pool.
+func (sc Scenario) soloTimeOn(pool *platform.Pool, i int) float64 {
+	solo := sc
+	solo.Apps = sc.Apps[i : i+1 : i+1]
+	pl := pool.Acquire(solo.Spec(), nil)
+	pl.Run(soloStart[:], nil)
+	return pl.Runners[0].Stats.TotalIOTime()
+}
+
 // soloStart is the shared zero start vector of every solo calibration.
 var soloStart = [1]float64{0}
 
@@ -180,22 +190,123 @@ func (sc Scenario) Sweep(factory PolicyFactory, dts []float64) Series {
 }
 
 // Sweeper is a persistent ∆-sweep executor: it owns the solo-calibration
-// pool and one platform pool per worker slot, all reused across Sweep
-// calls, so a repeated sweep pays neither platform construction nor solo
-// recalibration — the per-sweep setup cost drops to the worker goroutines
-// and the output series. Results are bit-identical to a fresh Sweep.
+// pool, and a set of persistent worker goroutines (one platform pool each)
+// fed per sweep through a channel, all reused across Sweep calls — a
+// repeated sweep pays neither platform construction, solo recalibration nor
+// worker-goroutine spawning; the steady-state SweepInto performs zero
+// allocations (TestSweeperSteadyStateAllocs). Results are bit-identical to
+// a fresh Sweep.
 //
 // Like platform.Pool, a Sweeper cannot distinguish policy constructors: use
 // one Sweeper per policy family (the pools would otherwise hand a platform
 // built for one policy to a sweep of another). A Sweeper is not
-// goroutine-safe; one Sweep runs at a time.
+// goroutine-safe; one Sweep runs at a time. Close releases the worker
+// goroutines; it is optional — an abandoned Sweeper's workers are reclaimed
+// by a GC cleanup — but a Sweeper must not sweep after Close.
 type Sweeper struct {
-	calib *platform.Pool   // solo calibrations, shared across sweeps
-	pools []*platform.Pool // one per worker slot, grown on demand
+	calib *platform.Pool // solo calibrations, shared across sweeps
+	ws    *workerSet     // persistent workers; separate allocation so the
+	// GC cleanup below can close them without keeping the Sweeper alive
+
+	// Per-sweep context, reused so waking the workers allocates nothing.
+	job  sweepJob
+	wg   sync.WaitGroup
+	next atomic.Int64
+
+	cleanup runtime.Cleanup
 }
 
-// NewSweeper returns an empty executor.
-func NewSweeper() *Sweeper { return &Sweeper{calib: platform.NewPool()} }
+// workerSet owns the worker wake channels. It lives outside the Sweeper so
+// runtime.AddCleanup can reference it after the Sweeper becomes
+// unreachable.
+type workerSet struct {
+	chans  []chan *sweepJob
+	closed bool
+}
+
+func (ws *workerSet) close() {
+	if ws.closed {
+		return
+	}
+	ws.closed = true
+	for _, ch := range ws.chans {
+		close(ch)
+	}
+}
+
+// sweepJob is one sweep's shared context: workers pull point indices off
+// the owner's counter and write results straight into the Series.
+type sweepJob struct {
+	sw             *Sweeper
+	spec           platform.Spec
+	factory        PolicyFactory
+	dts            []float64
+	s              *Series
+	coresA, coresB float64
+}
+
+// run executes sweep points on one worker's pooled platform until the
+// shared counter runs out. Every point is its own deterministic run, so
+// results are independent of the worker count and of scheduling order.
+func (job *sweepJob) run(pool *platform.Pool) {
+	pl := pool.Acquire(job.spec, job.factory)
+	var starts [2]float64
+	n := len(job.dts)
+	s := job.s
+	for {
+		k := int(job.sw.next.Add(1)) - 1
+		if k >= n {
+			return
+		}
+		dt := job.dts[k]
+		starts[0], starts[1] = 0, dt
+		if dt < 0 {
+			starts[0], starts[1] = -dt, 0
+		}
+		pl.Run(starts[:], nil)
+		ta := pl.Runners[0].Stats.TotalIOTime()
+		tb := pl.Runners[1].Stats.TotalIOTime()
+		s.TimeA[k] = ta
+		s.TimeB[k] = tb
+		s.FactorA[k] = ta / s.SoloA
+		s.FactorB[k] = tb / s.SoloB
+		// f/Σcores inlined (metrics.Report.CPUSecondsPerCore for two
+		// apps) so the inner loop stays scratch-free.
+		s.CPUPerCore[k] = (job.coresA*ta + job.coresB*tb) / (job.coresA + job.coresB)
+	}
+}
+
+// NewSweeper returns an empty executor. Workers spawn on first use.
+func NewSweeper() *Sweeper {
+	sw := &Sweeper{calib: platform.NewPool(), ws: &workerSet{}}
+	sw.cleanup = runtime.AddCleanup(sw, func(ws *workerSet) { ws.close() }, sw.ws)
+	return sw
+}
+
+// Close stops the persistent worker goroutines. Optional (see Sweeper);
+// idempotent; the Sweeper must not sweep afterwards.
+func (sw *Sweeper) Close() {
+	sw.cleanup.Stop()
+	sw.ws.close()
+}
+
+// ensureWorkers grows the persistent worker set to n goroutines, each with
+// its own platform pool.
+func (sw *Sweeper) ensureWorkers(n int) {
+	if sw.ws.closed {
+		panic("delta: Sweeper used after Close")
+	}
+	for len(sw.ws.chans) < n {
+		wake := make(chan *sweepJob)
+		sw.ws.chans = append(sw.ws.chans, wake)
+		go func(wake <-chan *sweepJob, pool *platform.Pool) {
+			for job := range wake {
+				job.run(pool)
+				job.sw.wg.Done()
+			}
+		}(wake, platform.NewPool())
+	}
+}
 
 // Sweep runs the scenario at every dt under the policy on the reused
 // platforms, returning a freshly allocated Series.
@@ -215,11 +326,12 @@ func grow(v []float64, n int) []float64 {
 
 // SweepInto is Sweep writing into a caller-owned Series, reusing its slice
 // backing: a harness that sweeps in a loop with one Series allocates
-// nothing for the output after the first call. A fixed pool of worker
-// goroutines (one per OS thread) pulls points off a shared counter; each
-// worker re-arms its pooled platform per point, so the steady-state point
-// allocates nothing and every point is its own deterministic run —
-// results are independent of the worker count and of scheduling order.
+// nothing at all after the first call — the persistent workers (at most one
+// per OS thread) are woken through their feed channels with a pointer to
+// the Sweeper's reused job context, pull points off a shared counter, and
+// re-arm their pooled platforms per point. Every point is its own
+// deterministic run, so results are independent of the worker count and of
+// scheduling order.
 func (sw *Sweeper) SweepInto(s *Series, sc Scenario, factory PolicyFactory, dts []float64) {
 	if len(sc.Apps) != 2 {
 		panic(fmt.Sprintf("delta: Sweep needs exactly 2 apps, got %d", len(sc.Apps)))
@@ -227,8 +339,8 @@ func (sw *Sweeper) SweepInto(s *Series, sc Scenario, factory PolicyFactory, dts 
 	n := len(dts)
 	s.Policy = policyName(sc, factory)
 	s.DT = append(s.DT[:0], dts...)
-	s.SoloA = sc.SoloOn(sw.calib, 0)
-	s.SoloB = sc.SoloOn(sw.calib, 1)
+	s.SoloA = sc.soloTimeOn(sw.calib, 0)
+	s.SoloB = sc.soloTimeOn(sw.calib, 1)
 	s.TimeA = grow(s.TimeA, n)
 	s.TimeB = grow(s.TimeB, n)
 	s.FactorA = grow(s.FactorA, n)
@@ -239,46 +351,25 @@ func (sw *Sweeper) SweepInto(s *Series, sc Scenario, factory PolicyFactory, dts 
 	if workers > n {
 		workers = n
 	}
-	for len(sw.pools) < workers {
-		sw.pools = append(sw.pools, platform.NewPool())
+	sw.ensureWorkers(workers)
+	sw.job = sweepJob{
+		sw:      sw,
+		spec:    sc.Spec(),
+		factory: factory,
+		dts:     dts,
+		s:       s,
+		coresA:  float64(sc.Apps[0].Procs),
+		coresB:  float64(sc.Apps[1].Procs),
 	}
-	spec := sc.Spec()
-	coresA := float64(sc.Apps[0].Procs)
-	coresB := float64(sc.Apps[1].Procs)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(pool *platform.Pool) {
-			defer wg.Done()
-			// One platform per worker, reused across all its points — and,
-			// through the pool, across sweeps.
-			pl := pool.Acquire(spec, factory)
-			var starts [2]float64
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= n {
-					return
-				}
-				dt := dts[k]
-				starts[0], starts[1] = 0, dt
-				if dt < 0 {
-					starts[0], starts[1] = -dt, 0
-				}
-				pl.Run(starts[:], nil)
-				ta := pl.Runners[0].Stats.TotalIOTime()
-				tb := pl.Runners[1].Stats.TotalIOTime()
-				s.TimeA[k] = ta
-				s.TimeB[k] = tb
-				s.FactorA[k] = ta / s.SoloA
-				s.FactorB[k] = tb / s.SoloB
-				// f/Σcores inlined (metrics.Report.CPUSecondsPerCore for two
-				// apps) so the inner loop stays scratch-free.
-				s.CPUPerCore[k] = (coresA*ta + coresB*tb) / (coresA + coresB)
-			}
-		}(sw.pools[w])
+	sw.next.Store(0)
+	sw.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		sw.ws.chans[i] <- &sw.job
 	}
-	wg.Wait()
+	sw.wg.Wait()
+	// Drop the references to the caller's Series, dts and factory: a
+	// long-lived Sweeper must not pin the last sweep's memory.
+	sw.job = sweepJob{}
 }
 
 // Expected computes the paper's analytic "expected interference" ∆-graph:

@@ -1,7 +1,6 @@
 package delta
 
 import (
-	"runtime"
 	"testing"
 
 	"repro/internal/ior"
@@ -63,29 +62,42 @@ func TestSweeperReuseBitIdentical(t *testing.T) {
 	seriesEqual(t, fresh, again)
 }
 
-// TestSweeperSteadyStateAllocs guards the ROADMAP open item: with a
-// persistent executor and a reused Series, the marginal sweep costs only
-// the worker goroutines and sync plumbing — far below the ~1000
-// platform-construction allocations a fresh Sweep pays. The bound is
-// deliberately loose (a handful per worker) so scheduler noise cannot flake
-// it.
+// TestSweeperSteadyStateAllocs guards the ROADMAP open item, now closed:
+// with a persistent executor — worker goroutines kept alive and fed through
+// channels — and a reused Series, the marginal sweep allocates NOTHING: no
+// platform construction, no solo recalibration, no goroutine spawn, no
+// output growth. AllocsPerRun counts mallocs process-wide, so the workers'
+// sweep points are measured too.
 func TestSweeperSteadyStateAllocs(t *testing.T) {
 	sc := sweepScenario()
 	dts := []float64{-4, -1, 0, 1, 4}
 	sw := NewSweeper()
+	defer sw.Close()
 	var s Series
 	sw.SweepInto(&s, sc, Uncoordinated, dts) // build platforms, size backing
 	sw.SweepInto(&s, sc, Uncoordinated, dts) // settle any lazy growth
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(dts) {
-		workers = len(dts)
-	}
-	bound := float64(8*workers + 16)
 	allocs := testing.AllocsPerRun(5, func() {
 		sw.SweepInto(&s, sc, Uncoordinated, dts)
 	})
-	if allocs > bound {
-		t.Fatalf("steady-state SweepInto allocates %.1f objects per sweep, want <= %.0f", allocs, bound)
+	if allocs != 0 {
+		t.Fatalf("steady-state SweepInto allocates %.1f objects per sweep, want 0", allocs)
 	}
+}
+
+// TestSweeperCloseStopsWorkers: after Close the workers are gone and reuse
+// panics loudly instead of hanging on a closed feed channel.
+func TestSweeperCloseStopsWorkers(t *testing.T) {
+	sc := sweepScenario()
+	sw := NewSweeper()
+	sw.Sweep(sc, Uncoordinated, []float64{0})
+	sw.Close()
+	sw.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SweepInto after Close did not panic")
+		}
+	}()
+	var s Series
+	sw.SweepInto(&s, sc, Uncoordinated, []float64{0})
 }

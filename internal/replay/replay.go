@@ -3,6 +3,18 @@
 // the same arbitration state machine the live daemon runs — on a virtual
 // clock taken from the recorded timestamps.
 //
+// Like the live daemon, replay is sharded by storage target: the trace is
+// partitioned into per-target event streams (a version-1 trace is one
+// stream, the default target ""), each stream is re-arbitrated through its
+// own Arbiter exactly as that target's shard goroutine would have, and the
+// per-target results are merged into one Result. Registration is per
+// target: a daemon trace records each shard's attach as its own EvRegister,
+// so the partition reproduces each shard's registration order; client-side
+// captures record one register per session, which the partitioner copies
+// into every target the session later touches (and its unregister
+// likewise), at the instant of first touch — mirroring the daemon's lazy
+// attach.
+//
 // Two modes exist:
 //
 //   - Verify replays a daemon-side trace under its own recorded policy,
@@ -41,11 +53,12 @@ import (
 	"repro/internal/trace"
 )
 
-// Flip is one authorization change, in delivery order.
+// Flip is one authorization change, in delivery order within its target.
 type Flip struct {
-	Time  float64
-	SID   uint32
-	Grant bool // true = granted, false = revoked
+	Time   float64
+	SID    uint32
+	Target string // storage target whose arbiter flipped it ("" = default)
+	Grant  bool   // true = granted, false = revoked
 }
 
 // String renders one flip compactly.
@@ -54,14 +67,20 @@ func (f Flip) String() string {
 	if f.Grant {
 		kind = "grant"
 	}
+	if f.Target != "" {
+		return fmt.Sprintf("%s sid=%d target=%s t=%.6f", kind, f.SID, f.Target, f.Time)
+	}
 	return fmt.Sprintf("%s sid=%d t=%.6f", kind, f.SID, f.Time)
 }
 
-// AppResult is one session's replayed outcome. Sessions are identified by
-// the trace SID; a name can recur if an application re-registered.
+// AppResult is one session's replayed outcome on one storage target.
+// Sessions are identified by the trace SID; a name can recur if an
+// application re-registered, and one SID recurs across targets when the
+// session coordinated on several.
 type AppResult struct {
 	SID    uint32
 	Name   string
+	Target string
 	Cores  int
 	Phases int
 	Grants uint64
@@ -104,21 +123,26 @@ type Result struct {
 	Unserved int
 	Aborted  int
 
-	// OverlapS integrates max(0, n-1) over time, n being the number of
-	// concurrently active sessions: the machine-seconds of interference this
-	// policy permitted (0 under strict serialization).
+	// OverlapS integrates max(0, n-1) over time per target, n being the
+	// number of sessions concurrently active on that target, summed over
+	// targets: the machine-seconds of interference this policy permitted (0
+	// under strict serialization). Activity on different targets does not
+	// count as overlap — contention is per target.
 	OverlapS float64
 
-	// MakespanS is the last virtual-clock instant of the replay.
+	// MakespanS is the last virtual-clock instant of the replay (the max
+	// across targets).
 	MakespanS float64
 
-	// Flips is the reproduced authorization-change sequence.
+	// Flips is the reproduced authorization-change sequence, grouped by
+	// target in sorted target order; within a target, delivery order.
 	Flips []Flip
 	// Waits holds every deferred-wait duration (seconds, censored pending
 	// waits included), sorted ascending for percentile queries. Immediate
 	// waits contribute a zero.
 	Waits []float64
-	// Apps holds per-session outcomes sorted by (Name, SID).
+	// Apps holds per-session, per-target outcomes sorted by (Name, Target,
+	// SID).
 	Apps []AppResult
 }
 
@@ -175,34 +199,184 @@ func checkReplayable(tr *trace.Trace) error {
 	return nil
 }
 
+// shardEvents is one storage target's slice of a partitioned trace.
+type shardEvents struct {
+	Target string
+	Events []trace.Event
+}
+
+// partition splits a trace into per-target event streams, in sorted target
+// order. Daemon traces partition exactly: every event (register, recheck
+// and unregister included) was recorded by the shard that owns its target.
+// Client-side captures record registration once per session, so the
+// partitioner mirrors the daemon's lazy attach: the register is copied into
+// a target's stream at the session's first event there, and the session's
+// unregister is copied into every target it touched. A version-1 trace has
+// every Target empty and partitions into the single default stream —
+// byte-for-byte the unsharded replay input.
+func partition(tr *trace.Trace) []shardEvents {
+	type regInfo struct {
+		app   string
+		cores int32
+	}
+	idx := make(map[string]int)
+	var parts []shardEvents
+	emit := func(target string, ev trace.Event) {
+		i, ok := idx[target]
+		if !ok {
+			i = len(parts)
+			idx[target] = i
+			parts = append(parts, shardEvents{Target: target})
+		}
+		parts[i].Events = append(parts[i].Events, ev)
+	}
+	type attachKey struct {
+		target string
+		sid    uint32
+	}
+	regs := make(map[uint32]regInfo)
+	attached := make(map[attachKey]bool)
+	client := tr.Header.Source == trace.SourceClient
+	for _, ev := range tr.Events {
+		switch ev.Type {
+		case trace.EvRegister:
+			regs[ev.SID] = regInfo{app: ev.App, cores: ev.Cores}
+			if client {
+				// A client-side register is session metadata, not an
+				// attach: the session joins a target's stream lazily at
+				// its first event there, like the daemon's lazy attach —
+				// so no stream carries sessions that never coordinate on
+				// its target.
+				continue
+			}
+			attached[attachKey{ev.Target, ev.SID}] = true
+			emit(ev.Target, ev)
+		case trace.EvRecheck:
+			emit(ev.Target, ev)
+		case trace.EvUnregister:
+			if attached[attachKey{ev.Target, ev.SID}] {
+				delete(attached, attachKey{ev.Target, ev.SID})
+				emit(ev.Target, ev)
+			}
+			if client {
+				// One recorded unregister stands for the whole session:
+				// propagate it to every other target it attached to.
+				for i := range parts {
+					t := parts[i].Target
+					if t == ev.Target || !attached[attachKey{t, ev.SID}] {
+						continue
+					}
+					delete(attached, attachKey{t, ev.SID})
+					cp := ev
+					cp.Target = t
+					emit(t, cp)
+				}
+			}
+		default:
+			if !attached[attachKey{ev.Target, ev.SID}] && ev.SID != 0 {
+				if reg, ok := regs[ev.SID]; ok {
+					attached[attachKey{ev.Target, ev.SID}] = true
+					emit(ev.Target, trace.Event{Type: trace.EvRegister, Time: ev.Time,
+						SID: ev.SID, App: reg.app, Cores: reg.cores, Target: ev.Target})
+				}
+			}
+			emit(ev.Target, ev)
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Target < parts[j].Target })
+	return parts
+}
+
+// mergeResults combines per-target results into the machine-wide view:
+// counters sum, Flips concatenate in target order, Waits re-sort, Apps
+// re-sort by (Name, Target, SID), the makespan is the max.
+func mergeResults(policy string, parts []Result) Result {
+	out := Result{Policy: policy}
+	for i := range parts {
+		r := &parts[i]
+		out.Events += r.Events
+		out.Arbitrations += r.Arbitrations
+		out.GrantsServed += r.GrantsServed
+		out.WaitsImmediate += r.WaitsImmediate
+		out.WaitsDeferred += r.WaitsDeferred
+		out.TotalWaitS += r.TotalWaitS
+		out.ConvoyWaitS += r.ConvoyWaitS
+		out.ProtocolWaitS += r.ProtocolWaitS
+		out.Unserved += r.Unserved
+		out.Aborted += r.Aborted
+		out.OverlapS += r.OverlapS
+		if r.MakespanS > out.MakespanS {
+			out.MakespanS = r.MakespanS
+		}
+		out.Flips = append(out.Flips, r.Flips...)
+		out.Waits = append(out.Waits, r.Waits...)
+		out.Apps = append(out.Apps, r.Apps...)
+	}
+	sort.Float64s(out.Waits)
+	sort.Slice(out.Apps, func(i, j int) bool {
+		a, b := &out.Apps[i], &out.Apps[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.SID < b.SID
+	})
+	return out
+}
+
 // Under replays the trace's request events under the given policy,
-// synthesizing recheck arbitrations from the policy's RecheckAfter requests
-// (the recorded outcome and recheck events are ignored).
+// re-arbitrating each storage target's stream independently and
+// synthesizing per-target recheck arbitrations from the policy's
+// RecheckAfter requests (the recorded outcome and recheck events are
+// ignored).
 func Under(tr *trace.Trace, pol core.Policy) (Result, error) {
 	if err := checkReplayable(tr); err != nil {
 		return Result{}, err
 	}
-	m := newMachine(pol, true, false)
-	if err := m.run(tr.Events); err != nil {
-		return Result{}, err
+	parts := partition(tr)
+	results := make([]Result, 0, len(parts))
+	for _, p := range parts {
+		m := newMachine(pol, p.Target, true, false)
+		if err := m.run(p.Events); err != nil {
+			return Result{}, err
+		}
+		results = append(results, m.finish())
 	}
-	return m.finish(), nil
+	return mergeResults(pol.Name(), results), nil
+}
+
+// ShardVerify is one storage target's slice of an exact reproduction check.
+type ShardVerify struct {
+	Target       string
+	GrantsServed uint64
+	Flips        int
+	Recorded     int
+	Match        bool
+	Mismatch     string
 }
 
 // VerifyResult is the outcome of an exact reproduction check.
 type VerifyResult struct {
 	Result
-	// Recorded is the grant/revoke sequence the daemon logged.
+	// Recorded is the grant/revoke sequence the daemon logged, grouped by
+	// target in sorted target order.
 	Recorded []Flip
-	// Match reports whether the replayed flips equal the recorded ones
-	// event for event; Mismatch describes the first divergence otherwise.
+	// Match reports whether every target's replayed flips equal its
+	// recorded ones event for event; Mismatch describes the first
+	// divergence otherwise.
 	Match    bool
 	Mismatch string
+	// Shards holds the per-target checks, in sorted target order.
+	Shards []ShardVerify
 }
 
 // Verify replays a daemon-side trace under its own recorded policy and
-// compares the reproduced authorization-flip sequence against the recorded
-// one, event for event.
+// compares, per storage target, the reproduced authorization-flip sequence
+// against the recorded one, event for event. The check is per target
+// because only a target's own serialized order is recorded — the file-level
+// interleaving across targets is scheduling noise.
 func Verify(tr *trace.Trace) (VerifyResult, error) {
 	if tr.Header.Source != trace.SourceDaemon {
 		return VerifyResult{}, fmt.Errorf("replay: exact verification needs a daemon-side trace (source %q)", tr.Header.Source)
@@ -214,12 +388,34 @@ func Verify(tr *trace.Trace) (VerifyResult, error) {
 	if err != nil {
 		return VerifyResult{}, fmt.Errorf("replay: recording policy: %w", err)
 	}
-	m := newMachine(pol, false, true)
-	if err := m.run(tr.Events); err != nil {
-		return VerifyResult{}, err
+	parts := partition(tr)
+	v := VerifyResult{Match: true}
+	results := make([]Result, 0, len(parts))
+	for _, p := range parts {
+		m := newMachine(pol, p.Target, false, true)
+		if err := m.run(p.Events); err != nil {
+			return VerifyResult{}, err
+		}
+		res := m.finish()
+		match, mismatch := compareFlips(m.recorded, res.Flips)
+		if !match && p.Target != "" {
+			mismatch = fmt.Sprintf("target %s: %s", p.Target, mismatch)
+		}
+		v.Shards = append(v.Shards, ShardVerify{
+			Target:       p.Target,
+			GrantsServed: res.GrantsServed,
+			Flips:        len(res.Flips),
+			Recorded:     len(m.recorded),
+			Match:        match,
+			Mismatch:     mismatch,
+		})
+		if !match && v.Match {
+			v.Match, v.Mismatch = false, mismatch
+		}
+		v.Recorded = append(v.Recorded, m.recorded...)
+		results = append(results, res)
 	}
-	v := VerifyResult{Result: m.finish(), Recorded: m.recorded}
-	v.Match, v.Mismatch = compareFlips(v.Recorded, v.Flips)
+	v.Result = mergeResults(pol.Name(), results)
 	return v, nil
 }
 
@@ -254,10 +450,11 @@ type sess struct {
 	res AppResult
 }
 
-// machine drives core.Arbiter through one replay. It mirrors
-// internal/server's handle/arbitrate logic without the network.
+// machine drives core.Arbiter through one target's replay. It mirrors
+// internal/server's per-shard handle/arbitrate logic without the network.
 type machine struct {
 	arb        *core.Arbiter
+	target     string
 	byID       map[uint32]*sess
 	order      []*sess
 	now        float64
@@ -270,12 +467,13 @@ type machine struct {
 	res      Result
 }
 
-func newMachine(pol core.Policy, synthesize, collect bool) *machine {
+func newMachine(pol core.Policy, target string, synthesize, collect bool) *machine {
 	arb := core.NewArbiter(pol)
 	arb.SetIndexed(true)
 	arb.SetLogBound(0)
 	return &machine{
 		arb:        arb,
+		target:     target,
 		byID:       make(map[uint32]*sess),
 		recheckAt:  math.Inf(1),
 		synthesize: synthesize,
@@ -324,7 +522,7 @@ func (m *machine) step(ev *trace.Event) error {
 		// client-side capture can record such skew; ignore.
 		if ev.Type == trace.EvGrant || ev.Type == trace.EvRevoke {
 			if m.collect {
-				m.recorded = append(m.recorded, Flip{Time: t, SID: ev.SID, Grant: ev.Type == trace.EvGrant})
+				m.recorded = append(m.recorded, Flip{Time: t, SID: ev.SID, Target: m.target, Grant: ev.Type == trace.EvGrant})
 			}
 		}
 		return nil
@@ -428,7 +626,7 @@ func (m *machine) step(ev *trace.Event) error {
 
 	case trace.EvGrant, trace.EvRevoke:
 		if m.collect {
-			m.recorded = append(m.recorded, Flip{Time: t, SID: ev.SID, Grant: ev.Type == trace.EvGrant})
+			m.recorded = append(m.recorded, Flip{Time: t, SID: ev.SID, Target: m.target, Grant: ev.Type == trace.EvGrant})
 		}
 
 	default:
@@ -473,7 +671,7 @@ func (m *machine) arbitrate(t float64) {
 	}
 	for _, a := range out.Granted {
 		s := a.Data.(*sess)
-		m.res.Flips = append(m.res.Flips, Flip{Time: t, SID: s.sid, Grant: true})
+		m.res.Flips = append(m.res.Flips, Flip{Time: t, SID: s.sid, Target: m.target, Grant: true})
 		if s.pending {
 			s.app.Activate() // the served Wait enters the access step
 			d := t - s.waitFrom
@@ -492,7 +690,7 @@ func (m *machine) arbitrate(t float64) {
 	}
 	for _, a := range out.Revoked {
 		s := a.Data.(*sess)
-		m.res.Flips = append(m.res.Flips, Flip{Time: t, SID: s.sid, Grant: false})
+		m.res.Flips = append(m.res.Flips, Flip{Time: t, SID: s.sid, Target: m.target, Grant: false})
 	}
 	if out.RecheckAfter > 0 {
 		m.recheckAt = t + out.RecheckAfter
@@ -521,6 +719,7 @@ func (m *machine) finish() Result {
 		}
 		s.res.SID = s.sid
 		s.res.Name = s.name
+		s.res.Target = m.target
 		s.res.Cores = s.cores
 		m.res.Apps = append(m.res.Apps, s.res)
 
@@ -597,15 +796,19 @@ func Compare(tr *trace.Trace, policies []Named) (Comparison, error) {
 	if err != nil {
 		return Comparison{}, err
 	}
-	// Service time per session, by SID: recorded phase time minus the wait
-	// the baseline attributes to coordination.
-	service := make(map[uint32]float64, len(base.Apps))
+	// Service time per (session, target): recorded phase time minus the
+	// wait the baseline attributes to coordination.
+	type svcKey struct {
+		sid    uint32
+		target string
+	}
+	service := make(map[svcKey]float64, len(base.Apps))
 	for _, a := range base.Apps {
 		s := a.IOTimeS - a.WaitS
 		if s < 0 {
 			s = 0
 		}
-		service[a.SID] = s
+		service[svcKey{a.SID, a.Target}] = s
 	}
 	c := Comparison{Recording: tr.Header.Policy, Baseline: base}
 	for _, np := range policies {
@@ -625,7 +828,7 @@ func Compare(tr *trace.Trace, policies []Named) (Comparison, error) {
 		rep := metrics.Report{Apps: make([]metrics.AppResult, 0, len(res.Apps))}
 		var est float64
 		for _, a := range res.Apps {
-			sv := service[a.SID]
+			sv := service[svcKey{a.SID, a.Target}]
 			scaled := sv
 			if a.ActiveS > 0 {
 				scaled = sv * a.StretchedActiveS / a.ActiveS

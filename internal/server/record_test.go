@@ -71,15 +71,15 @@ func TestRecordedTraceVerifiesExactly(t *testing.T) {
 	if len(v.Recorded) == 0 {
 		t.Fatal("no flips recorded")
 	}
-	if v.GrantsServed != srv.grantsServed {
-		t.Fatalf("replayed grants = %d, live = %d", v.GrantsServed, srv.grantsServed)
-	}
-	if v.Arbitrations != srv.arbitrations {
-		t.Fatalf("replayed arbitrations = %d, live = %d", v.Arbitrations, srv.arbitrations)
-	}
 	// The per-app wait decomposition must agree with the live snapshot too:
 	// same classification logic, same instants.
 	st := srv.snapshot(srv.clock())
+	if v.GrantsServed != st.GrantsServed {
+		t.Fatalf("replayed grants = %d, live = %d", v.GrantsServed, st.GrantsServed)
+	}
+	if v.Arbitrations != st.Arbitrations {
+		t.Fatalf("replayed arbitrations = %d, live = %d", v.Arbitrations, st.Arbitrations)
+	}
 	if len(st.Apps) != len(v.Apps) {
 		t.Fatalf("apps: live %d, replay %d", len(st.Apps), len(v.Apps))
 	}
@@ -260,19 +260,20 @@ func TestConvoyProtocolBreakdown(t *testing.T) {
 		srv.handle(a, wire.Request{Seq: 4, Type: wire.TypeRelease})
 		srv.handle(a, wire.Request{Seq: 5, Type: wire.TypeEnd}) // grants B
 
-		if a.waitsImmediate != 1 || a.waitsDeferred != 0 {
-			t.Fatalf("A immediate/deferred = %d/%d, want 1/0", a.waitsImmediate, a.waitsDeferred)
+		ba, bb := testBinding(srv, a), testBinding(srv, b)
+		if ba.waitsImmediate != 1 || ba.waitsDeferred != 0 {
+			t.Fatalf("A immediate/deferred = %d/%d, want 1/0", ba.waitsImmediate, ba.waitsDeferred)
 		}
-		if b.waitsDeferred != 1 || b.convoyWait <= 0 || b.protoWait != 0 {
+		if bb.waitsDeferred != 1 || bb.convoyWait <= 0 || bb.protoWait != 0 {
 			t.Fatalf("B deferred=%d convoy=%g proto=%g, want deferred behind A in the convoy bucket",
-				b.waitsDeferred, b.convoyWait, b.protoWait)
+				bb.waitsDeferred, bb.convoyWait, bb.protoWait)
 		}
 		st := srv.snapshot(srv.clock())
 		// A: 1 immediate; B: 1 deferred. Aggregates mirror that.
 		if st.WaitsImmediate != 1 || st.WaitsDeferred != 1 {
 			t.Fatalf("aggregate immediate/deferred = %d/%d, want 1/1", st.WaitsImmediate, st.WaitsDeferred)
 		}
-		if st.ConvoyWaitS != b.convoyWait || st.ProtocolWaitS != 0 {
+		if st.ConvoyWaitS != bb.convoyWait || st.ProtocolWaitS != 0 {
 			t.Fatalf("aggregate convoy/proto = %g/%g", st.ConvoyWaitS, st.ProtocolWaitS)
 		}
 		// The aggregates are cumulative like GrantsServed: a departed
@@ -295,8 +296,9 @@ func TestConvoyProtocolBreakdown(t *testing.T) {
 		srv.handle(a, wire.Request{Seq: 2, Type: wire.TypeInform}) // arbitration 1: denied
 		srv.handle(a, wire.Request{Seq: 3, Type: wire.TypeWait})   // deferred, nobody authorized
 		srv.handle(a, wire.Request{Seq: 4, Type: wire.TypeInform}) // arbitration 2: granted
-		if a.waitsDeferred != 1 || a.protoWait <= 0 || a.convoyWait != 0 {
-			t.Fatalf("deferred=%d proto=%g convoy=%g, want the protocol bucket", a.waitsDeferred, a.protoWait, a.convoyWait)
+		ba := testBinding(srv, a)
+		if ba.waitsDeferred != 1 || ba.protoWait <= 0 || ba.convoyWait != 0 {
+			t.Fatalf("deferred=%d proto=%g convoy=%g, want the protocol bucket", ba.waitsDeferred, ba.protoWait, ba.convoyWait)
 		}
 	})
 }

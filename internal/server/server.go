@@ -2,18 +2,22 @@
 // the paper's arbitration layer run as a network service instead of inside
 // the discrete-event simulator.
 //
-// Architecture: one goroutine per connection reads wire.Request frames and
-// funnels them into a single arbitration goroutine; one goroutine per
-// connection writes responses and pushed grants/revocations back out. All
-// coordination state — the core.Arbiter shared with the simulator Layer,
-// per-session accounting, pending Waits, the decision log — is owned by the
-// arbitration goroutine alone, so there is no lock on the hot path and the
-// daemon's decisions are fully deterministic given a serialized request
-// order (with a deterministic Clock; the default clock is monotonic wall
-// time).
+// Architecture: coordination is sharded by storage target. One goroutine per
+// connection reads wire.Request frames and routes each to the arbitration
+// goroutine of the target it addresses (register and stats go to a control
+// goroutine that owns session lifecycle); one goroutine per connection
+// writes responses and pushed grants/revocations back out. Each target's
+// coordination state — its core.Arbiter from the shared core.ArbiterSet,
+// per-session bindings, pending Waits, the decision log — is owned by that
+// target's arbitration goroutine alone, so there is still no lock on the hot
+// path, per-target decisions are fully deterministic given that target's
+// serialized request order, and a grant on one target never waits for — or
+// convoys behind — arbitration on another. A daemon whose clients never name
+// a target runs exactly one shard (the default target ""), which is the
+// original single-goroutine behavior.
 //
 // The arbitration hot path is allocation-conscious like the simulator's
-// contention path: the Arbiter reuses its view/decision scratch, policies
+// contention path: each Arbiter reuses its view/decision scratch, policies
 // implementing core.IndexedArbitrator (fcfs, interrupt, interfere, delay)
 // run map-free, and responses are written through per-connection buffered
 // writers with batched flushes.
@@ -40,41 +44,57 @@ import (
 type Config struct {
 	// ListenAddr is the TCP address for ListenAndServe ("host:port").
 	ListenAddr string
-	// Policy arbitrates file-system access; required.
+	// Policy arbitrates storage-target access; required. The shipped
+	// policies are stateless values, so one policy instance serves every
+	// target's arbiter.
 	Policy core.Policy
 	// Model, when set, lets stats estimate per-app solo times and live
 	// interference factors (and is required by delay/dynamic policies,
 	// which are constructed with it).
 	Model *core.PerfModel
+	// MaxTargets bounds how many distinct storage targets (shards, each a
+	// goroutine plus an arbiter) the daemon will create; requests naming a
+	// target beyond the bound are rejected, so a client cannot grow the
+	// shard set without limit. 0 means the default (DefaultMaxTargets);
+	// negative removes the bound.
+	MaxTargets int
 	// SessionTimeout evicts sessions idle longer than this; 0 disables.
 	SessionTimeout time.Duration
 	// Clock returns the coordination time in seconds. Nil means monotonic
 	// wall time since the server started. Tests inject a logical clock to
-	// make entire runs deterministic.
+	// make entire runs deterministic. The clock must be safe for concurrent
+	// use: every target's arbitration goroutine reads it.
 	Clock func() float64
-	// LogBound bounds the decision log kept for stats: 0 means the default
-	// (256), negative disables logging entirely (benchmarks).
+	// LogBound bounds each target's decision log kept for stats: 0 means
+	// the default (256), negative disables logging entirely (benchmarks).
 	LogBound int
 	// Logf, when set, receives one line per lifecycle event (connects,
 	// evictions, shutdown). The arbitration hot path never logs.
 	Logf func(format string, args ...any)
 	// Trace, when set, records every state-mutating coordination event (and
 	// the authorization flips arbitration produced) for offline replay with
-	// internal/replay. Recording rides the arbitration goroutine but adds
-	// neither blocking nor allocation to it: events travel by value into the
+	// internal/replay. Every event carries the storage target whose shard
+	// recorded it, so replay can partition the file back into per-target
+	// streams. Recording rides the arbitration goroutines but adds neither
+	// blocking nor allocation to them: events travel by value into the
 	// writer's buffered channel, and overflow is drop-counted, never waited
-	// on. The caller owns the writer and must Close it only after the server
-	// has shut down.
+	// on. The caller owns the writer and must Close it only after the
+	// server has shut down.
 	Trace *trace.Writer
 }
 
-// envelope kinds flowing into the arbitration goroutine.
+// envelope kinds. kindConnect/kindDisconnect/kindStats and control-plane
+// kindRequest (register, stats) flow into the control goroutine;
+// kindRequest for coordination verbs, kindRecheck, kindDetach and
+// kindSnapshot flow into a shard's arbitration goroutine.
 const (
 	kindRequest = iota
 	kindConnect
 	kindDisconnect
 	kindRecheck
 	kindStats
+	kindDetach
+	kindSnapshot
 )
 
 type envelope struct {
@@ -82,40 +102,58 @@ type envelope struct {
 	s       *session
 	req     wire.Request
 	statsCh chan wire.Stats
+	snapCh  chan shardSnap
+	now     float64
 }
 
-// session is one client connection. The conn/out/dead fields are shared
-// with the reader and writer goroutines; everything else is owned by the
-// arbitration goroutine.
+// ident is a session's registration identity, written once by the control
+// goroutine at register and read by shard goroutines through an atomic
+// pointer.
+type ident struct {
+	name      string
+	cores     int
+	sid       uint32 // trace session identity
+	defTarget string // target requests with an empty Target route to
+}
+
+// session is one client connection. The shared fields are written by the
+// control goroutine and read by reader/writer/shard goroutines; per-target
+// coordination state lives in bindings owned by shard goroutines.
 type session struct {
 	conn net.Conn
 	out  chan wire.Response
+	quit chan struct{} // closed at teardown; the write loop drains and exits
 	dead atomic.Bool
 
-	app        *core.AppState
-	sid        uint32 // trace session identity, assigned at register
-	gone       bool   // unregistered/evicted; later envelopes are ignored
-	waitSeq    uint64 // Seq of the deferred Wait response; 0 = none pending
-	waitFrom   float64
-	waitConvoy bool // deferred behind another authorized app (vs protocol)
-	lastSeen   float64
-
-	// LASSi-style live accounting, mirroring the simulator Coordinator.
-	phaseStart float64
-	phases     int
-	grants     uint64
-	ioTime     float64
-	waitTime   float64
-
-	// Wait decomposition (see wire.AppStats): immediate vs deferred counts,
-	// and deferred time split by what the wait was for.
-	waitsImmediate uint64
-	waitsDeferred  uint64
-	convoyWait     float64
-	protoWait      float64
+	id           atomic.Pointer[ident]
+	gone         atomic.Bool   // dropped; shards ignore later envelopes
+	lastSeen     atomic.Uint64 // float64 bits of the last request time
+	pendingWaits atomic.Int32  // deferred Waits across all targets
+	// viaControl counts this session's coordination frames still in
+	// flight through the control goroutine (frames read before the
+	// session had an identity). While it is nonzero the reader keeps
+	// routing through the control goroutine, so per-session order is one
+	// FIFO path — a later frame can never overtake an earlier one into a
+	// shard. The reader increments before sending; the control goroutine
+	// decrements after forwarding (or answering).
+	viaControl atomic.Int32
 }
 
-// send enqueues a response without ever blocking the arbitration loop: a
+// touch stamps the session's idle-eviction clock.
+func (s *session) touch(now float64) { s.lastSeen.Store(math.Float64bits(now)) }
+
+func (s *session) seen() float64 { return math.Float64frombits(s.lastSeen.Load()) }
+
+// teardown ends the session's write loop (which closes the connection).
+// Callers serialize through the drop/shutdown paths, so quit closes once.
+func (s *session) teardown() {
+	s.dead.Store(true)
+	if s.quit != nil {
+		close(s.quit)
+	}
+}
+
+// send enqueues a response without ever blocking an arbitration goroutine: a
 // client too slow to drain its buffer is disconnected rather than allowed
 // to stall arbitration for everyone else.
 func (s *session) send(r wire.Response) {
@@ -130,15 +168,95 @@ func (s *session) send(r wire.Response) {
 	}
 }
 
+// binding is one session's coordination state on one storage target, owned
+// exclusively by that target's arbitration goroutine. It carries what the
+// unsharded daemon kept per session: protocol state, the pending Wait, and
+// the LASSi-style live accounting.
+type binding struct {
+	s   *session
+	app *core.AppState
+	sid uint32
+
+	waitSeq    uint64 // Seq of the deferred Wait response; 0 = none pending
+	waitFrom   float64
+	waitConvoy bool // deferred behind another authorized app (vs protocol)
+
+	phaseStart float64
+	phases     int
+	grants     uint64
+	ioTime     float64
+	waitTime   float64
+
+	// Wait decomposition (see wire.AppStats): immediate vs deferred counts,
+	// and deferred time split by what the wait was for.
+	waitsImmediate uint64
+	waitsDeferred  uint64
+	convoyWait     float64
+	protoWait      float64
+}
+
+// shard is one storage target's coordination domain: an arbiter from the
+// server's ArbiterSet plus everything the arbitration goroutine owns for
+// that target. In serving mode each shard has its own goroutine (run); in
+// inline mode (tests, benchmarks driving handle directly) the caller's
+// goroutine plays that role.
+type shard struct {
+	srv    *Server
+	target string
+	arb    *core.Arbiter
+	ch     chan envelope
+	done   chan struct{}
+
+	// Owned by the shard's arbitration goroutine.
+	bindings     map[*session]*binding
+	recheck      *time.Timer
+	arbitrations uint64
+	grantsServed uint64
+
+	// Wait-decomposition counters of departed bindings, folded in by
+	// detach, so the aggregates are cumulative like grantsServed (and like
+	// offline replay's totals) rather than shrinking as sessions leave.
+	goneWaitsImmediate uint64
+	goneWaitsDeferred  uint64
+	goneConvoyWait     float64
+	goneProtoWait      float64
+}
+
+// shardSnap is one shard's slice of a stats snapshot, assembled inside the
+// shard's goroutine and merged by the control goroutine.
+type shardSnap struct {
+	target       string
+	bindings     int
+	arbitrations uint64
+	grantsServed uint64
+
+	waitsImmediate uint64
+	waitsDeferred  uint64
+	convoyWait     float64
+	protoWait      float64
+
+	lastDecision string
+	lastTime     float64
+	hasDecision  bool
+
+	apps []wire.AppStats
+	rep  []metrics.AppResult
+}
+
 // Server is the coordination daemon. Create with New, run with Serve or
 // ListenAndServe, stop with Close.
 type Server struct {
 	cfg   Config
 	clock func() float64
-	arb   *core.Arbiter
+	set   *core.ArbiterSet
 
 	reqCh chan envelope
 	stop  chan struct{}
+
+	shmu       sync.RWMutex
+	shards     map[string]*shard
+	shardList  []*shard // sorted by target
+	shardsLive bool     // serving: new shards start their own goroutine
 
 	mu        sync.Mutex
 	ln        net.Listener
@@ -150,21 +268,10 @@ type Server struct {
 	wg        sync.WaitGroup
 	final     wire.Stats // last snapshot, served after the loop exits
 
-	// Owned by the arbitration goroutine.
-	sessions     map[*session]struct{}
-	recheck      *time.Timer
-	arbitrations uint64
-	grantsServed uint64
-	sidSeq       uint32 // last trace session identity handed out
-
-	// Wait-decomposition counters of departed sessions, folded in by drop,
-	// so the machine-wide Stats aggregates are cumulative like GrantsServed
-	// (and like offline replay's totals) rather than shrinking as sessions
-	// disconnect.
-	goneWaitsImmediate uint64
-	goneWaitsDeferred  uint64
-	goneConvoyWait     float64
-	goneProtoWait      float64
+	// Owned by the control goroutine (or the caller in inline mode).
+	sessions map[*session]struct{}
+	names    map[string]*session // registered application names
+	sidSeq   uint32              // last trace session identity handed out
 }
 
 // New validates the configuration and builds a server (not yet listening).
@@ -177,26 +284,28 @@ func New(cfg Config) (*Server, error) {
 		start := time.Now()
 		clock = func() float64 { return time.Since(start).Seconds() }
 	}
-	arb := core.NewArbiter(cfg.Policy)
-	arb.SetIndexed(true)
+	set := core.NewArbiterSet(cfg.Policy)
+	set.SetIndexed(true)
 	switch {
 	case cfg.LogBound < 0:
-		arb.SetLogBound(0)
+		set.SetLogBound(0)
 	case cfg.LogBound == 0:
-		arb.SetLogBound(256)
+		set.SetLogBound(256)
 	default:
-		arb.SetLogBound(cfg.LogBound)
+		set.SetLogBound(cfg.LogBound)
 	}
 	return &Server{
 		cfg:       cfg,
 		clock:     clock,
-		arb:       arb,
+		set:       set,
 		reqCh:     make(chan envelope, 256),
 		stop:      make(chan struct{}),
 		serveDone: make(chan struct{}),
 		loopDone:  make(chan struct{}),
 		closeDone: make(chan struct{}),
+		shards:    make(map[string]*shard),
 		sessions:  make(map[*session]struct{}),
+		names:     make(map[string]*session),
 	}, nil
 }
 
@@ -214,6 +323,74 @@ func (srv *Server) Addr() net.Addr {
 		return nil
 	}
 	return srv.ln.Addr()
+}
+
+// DefaultMaxTargets is the default bound on distinct storage targets.
+const DefaultMaxTargets = 256
+
+// errTooManyTargets rejects requests that would grow the shard set past
+// the configured bound.
+var errTooManyTargets = errors.New("too many storage targets")
+
+// shardFor returns the target's shard, creating it (and, when serving, its
+// arbitration goroutine) on first use — unless that would exceed the
+// target bound. Safe for concurrent use by the connection reader
+// goroutines.
+func (srv *Server) shardFor(target string) (*shard, error) {
+	srv.shmu.RLock()
+	sh := srv.shards[target]
+	srv.shmu.RUnlock()
+	if sh != nil {
+		return sh, nil
+	}
+	srv.shmu.Lock()
+	defer srv.shmu.Unlock()
+	if sh = srv.shards[target]; sh != nil {
+		return sh, nil
+	}
+	max := srv.cfg.MaxTargets
+	if max == 0 {
+		max = DefaultMaxTargets
+	}
+	if max > 0 && len(srv.shards) >= max {
+		return nil, errTooManyTargets
+	}
+	sh = &shard{
+		srv:      srv,
+		target:   target,
+		arb:      srv.set.Get(target),
+		ch:       make(chan envelope, 256),
+		done:     make(chan struct{}),
+		bindings: make(map[*session]*binding),
+	}
+	srv.shards[target] = sh
+	i := sort.Search(len(srv.shardList), func(i int) bool { return srv.shardList[i].target >= target })
+	srv.shardList = append(srv.shardList, nil)
+	copy(srv.shardList[i+1:], srv.shardList[i:])
+	srv.shardList[i] = sh
+	if srv.shardsLive {
+		go sh.run()
+	}
+	return sh, nil
+}
+
+// shardsSorted snapshots the shard list in target order.
+func (srv *Server) shardsSorted() []*shard {
+	srv.shmu.RLock()
+	defer srv.shmu.RUnlock()
+	return append([]*shard(nil), srv.shardList...)
+}
+
+// routeTarget resolves a request's coordination domain: an explicit Target
+// wins, otherwise the session's default target from registration.
+func (srv *Server) routeTarget(s *session, target string) string {
+	if target != "" {
+		return target
+	}
+	if id := s.id.Load(); id != nil {
+		return id.defTarget
+	}
+	return ""
 }
 
 // ListenAndServe listens on cfg.ListenAddr and serves until Close.
@@ -242,6 +419,12 @@ func (srv *Server) Serve(ln net.Listener) error {
 	srv.serving = true
 	srv.ln = ln
 	srv.mu.Unlock()
+	srv.shmu.Lock()
+	srv.shardsLive = true
+	for _, sh := range srv.shardList {
+		go sh.run()
+	}
+	srv.shmu.Unlock()
 	// Closed when the accept loop has returned: after that, no new
 	// startSession can run, which Close relies on for a complete teardown.
 	defer close(srv.serveDone)
@@ -262,13 +445,13 @@ func (srv *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops the daemon: the listener, every session and the arbitration
-// loop are torn down, and Close returns once all goroutines have exited.
-// Concurrent and repeated Close calls are safe, and every one of them
-// blocks until the teardown is complete — a caller that saw Serve return
-// (the accept loop exits before the arbitration loop) can Close and then
-// safely release resources the arbitration goroutine was using, such as a
-// trace writer.
+// Close stops the daemon: the listener, every session, every shard and the
+// control loop are torn down, and Close returns once all goroutines have
+// exited. Concurrent and repeated Close calls are safe, and every one of
+// them blocks until the teardown is complete — a caller that saw Serve
+// return (the accept loop exits before the arbitration goroutines) can
+// Close and then safely release resources the arbitration goroutines were
+// using, such as a trace writer.
 func (srv *Server) Close() error {
 	srv.mu.Lock()
 	if srv.closed {
@@ -285,7 +468,7 @@ func (srv *Server) Close() error {
 	}
 	if serving {
 		// Wait for the accept loop first: once it has returned, no further
-		// startSession can enqueue a connection the arbitration loop would
+		// startSession can enqueue a connection the control loop would
 		// never see.
 		<-srv.serveDone
 	}
@@ -294,16 +477,15 @@ func (srv *Server) Close() error {
 		<-srv.loopDone
 		// Sessions whose kindConnect envelope was still queued when the
 		// loop exited were never adopted by it; tear them down here or
-		// their writer goroutines would block forever on an open out
-		// channel (and Close would never return). Leftover envelopes of
-		// other kinds reference sessions the loop already closed.
+		// their writer goroutines would block forever (and Close would
+		// never return). Leftover envelopes of other kinds reference
+		// sessions the loop already closed.
 		for {
 			select {
 			case env := <-srv.reqCh:
 				if env.kind == kindConnect {
-					env.s.dead.Store(true)
-					close(env.s.out)
-					env.s.conn.Close()
+					env.s.gone.Store(true)
+					env.s.teardown()
 				}
 				continue
 			default:
@@ -315,25 +497,31 @@ func (srv *Server) Close() error {
 	return nil
 }
 
-// GrantsServed returns the total number of Wait authorizations served.
-// Exact once the server is closed; a snapshot while running.
+// GrantsServed returns the total number of Wait authorizations served
+// across every target. Exact once the server is closed; a snapshot while
+// running.
 func (srv *Server) GrantsServed() uint64 {
 	return srv.Stats().GrantsServed
 }
 
-// Stats returns a live metrics snapshot, consistent because it is computed
-// inside the arbitration goroutine. After Close it returns the final
-// snapshot taken at shutdown; on a server that never served it returns a
-// zero snapshot instead of blocking.
+// Stats returns a live metrics snapshot, consistent because each target's
+// slice is computed inside that target's arbitration goroutine and merged
+// by the control goroutine. After Close it returns the final snapshot taken
+// at shutdown; on a server that never served it snapshots inline (nothing
+// else owns the state).
 func (srv *Server) Stats() wire.Stats {
 	srv.mu.Lock()
-	serving := srv.serving
-	srv.mu.Unlock()
-	if !serving {
-		srv.mu.Lock()
+	if !srv.serving {
 		defer srv.mu.Unlock()
-		return srv.final
+		if srv.closed {
+			return srv.final
+		}
+		// Inline mode: no goroutines own coordination state, and holding
+		// mu keeps a concurrent Serve from flipping to serving mode (and
+		// starting shard goroutines) mid-snapshot.
+		return srv.snapshot(srv.clock())
 	}
+	srv.mu.Unlock()
 	ch := make(chan wire.Stats, 1)
 	select {
 	case srv.reqCh <- envelope{kind: kindStats, statsCh: ch}:
@@ -350,7 +538,7 @@ func (srv *Server) Stats() wire.Stats {
 }
 
 func (srv *Server) startSession(conn net.Conn) {
-	s := &session{conn: conn, out: make(chan wire.Response, 256)}
+	s := &session{conn: conn, out: make(chan wire.Response, 256), quit: make(chan struct{})}
 	select {
 	case srv.reqCh <- envelope{kind: kindConnect, s: s}:
 	case <-srv.stop:
@@ -362,6 +550,13 @@ func (srv *Server) startSession(conn net.Conn) {
 	go srv.writeLoop(s)
 }
 
+// readLoop routes each request to the goroutine owning its state: register
+// and stats to the control loop, coordination verbs to the shard of the
+// target they address. A coordination frame read before the session has an
+// identity — a client pipelining ahead of its register response — also
+// goes to the control loop, which processes it strictly after the register
+// it was queued behind and forwards it to the right shard, so the frame is
+// never misrouted to the wrong coordination domain.
 func (srv *Server) readLoop(s *session) {
 	defer srv.wg.Done()
 	dec := wire.NewReader(bufio.NewReader(s.conn))
@@ -373,8 +568,20 @@ func (srv *Server) readLoop(s *session) {
 		if req.Seq == 0 {
 			break // reserved for pushes; a zero Seq is a client bug
 		}
+		ch := srv.reqCh
+		coordination := req.Type != wire.TypeRegister && req.Type != wire.TypeStats
+		if coordination && s.id.Load() != nil && s.viaControl.Load() == 0 {
+			sh, err := srv.shardFor(srv.routeTarget(s, req.Target))
+			if err != nil {
+				s.reply(req.Seq, false, err, req.Target)
+				continue
+			}
+			ch = sh.ch
+		} else if coordination {
+			s.viaControl.Add(1)
+		}
 		select {
-		case srv.reqCh <- envelope{kind: kindRequest, s: s, req: req}:
+		case ch <- envelope{kind: kindRequest, s: s, req: req}:
 		case <-srv.stop:
 			return
 		}
@@ -389,7 +596,7 @@ func (srv *Server) writeLoop(s *session) {
 	defer srv.wg.Done()
 	defer s.conn.Close()
 	bw := bufio.NewWriter(s.conn)
-	for resp := range s.out {
+	write := func(resp wire.Response) {
 		if err := wire.Write(bw, resp); err != nil {
 			s.dead.Store(true)
 		}
@@ -400,10 +607,28 @@ func (srv *Server) writeLoop(s *session) {
 			}
 		}
 	}
+	for {
+		select {
+		case resp := <-s.out:
+			write(resp)
+		case <-s.quit:
+			// Drain what the arbitration goroutines queued before teardown.
+			for {
+				select {
+				case resp := <-s.out:
+					write(resp)
+					continue
+				default:
+				}
+				return
+			}
+		}
+	}
 }
 
-// loop is the arbitration goroutine: the only place coordination state is
-// read or written.
+// loop is the control goroutine: session lifecycle (connect, register,
+// disconnect, eviction), stats merging and shutdown. Coordination state
+// lives with the shard goroutines.
 func (srv *Server) loop() {
 	defer close(srv.loopDone)
 	var evict <-chan time.Time
@@ -429,55 +654,116 @@ func (srv *Server) dispatch(env envelope) {
 	switch env.kind {
 	case kindConnect:
 		srv.sessions[env.s] = struct{}{}
-		env.s.lastSeen = srv.clock()
+		env.s.touch(srv.clock())
 	case kindDisconnect:
 		srv.drop(env.s, "disconnect")
-	case kindRecheck:
-		now := srv.clock()
-		srv.rec(trace.Event{Type: trace.EvRecheck, Time: now})
-		srv.arbitrate(now)
 	case kindStats:
-		env.statsCh <- srv.snapshot(srv.clock())
+		env.statsCh <- srv.snapshotLive()
 	case kindRequest:
-		if env.s.gone {
+		if env.s.gone.Load() {
 			return
 		}
-		env.s.lastSeen = srv.clock()
-		srv.handle(env.s, env.req)
+		now := srv.clock()
+		env.s.touch(now)
+		switch env.req.Type {
+		case wire.TypeRegister:
+			srv.register(env.s, env.req, now)
+		case wire.TypeStats:
+			st := srv.snapshotLive()
+			env.s.send(wire.Response{Seq: env.req.Seq, Type: wire.TypeResp, OK: true, Stats: &st})
+		default:
+			// A coordination frame the reader routed through this queue
+			// because the session had no identity yet (or had earlier such
+			// frames still in flight — see session.viaControl). If a
+			// pipelined register ahead of it in this queue has landed by
+			// now, forward to the proper shard; otherwise the client
+			// really isn't registered. The decrement comes after the
+			// forward has been enqueued, so the reader resumes direct
+			// routing only once this frame is in the shard's FIFO.
+			if env.s.id.Load() == nil {
+				env.s.reply(env.req.Seq, false, errors.New("not registered"), env.req.Target)
+				env.s.viaControl.Add(-1)
+				return
+			}
+			sh, err := srv.shardFor(srv.routeTarget(env.s, env.req.Target))
+			if err != nil {
+				env.s.reply(env.req.Seq, false, err, env.req.Target)
+				env.s.viaControl.Add(-1)
+				return
+			}
+			select {
+			case sh.ch <- env:
+			case <-srv.stop:
+			}
+			env.s.viaControl.Add(-1)
+		}
 	}
 }
 
-// drop unregisters a session's application and tears the connection down.
-// If the application was mid-phase, the remaining applications are
-// re-arbitrated — a vanished holder must not wedge the queue.
-func (srv *Server) drop(s *session, why string) {
-	if s.gone {
+// register assigns the session its identity: name (globally unique across
+// live sessions), cores, trace sid and default target. No arbiter learns
+// about the application yet — each target's shard attaches it lazily on the
+// session's first coordination request there, so registration order within
+// a shard is its attach order (which is also what the trace records).
+func (srv *Server) register(s *session, req wire.Request, now float64) {
+	if id := s.id.Load(); id != nil {
+		s.reply(req.Seq, false, fmt.Errorf("already registered as %s", id.name), req.Target)
 		return
 	}
-	s.gone = true
+	if req.App == "" {
+		s.reply(req.Seq, false, errors.New("server: empty application name"), req.Target)
+		return
+	}
+	if _, dup := srv.names[req.App]; dup {
+		s.reply(req.Seq, false, fmt.Errorf("server: duplicate application %q", req.App), req.Target)
+		return
+	}
+	srv.sidSeq++
+	id := &ident{name: req.App, cores: req.Cores, sid: srv.sidSeq, defTarget: req.Target}
+	srv.names[req.App] = s
+	s.id.Store(id)
+	s.reply(req.Seq, true, nil, req.Target)
+}
+
+// reply answers a control-plane request (no binding, so never authorized).
+func (s *session) reply(seq uint64, ok bool, err error, target string) {
+	r := wire.Response{Seq: seq, Type: wire.TypeResp, OK: ok, Target: target}
+	if err != nil {
+		r.Err = err.Error()
+	}
+	s.send(r)
+}
+
+// drop removes a session: its name is freed, every shard is told to detach
+// its binding (unregistering the app and re-arbitrating survivors), and the
+// write loop is released. Safe to call once per session; later calls are
+// no-ops.
+func (srv *Server) drop(s *session, why string) {
+	if !s.gone.CompareAndSwap(false, true) {
+		return
+	}
 	delete(srv.sessions, s)
-	srv.goneWaitsImmediate += s.waitsImmediate
-	srv.goneWaitsDeferred += s.waitsDeferred
-	srv.goneConvoyWait += s.convoyWait
-	srv.goneProtoWait += s.protoWait
-	wasBusy := false
-	if s.app != nil {
-		wasBusy = s.app.State() != core.Idle
-		srv.logf("calciomd: %s: %s", s.app.Name(), why)
-		srv.arb.Unregister(s.app)
-		s.app = nil
-		srv.rec(trace.Event{Type: trace.EvUnregister, Time: srv.clock(), SID: s.sid})
+	if id := s.id.Load(); id != nil {
+		delete(srv.names, id.name)
+		srv.logf("calciomd: %s: %s", id.name, why)
 	}
-	s.dead.Store(true)
-	close(s.out)
-	if wasBusy {
-		// A vanished mid-phase holder re-arbitrates the survivors; the trace
-		// records this as an explicit recheck so replay re-arbitrates at the
-		// same instant.
-		now := srv.clock()
-		srv.rec(trace.Event{Type: trace.EvRecheck, Time: now})
-		srv.arbitrate(now)
+	live := func() bool {
+		srv.shmu.RLock()
+		defer srv.shmu.RUnlock()
+		return srv.shardsLive
+	}()
+	for _, sh := range srv.shardsSorted() {
+		if !live {
+			sh.detach(s)
+			continue
+		}
+		select {
+		case sh.ch <- envelope{kind: kindDetach, s: s}:
+		case <-srv.stop:
+			// Shutdown owns the rest of the teardown.
+		}
 	}
+	s.teardown()
 }
 
 func (srv *Server) evictIdle() {
@@ -485,18 +771,19 @@ func (srv *Server) evictIdle() {
 	limit := srv.cfg.SessionTimeout.Seconds()
 	var stale []*session
 	for s := range srv.sessions {
-		if s.waitSeq == 0 && now-s.lastSeen > limit {
+		// A session blocked in Wait on any target is not idle.
+		if s.pendingWaits.Load() == 0 && now-s.seen() > limit {
 			stale = append(stale, s)
 		}
 	}
 	// Map iteration order is random; evict deterministically by name.
 	sort.Slice(stale, func(i, j int) bool {
 		ni, nj := "", ""
-		if stale[i].app != nil {
-			ni = stale[i].app.Name()
+		if id := stale[i].id.Load(); id != nil {
+			ni = id.name
 		}
-		if stale[j].app != nil {
-			nj = stale[j].app.Name()
+		if id := stale[j].id.Load(); id != nil {
+			nj = id.name
 		}
 		return ni < nj
 	})
@@ -505,228 +792,329 @@ func (srv *Server) evictIdle() {
 	}
 }
 
+// shutdown runs on the control goroutine once stop is closed: it waits for
+// every shard goroutine to exit (after which this goroutine owns all
+// coordination state again), takes the final snapshot inline, and tears
+// down the remaining sessions. Shards created after stop closed never
+// dispatch anything (run checks stop first), so waiting on the current list
+// is complete.
 func (srv *Server) shutdown() {
+	for _, sh := range srv.shardsSorted() {
+		<-sh.done
+	}
 	now := srv.clock()
 	st := srv.snapshot(now)
 	srv.mu.Lock()
 	srv.final = st
 	srv.mu.Unlock()
-	if srv.recheck != nil {
-		srv.recheck.Stop()
-		srv.recheck = nil
+	for _, sh := range srv.shardsSorted() {
+		if sh.recheck != nil {
+			sh.recheck.Stop()
+			sh.recheck = nil
+		}
 	}
 	for s := range srv.sessions {
-		s.gone = true
-		s.dead.Store(true)
-		close(s.out)
+		s.gone.Store(true)
+		s.teardown()
 	}
 	srv.sessions = nil
 	srv.logf("calciomd: shutdown after %.3fs, %d grants served", now, st.GrantsServed)
 }
 
+// run is a shard's arbitration goroutine. The priority check on stop
+// guarantees a shard created during shutdown never dispatches (and so never
+// records a trace event after the control loop has exited).
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		select {
+		case <-sh.srv.stop:
+			return
+		default:
+		}
+		select {
+		case env := <-sh.ch:
+			sh.dispatch(env)
+		case <-sh.srv.stop:
+			return
+		}
+	}
+}
+
+func (sh *shard) dispatch(env envelope) {
+	switch env.kind {
+	case kindRequest:
+		if env.s.gone.Load() {
+			return
+		}
+		now := sh.srv.clock()
+		env.s.touch(now)
+		sh.handle(env.s, env.req, now)
+	case kindRecheck:
+		now := sh.srv.clock()
+		sh.rec(trace.Event{Type: trace.EvRecheck, Time: now})
+		sh.arbitrate(now)
+	case kindDetach:
+		sh.detach(env.s)
+	case kindSnapshot:
+		env.snapCh <- sh.snap(env.now)
+	}
+}
+
+// handle processes one request. It must stay panic-free for any request a
+// client can send: protocol violations become error responses. Called from
+// the shard's goroutine in serving mode, or from the caller's goroutine in
+// inline mode (tests and benchmarks may drive disjoint shards concurrently
+// — all state touched here is shard-local).
+func (sh *shard) handle(s *session, req wire.Request, now float64) {
+	b := sh.bindings[s]
+	if b == nil {
+		id := s.id.Load()
+		if id == nil {
+			sh.reply(nil, s, req.Seq, false, errors.New("not registered"))
+			return
+		}
+		switch req.Type {
+		case wire.TypePrepare, wire.TypeComplete, wire.TypeInform, wire.TypeProgress,
+			wire.TypeCheck, wire.TypeWait, wire.TypeRelease, wire.TypeEnd:
+			var err error
+			if b, err = sh.attach(s, id, now); err != nil {
+				sh.reply(nil, s, req.Seq, false, err)
+				return
+			}
+		default:
+			sh.reply(nil, s, req.Seq, false, fmt.Errorf("unknown request type %q", req.Type))
+			return
+		}
+	}
+
+	switch req.Type {
+	case wire.TypePrepare:
+		// The request's Info map is decode-fresh and never written after
+		// this point, so recording it by reference is safe.
+		sh.rec(trace.Event{Type: trace.EvPrepare, Time: now, SID: b.sid, Info: req.Info})
+		b.app.Prepare(core.Info(req.Info))
+		sh.reply(b, s, req.Seq, true, nil)
+
+	case wire.TypeComplete:
+		err := b.app.Complete()
+		if err == nil {
+			sh.rec(trace.Event{Type: trace.EvComplete, Time: now, SID: b.sid})
+		}
+		sh.reply(b, s, req.Seq, err == nil, err)
+
+	case wire.TypeInform:
+		sh.rec(trace.Event{Type: trace.EvInform, Time: now, SID: b.sid, Bytes: req.BytesDone})
+		if req.BytesDone > 0 {
+			b.app.Progress(req.BytesDone)
+		}
+		if b.app.Inform(now) {
+			b.phaseStart = now
+			b.phases++
+		}
+		sh.arbitrate(now)
+		sh.reply(b, s, req.Seq, true, nil)
+
+	case wire.TypeProgress:
+		// State-free, like the simulator's Coordinator.Progress: records
+		// progress without opening a phase or triggering arbitration (the
+		// value rides into the next inform/release arbitration).
+		sh.rec(trace.Event{Type: trace.EvProgress, Time: now, SID: b.sid, Bytes: req.BytesDone})
+		if req.BytesDone > 0 {
+			b.app.Progress(req.BytesDone)
+		}
+		sh.reply(b, s, req.Seq, true, nil)
+
+	case wire.TypeCheck:
+		sh.rec(trace.Event{Type: trace.EvCheck, Time: now, SID: b.sid})
+		sh.reply(b, s, req.Seq, true, nil)
+
+	case wire.TypeWait:
+		if b.app.State() == core.Idle {
+			sh.reply(b, s, req.Seq, false, fmt.Errorf("core: %s: Wait before Inform", b.app.Name()))
+			return
+		}
+		if b.waitSeq != 0 {
+			sh.reply(b, s, req.Seq, false, errors.New("wait already pending"))
+			return
+		}
+		sh.rec(trace.Event{Type: trace.EvWait, Time: now, SID: b.sid})
+		if b.app.Authorized() {
+			b.waitsImmediate++
+			sh.serveGrant(b, req.Seq)
+			return
+		}
+		b.waitSeq = req.Seq
+		b.waitFrom = now
+		b.waitConvoy = sh.arb.OtherAuthorized(b.app)
+		s.pendingWaits.Add(1)
+
+	case wire.TypeRelease:
+		// Recorded before the state-machine check: a failed Release still
+		// applied the progress report, and replay mirrors exactly that.
+		sh.rec(trace.Event{Type: trace.EvRelease, Time: now, SID: b.sid, Bytes: req.BytesDone})
+		if req.BytesDone > 0 {
+			b.app.Progress(req.BytesDone)
+		}
+		if err := b.app.Release(); err != nil {
+			sh.reply(b, s, req.Seq, false, err)
+			return
+		}
+		sh.arbitrate(now)
+		sh.reply(b, s, req.Seq, true, nil)
+
+	case wire.TypeEnd:
+		if b.waitSeq != 0 {
+			// A pipelined client is tearing the phase down under its own
+			// pending Wait. Fail that Wait now: once the app is Idle it is
+			// invisible to arbitration, so the deferred response would
+			// never come and the dangling waitSeq would shield the session
+			// from idle eviction forever.
+			s.send(wire.Response{Seq: b.waitSeq, Type: wire.TypeResp,
+				Err: "wait cancelled: phase ended", Target: sh.target})
+			b.waitSeq = 0
+			s.pendingWaits.Add(-1)
+		}
+		sh.rec(trace.Event{Type: trace.EvEnd, Time: now, SID: b.sid})
+		if b.app.State() != core.Idle {
+			b.ioTime += now - b.phaseStart
+		}
+		b.app.End()
+		sh.arbitrate(now)
+		sh.reply(b, s, req.Seq, true, nil)
+
+	default:
+		sh.reply(b, s, req.Seq, false, fmt.Errorf("unknown request type %q", req.Type))
+	}
+}
+
+// attach creates the session's binding on this target: the lazy per-shard
+// registration that takes the place of the unsharded daemon's register-time
+// Arbiter.Register. The trace records it as this shard's EvRegister, so
+// replay reproduces the shard's registration order exactly.
+func (sh *shard) attach(s *session, id *ident, now float64) (*binding, error) {
+	app, err := sh.arb.Register(id.name, id.cores)
+	if err != nil {
+		return nil, err
+	}
+	b := &binding{s: s, app: app, sid: id.sid}
+	app.Data = b
+	sh.bindings[s] = b
+	sh.rec(trace.Event{Type: trace.EvRegister, Time: now, SID: id.sid,
+		App: id.name, Cores: int32(id.cores)})
+	return b, nil
+}
+
+// detach is a session leaving this target: accounting folds into the
+// shard's cumulative counters and, if the session was mid-phase, the
+// survivors are re-arbitrated — a vanished holder must not wedge the queue.
+func (sh *shard) detach(s *session) {
+	b := sh.bindings[s]
+	if b == nil {
+		return
+	}
+	delete(sh.bindings, s)
+	sh.goneWaitsImmediate += b.waitsImmediate
+	sh.goneWaitsDeferred += b.waitsDeferred
+	sh.goneConvoyWait += b.convoyWait
+	sh.goneProtoWait += b.protoWait
+	if b.waitSeq != 0 {
+		b.waitSeq = 0
+		s.pendingWaits.Add(-1)
+	}
+	now := sh.srv.clock()
+	wasBusy := b.app.State() != core.Idle
+	sh.arb.Unregister(b.app)
+	b.app = nil
+	sh.rec(trace.Event{Type: trace.EvUnregister, Time: now, SID: b.sid})
+	if wasBusy {
+		// A vanished mid-phase holder re-arbitrates the survivors; the trace
+		// records this as an explicit recheck so replay re-arbitrates at the
+		// same instant.
+		sh.rec(trace.Event{Type: trace.EvRecheck, Time: now})
+		sh.arbitrate(now)
+	}
+}
+
 // reply sends the response to one request. Every response reports the
-// application's current authorization, so the client library can maintain
-// its cached Check state from the response stream alone (single writer, in
-// server order — no lost revocations).
-func (s *session) reply(seq uint64, ok bool, err error) {
-	r := wire.Response{Seq: seq, Type: wire.TypeResp, OK: ok}
+// application's current authorization on this shard's target (Target
+// echoed), so the client library can maintain its cached per-target Check
+// state from the response stream alone.
+func (sh *shard) reply(b *binding, s *session, seq uint64, ok bool, err error) {
+	r := wire.Response{Seq: seq, Type: wire.TypeResp, OK: ok, Target: sh.target}
 	if err != nil {
 		r.Err = err.Error()
 	}
-	if s.app != nil {
-		r.Authorized = s.app.Authorized()
+	if b != nil && b.app != nil {
+		r.Authorized = b.app.Authorized()
 	}
 	s.send(r)
 }
 
 // serveGrant answers a Wait — immediately or deferred — and accounts for
 // the served grant in one place.
-func (srv *Server) serveGrant(s *session, seq uint64) {
-	s.app.Activate()
-	s.grants++
-	srv.grantsServed++
-	s.send(wire.Response{Seq: seq, Type: wire.TypeResp, OK: true, Authorized: true})
+func (sh *shard) serveGrant(b *binding, seq uint64) {
+	b.app.Activate()
+	b.grants++
+	sh.grantsServed++
+	b.s.send(wire.Response{Seq: seq, Type: wire.TypeResp, OK: true, Authorized: true, Target: sh.target})
 }
 
-// rec records one trace event when recording is enabled. It is safe on the
-// hot path: a nil check plus a by-value channel send.
-func (srv *Server) rec(ev trace.Event) {
-	if srv.cfg.Trace != nil {
-		srv.cfg.Trace.Record(ev)
-	}
-}
-
-// handle processes one request. It must stay panic-free for any request a
-// client can send: protocol violations become error responses.
-func (srv *Server) handle(s *session, req wire.Request) {
-	now := srv.clock()
-	if s.app == nil && req.Type != wire.TypeRegister && req.Type != wire.TypeStats {
-		s.reply(req.Seq, false, errors.New("not registered"))
-		return
-	}
-	switch req.Type {
-	case wire.TypeRegister:
-		if s.app != nil {
-			s.reply(req.Seq, false, fmt.Errorf("already registered as %s", s.app.Name()))
-			return
-		}
-		app, err := srv.arb.Register(req.App, req.Cores)
-		if err != nil {
-			s.reply(req.Seq, false, err)
-			return
-		}
-		app.Data = s
-		s.app = app
-		srv.sidSeq++
-		s.sid = srv.sidSeq
-		srv.rec(trace.Event{Type: trace.EvRegister, Time: now, SID: s.sid,
-			App: req.App, Cores: int32(req.Cores)})
-		s.reply(req.Seq, true, nil)
-
-	case wire.TypePrepare:
-		// The request's Info map is decode-fresh and never written after
-		// this point, so recording it by reference is safe.
-		srv.rec(trace.Event{Type: trace.EvPrepare, Time: now, SID: s.sid, Info: req.Info})
-		s.app.Prepare(core.Info(req.Info))
-		s.reply(req.Seq, true, nil)
-
-	case wire.TypeComplete:
-		err := s.app.Complete()
-		if err == nil {
-			srv.rec(trace.Event{Type: trace.EvComplete, Time: now, SID: s.sid})
-		}
-		s.reply(req.Seq, err == nil, err)
-
-	case wire.TypeInform:
-		srv.rec(trace.Event{Type: trace.EvInform, Time: now, SID: s.sid, Bytes: req.BytesDone})
-		if req.BytesDone > 0 {
-			s.app.Progress(req.BytesDone)
-		}
-		if s.app.Inform(now) {
-			s.phaseStart = now
-			s.phases++
-		}
-		srv.arbitrate(now)
-		s.reply(req.Seq, true, nil)
-
-	case wire.TypeProgress:
-		// State-free, like the simulator's Coordinator.Progress: records
-		// progress without opening a phase or triggering arbitration (the
-		// value rides into the next inform/release arbitration).
-		srv.rec(trace.Event{Type: trace.EvProgress, Time: now, SID: s.sid, Bytes: req.BytesDone})
-		if req.BytesDone > 0 {
-			s.app.Progress(req.BytesDone)
-		}
-		s.reply(req.Seq, true, nil)
-
-	case wire.TypeCheck:
-		srv.rec(trace.Event{Type: trace.EvCheck, Time: now, SID: s.sid})
-		s.reply(req.Seq, true, nil)
-
-	case wire.TypeWait:
-		if s.app.State() == core.Idle {
-			s.reply(req.Seq, false, fmt.Errorf("core: %s: Wait before Inform", s.app.Name()))
-			return
-		}
-		if s.waitSeq != 0 {
-			s.reply(req.Seq, false, errors.New("wait already pending"))
-			return
-		}
-		srv.rec(trace.Event{Type: trace.EvWait, Time: now, SID: s.sid})
-		if s.app.Authorized() {
-			s.waitsImmediate++
-			srv.serveGrant(s, req.Seq)
-			return
-		}
-		s.waitSeq = req.Seq
-		s.waitFrom = now
-		s.waitConvoy = srv.arb.OtherAuthorized(s.app)
-
-	case wire.TypeRelease:
-		// Recorded before the state-machine check: a failed Release still
-		// applied the progress report, and replay mirrors exactly that.
-		srv.rec(trace.Event{Type: trace.EvRelease, Time: now, SID: s.sid, Bytes: req.BytesDone})
-		if req.BytesDone > 0 {
-			s.app.Progress(req.BytesDone)
-		}
-		if err := s.app.Release(); err != nil {
-			s.reply(req.Seq, false, err)
-			return
-		}
-		srv.arbitrate(now)
-		s.reply(req.Seq, true, nil)
-
-	case wire.TypeEnd:
-		if s.waitSeq != 0 {
-			// A pipelined client is tearing the phase down under its own
-			// pending Wait. Fail that Wait now: once the app is Idle it is
-			// invisible to arbitration, so the deferred response would
-			// never come and the dangling waitSeq would shield the session
-			// from idle eviction forever.
-			s.send(wire.Response{Seq: s.waitSeq, Type: wire.TypeResp,
-				Err: "wait cancelled: phase ended"})
-			s.waitSeq = 0
-		}
-		srv.rec(trace.Event{Type: trace.EvEnd, Time: now, SID: s.sid})
-		if s.app.State() != core.Idle {
-			s.ioTime += now - s.phaseStart
-		}
-		s.app.End()
-		srv.arbitrate(now)
-		s.reply(req.Seq, true, nil)
-
-	case wire.TypeStats:
-		st := srv.snapshot(now)
-		s.send(wire.Response{Seq: req.Seq, Type: wire.TypeResp, OK: true, Stats: &st})
-
-	default:
-		s.reply(req.Seq, false, fmt.Errorf("unknown request type %q", req.Type))
+// rec records one trace event when recording is enabled, stamped with this
+// shard's target. It is safe on the hot path: a nil check plus a by-value
+// channel send.
+func (sh *shard) rec(ev trace.Event) {
+	if sh.srv.cfg.Trace != nil {
+		ev.Target = sh.target
+		sh.srv.cfg.Trace.Record(ev)
 	}
 }
 
-// arbitrate runs one arbitration round and delivers authorization changes:
-// a granted application with a pending Wait receives its deferred response
-// (this is a served grant); other flips are pushed as grant/revoke
-// notifications. Delivery happens in registration order, so a serialized
-// request order yields one exact response order.
-func (srv *Server) arbitrate(now float64) {
-	if srv.recheck != nil {
-		srv.recheck.Stop()
-		srv.recheck = nil
+// arbitrate runs one arbitration round on this target and delivers
+// authorization changes: a granted application with a pending Wait receives
+// its deferred response (this is a served grant); other flips are pushed as
+// grant/revoke notifications. Delivery happens in registration order, so a
+// serialized per-target request order yields one exact response order.
+func (sh *shard) arbitrate(now float64) {
+	if sh.recheck != nil {
+		sh.recheck.Stop()
+		sh.recheck = nil
 	}
-	out := srv.arb.Arbitrate(now)
-	srv.arbitrations++
+	out := sh.arb.Arbitrate(now)
+	sh.arbitrations++
 	if !out.Acted {
 		return
 	}
 	for _, a := range out.Granted {
-		s := a.Data.(*session)
-		srv.rec(trace.Event{Type: trace.EvGrant, Time: now, SID: s.sid})
-		if s.waitSeq != 0 {
-			d := now - s.waitFrom
-			s.waitTime += d
-			if s.waitConvoy {
-				s.convoyWait += d
+		b := a.Data.(*binding)
+		sh.rec(trace.Event{Type: trace.EvGrant, Time: now, SID: b.sid})
+		if b.waitSeq != 0 {
+			d := now - b.waitFrom
+			b.waitTime += d
+			if b.waitConvoy {
+				b.convoyWait += d
 			} else {
-				s.protoWait += d
+				b.protoWait += d
 			}
-			s.waitsDeferred++
-			srv.serveGrant(s, s.waitSeq)
-			s.waitSeq = 0
+			b.waitsDeferred++
+			seq := b.waitSeq
+			b.waitSeq = 0
+			b.s.pendingWaits.Add(-1)
+			sh.serveGrant(b, seq)
 		} else {
-			s.send(wire.Response{Type: wire.TypeGrant, Authorized: true})
+			b.s.send(wire.Response{Type: wire.TypeGrant, Authorized: true, Target: sh.target})
 		}
 	}
 	for _, a := range out.Revoked {
-		s := a.Data.(*session)
-		srv.rec(trace.Event{Type: trace.EvRevoke, Time: now, SID: s.sid})
-		s.send(wire.Response{Type: wire.TypeRevoke})
+		b := a.Data.(*binding)
+		sh.rec(trace.Event{Type: trace.EvRevoke, Time: now, SID: b.sid})
+		b.s.send(wire.Response{Type: wire.TypeRevoke, Target: sh.target})
 	}
 	if out.RecheckAfter > 0 {
-		srv.recheck = time.AfterFunc(secondsToDuration(out.RecheckAfter), func() {
+		sh.recheck = time.AfterFunc(secondsToDuration(out.RecheckAfter), func() {
 			select {
-			case srv.reqCh <- envelope{kind: kindRecheck}:
-			case <-srv.stop:
+			case sh.ch <- envelope{kind: kindRecheck}:
+			case <-sh.srv.stop:
 			}
 		})
 	}
@@ -739,75 +1127,176 @@ func secondsToDuration(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))
 }
 
-// snapshot builds the LASSi-style live metrics view on internal/metrics:
-// per-application observed I/O time (open phases count up to now), wait
-// time, progress and grants, plus machine-wide CPU-seconds-wasted and — when
-// a performance model is configured — live interference factors.
-func (srv *Server) snapshot(now float64) wire.Stats {
-	st := wire.Stats{
-		Policy:         srv.cfg.Policy.Name(),
-		NowS:           now,
-		Sessions:       len(srv.sessions),
-		Arbitrations:   srv.arbitrations,
-		GrantsServed:   srv.grantsServed,
-		WaitsImmediate: srv.goneWaitsImmediate,
-		WaitsDeferred:  srv.goneWaitsDeferred,
-		ConvoyWaitS:    srv.goneConvoyWait,
-		ProtocolWaitS:  srv.goneProtoWait,
+// snap builds this shard's slice of the stats snapshot: per-binding
+// LASSi-style accounting in registration order, the shard aggregates, and
+// the latest decision. Runs on the shard's goroutine (or inline).
+func (sh *shard) snap(now float64) shardSnap {
+	sn := shardSnap{
+		target:         sh.target,
+		bindings:       len(sh.bindings),
+		arbitrations:   sh.arbitrations,
+		grantsServed:   sh.grantsServed,
+		waitsImmediate: sh.goneWaitsImmediate,
+		waitsDeferred:  sh.goneWaitsDeferred,
+		convoyWait:     sh.goneConvoyWait,
+		protoWait:      sh.goneProtoWait,
 	}
-	if rec := srv.arb.LastRecord(); rec != nil {
-		st.LastDecision = fmt.Sprintf("t=%.3f allowed=%v %s", rec.Time, rec.Allowed, rec.Reason)
+	if rec := sh.arb.LastRecord(); rec != nil {
+		sn.lastDecision = fmt.Sprintf("t=%.3f allowed=%v %s", rec.Time, rec.Allowed, rec.Reason)
+		sn.lastTime = rec.Time
+		sn.hasDecision = true
 	}
-	apps := srv.arb.Apps()
-	rep := metrics.Report{Apps: make([]metrics.AppResult, 0, len(apps))}
-	for _, a := range apps {
-		s, ok := a.Data.(*session)
+	model := sh.srv.cfg.Model
+	for _, a := range sh.arb.Apps() {
+		b, ok := a.Data.(*binding)
 		if !ok {
 			continue
 		}
 		v := a.View()
-		ioTime := s.ioTime
+		ioTime := b.ioTime
 		if v.State != core.Idle {
-			ioTime += now - s.phaseStart
+			ioTime += now - b.phaseStart
 		}
 		as := wire.AppStats{
 			Name:           v.Name,
+			Target:         sh.target,
 			Cores:          v.Cores,
 			State:          v.State.String(),
 			Authorized:     a.Authorized(),
-			Phases:         s.phases,
-			Grants:         s.grants,
+			Phases:         b.phases,
+			Grants:         b.grants,
 			BytesTotal:     v.BytesTotal,
 			BytesDone:      v.BytesDone,
 			IOTimeS:        ioTime,
-			WaitTimeS:      s.waitTime,
-			WaitsImmediate: s.waitsImmediate,
-			WaitsDeferred:  s.waitsDeferred,
-			ConvoyWaitS:    s.convoyWait,
-			ProtocolWaitS:  s.protoWait,
+			WaitTimeS:      b.waitTime,
+			WaitsImmediate: b.waitsImmediate,
+			WaitsDeferred:  b.waitsDeferred,
+			ConvoyWaitS:    b.convoyWait,
+			ProtocolWaitS:  b.protoWait,
 		}
-		st.WaitsImmediate += s.waitsImmediate
-		st.WaitsDeferred += s.waitsDeferred
-		st.ConvoyWaitS += s.convoyWait
-		st.ProtocolWaitS += s.protoWait
+		sn.waitsImmediate += b.waitsImmediate
+		sn.waitsDeferred += b.waitsDeferred
+		sn.convoyWait += b.convoyWait
+		sn.protoWait += b.protoWait
 		alone := 0.0
-		if srv.cfg.Model != nil {
+		if model != nil {
 			// Live interference: observed time for the bytes moved so far
 			// versus the model's solo estimate for those bytes.
-			if solo := srv.cfg.Model.SoloTime(v, v.BytesDone); solo > 0 && !math.IsInf(solo, 1) {
+			if solo := model.SoloTime(v, v.BytesDone); solo > 0 && !math.IsInf(solo, 1) {
 				as.Interference = ioTime / solo
 				alone = solo
 			}
 		}
-		rep.Apps = append(rep.Apps, metrics.AppResult{
+		sn.rep = append(sn.rep, metrics.AppResult{
 			Name: v.Name, Cores: v.Cores, IOTime: ioTime, AloneTime: alone,
 		})
-		st.Apps = append(st.Apps, as)
+		sn.apps = append(sn.apps, as)
 	}
-	sort.Slice(st.Apps, func(i, j int) bool { return st.Apps[i].Name < st.Apps[j].Name })
+	return sn
+}
+
+// snapshotLive gathers every shard's slice through its arbitration
+// goroutine and merges. Runs on the control goroutine.
+func (srv *Server) snapshotLive() wire.Stats {
+	now := srv.clock()
+	shards := srv.shardsSorted()
+	snaps := make([]shardSnap, 0, len(shards))
+	for _, sh := range shards {
+		ch := make(chan shardSnap, 1)
+		select {
+		case sh.ch <- envelope{kind: kindSnapshot, now: now, snapCh: ch}:
+			select {
+			case sn := <-ch:
+				snaps = append(snaps, sn)
+			case <-srv.stop: // shard is exiting; shutdown owns the final snapshot
+			}
+		case <-srv.stop:
+		}
+	}
+	return srv.merge(now, snaps)
+}
+
+// snapshot builds the full snapshot inline: every shard's slice on the
+// calling goroutine. Only valid when no shard goroutines run (inline mode,
+// or shutdown after they exited).
+func (srv *Server) snapshot(now float64) wire.Stats {
+	shards := srv.shardsSorted()
+	snaps := make([]shardSnap, 0, len(shards))
+	for _, sh := range shards {
+		snaps = append(snaps, sh.snap(now))
+	}
+	return srv.merge(now, snaps)
+}
+
+// merge is the combining layer: per-target slices become the existing
+// machine-wide wire.Stats shape (top-level counters are sums over targets,
+// so single-target output is unchanged) plus the per-target breakdown.
+func (srv *Server) merge(now float64, snaps []shardSnap) wire.Stats {
+	st := wire.Stats{
+		Policy:   srv.cfg.Policy.Name(),
+		NowS:     now,
+		Sessions: len(srv.sessions),
+	}
+	rep := metrics.Report{}
+	lastTime := math.Inf(-1)
+	for i := range snaps {
+		sn := &snaps[i]
+		st.Arbitrations += sn.arbitrations
+		st.GrantsServed += sn.grantsServed
+		st.WaitsImmediate += sn.waitsImmediate
+		st.WaitsDeferred += sn.waitsDeferred
+		st.ConvoyWaitS += sn.convoyWait
+		st.ProtocolWaitS += sn.protoWait
+		if sn.hasDecision && sn.lastTime > lastTime {
+			lastTime = sn.lastTime
+			st.LastDecision = sn.lastDecision
+		}
+		st.Apps = append(st.Apps, sn.apps...)
+		rep.Apps = append(rep.Apps, sn.rep...)
+		st.Targets = append(st.Targets, wire.TargetStats{
+			Target:         sn.target,
+			Apps:           sn.bindings,
+			Arbitrations:   sn.arbitrations,
+			GrantsServed:   sn.grantsServed,
+			WaitsImmediate: sn.waitsImmediate,
+			WaitsDeferred:  sn.waitsDeferred,
+			ConvoyWaitS:    sn.convoyWait,
+			ProtocolWaitS:  sn.protoWait,
+			LastDecision:   sn.lastDecision,
+		})
+	}
+	sort.Slice(st.Apps, func(i, j int) bool {
+		if st.Apps[i].Name != st.Apps[j].Name {
+			return st.Apps[i].Name < st.Apps[j].Name
+		}
+		return st.Apps[i].Target < st.Apps[j].Target
+	})
 	st.CPUSecondsWasted = rep.CPUSecondsWasted()
 	if srv.cfg.Model != nil {
 		st.SumInterference = rep.SumInterferenceFinite()
 	}
 	return st
+}
+
+// handle is the inline-mode entry point: it plays the roles of the reader,
+// control and shard goroutines on the caller's goroutine. Tests and
+// benchmarks drive serialized (or per-shard-concurrent) request sequences
+// through it; a serving server routes through readLoop instead.
+func (srv *Server) handle(s *session, req wire.Request) {
+	now := srv.clock()
+	s.touch(now)
+	switch req.Type {
+	case wire.TypeRegister:
+		srv.register(s, req, now)
+	case wire.TypeStats:
+		st := srv.snapshot(now)
+		s.send(wire.Response{Seq: req.Seq, Type: wire.TypeResp, OK: true, Stats: &st})
+	default:
+		sh, err := srv.shardFor(srv.routeTarget(s, req.Target))
+		if err != nil {
+			s.reply(req.Seq, false, err, req.Target)
+			return
+		}
+		sh.handle(s, req, now)
+	}
 }

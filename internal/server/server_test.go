@@ -14,13 +14,32 @@ import (
 )
 
 // logicalClock returns a deterministic strictly-monotonic clock: each call
-// advances time by one microsecond.
+// advances time by one microsecond. It is mutex-protected because the
+// control and shard goroutines all read the server clock.
 func logicalClock() func() float64 {
+	var mu sync.Mutex
 	var t float64
 	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
 		t += 1e-6
 		return t
 	}
+}
+
+// testBinding returns a session's coordination state on the given target.
+func testBindingOn(srv *Server, s *session, target string) *binding {
+	sh, err := srv.shardFor(target)
+	if err != nil {
+		panic(err)
+	}
+	return sh.bindings[s]
+}
+
+// testBinding is testBindingOn for the default target (inline-mode tests
+// mostly drive a single shard).
+func testBinding(srv *Server, s *session) *binding {
+	return testBindingOn(srv, s, "")
 }
 
 func startTestServer(t *testing.T, cfg Config) (*Server, string) {
@@ -300,7 +319,7 @@ func TestDeterministicGivenSerializedOrder(t *testing.T) {
 			}
 		}
 		var sb strings.Builder
-		for _, d := range srv.arb.Log() {
+		for _, d := range srv.set.Log() {
 			fmt.Fprintf(&sb, "t=%.6f allowed=%v %s\n", d.Time, d.Allowed, d.Reason)
 		}
 		st := srv.snapshot(srv.clock())
@@ -393,8 +412,11 @@ func TestEndCancelsPendingWait(t *testing.T) {
 		t.Fatalf("expected only the inform response before end, got %+v", got)
 	}
 	srv.handle(b, wire.Request{Seq: 4, Type: wire.TypeEnd})
-	if b.waitSeq != 0 {
-		t.Fatalf("waitSeq still dangling: %d", b.waitSeq)
+	if bb := testBinding(srv, b); bb.waitSeq != 0 {
+		t.Fatalf("waitSeq still dangling: %d", bb.waitSeq)
+	}
+	if n := b.pendingWaits.Load(); n != 0 {
+		t.Fatalf("pendingWaits still %d after cancelled wait", n)
 	}
 	got := drain(b)
 	if len(got) != 2 {

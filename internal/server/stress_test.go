@@ -139,7 +139,8 @@ func TestStressInterruptSingleAuthorization(t *testing.T) {
 	if want := uint64(clients * phases * steps); st.GrantsServed != want {
 		t.Fatalf("grants served = %d, want %d", st.GrantsServed, want)
 	}
-	log := srv.arb.Log()
+	srv.Close() // quiesce the shard goroutines before reading their logs
+	log := srv.set.Log()
 	if len(log) == 0 {
 		t.Fatal("no decisions logged")
 	}

@@ -6,12 +6,12 @@
 // reproduce the grant sequence event for event, or re-arbitrate the same
 // arrival pattern under a different policy.
 //
-// # File format (version 1)
+// # File format (version 2)
 //
 // A trace file is:
 //
 //	magic   8 bytes  "CALTRACE"
-//	version u16      format version (currently 1)
+//	version u16      format version (currently 2)
 //	header  u16 len + that many bytes of JSON (Header)
 //	records ...      until the trailer
 //	trailer 0xFF, f64 time, u64 recorded, u64 dropped
@@ -19,8 +19,13 @@
 // Every record is little-endian and self-delimiting:
 //
 //	type    u8       one of the Ev* constants
-//	time    f64      coordination clock, seconds (monotone per source)
+//	time    f64      coordination clock, seconds (monotone per coordination
+//	                 domain: per storage target daemon-side, per client for
+//	                 client captures)
 //	sid     u32      session identity (assigned at register; 0 = none)
+//	target  u16 len + bytes   storage target ("" = the default target);
+//	                 version-2 records only — a version-1 record has no
+//	                 target field and reads back as target ""
 //	extras  ...      type-specific, see the table below
 //
 // Per-type extras:
@@ -39,6 +44,13 @@
 // header fields) bump the version; readers for version N+1 accept version N.
 // The trailer is mandatory — a file that ends without one was truncated
 // (the writer died before Close) and Read reports ErrTruncated.
+//
+// Version history: version 1 had no per-record target field (every event
+// belongs to the single coordination domain); version 2 inserts the target
+// between sid and the extras on every record, carrying the storage target
+// whose per-target arbiter handled the event. Version-1 files read back
+// with every Target empty, which replays as one shard — the single-target
+// behavior they recorded.
 //
 // # Writer discipline
 //
@@ -66,7 +78,7 @@ import (
 )
 
 // Version is the trace format version this package writes.
-const Version = 1
+const Version = 2
 
 var magic = [8]byte{'C', 'A', 'L', 'T', 'R', 'A', 'C', 'E'}
 
@@ -142,6 +154,10 @@ type Event struct {
 	Cores int32   // EvRegister
 	Bytes float64 // EvInform, EvProgress, EvRelease: bytes done (0 = none)
 	App   string  // EvRegister: application name
+	// Target is the storage target whose coordination domain the event
+	// belongs to; "" is the default target (and the only value version-1
+	// traces can carry).
+	Target string
 	// Info is the EvPrepare payload. It is recorded by reference: the
 	// recorder must not mutate the map after Record (the daemon's request
 	// maps are write-once by construction).
@@ -321,6 +337,9 @@ func (w *Writer) encode(ev Event) {
 	b = append(b, byte(ev.Type))
 	b = le64(b, ev.Time)
 	b = binary.LittleEndian.AppendUint32(b, ev.SID)
+	if b = w.appendString(b, ev.Target); b == nil {
+		return
+	}
 	switch ev.Type {
 	case EvRegister:
 		if b = w.appendString(b, ev.App); b == nil {
@@ -379,6 +398,11 @@ type Reader struct {
 	recorded uint64
 	dropped  uint64
 	read     uint64
+
+	// targets interns target strings: a long trace repeats a handful of
+	// target names on every record, so Next allocates each name once.
+	targets map[string]string
+	scratch []byte
 }
 
 // NewReader parses the stream preamble.
@@ -466,6 +490,13 @@ func (r *Reader) Next(ev *Event) error {
 		Time: math.Float64frombits(binary.LittleEndian.Uint64(fixed[1:9])),
 		SID:  binary.LittleEndian.Uint32(fixed[9:13]),
 	}
+	if r.version >= 2 {
+		target, err := r.readTarget()
+		if err != nil {
+			return fmt.Errorf("trace: %s target: %w", t, err)
+		}
+		ev.Target = target
+	}
 	switch t {
 	case EvRegister:
 		name, err := r.readString()
@@ -506,6 +537,36 @@ func (r *Reader) Next(ev *Event) error {
 	}
 	r.read++
 	return nil
+}
+
+// readTarget reads a u16-length-prefixed target name, interning it so a
+// trace that repeats a few target names on millions of records allocates
+// each name only once.
+func (r *Reader) readTarget() (string, error) {
+	var ln [2]byte
+	if _, err := io.ReadFull(r.r, ln[:]); err != nil {
+		return "", noEOF(err)
+	}
+	n := int(binary.LittleEndian.Uint16(ln[:]))
+	if n == 0 {
+		return "", nil
+	}
+	if cap(r.scratch) < n {
+		r.scratch = make([]byte, n)
+	}
+	r.scratch = r.scratch[:n]
+	if _, err := io.ReadFull(r.r, r.scratch); err != nil {
+		return "", noEOF(err)
+	}
+	if s, ok := r.targets[string(r.scratch)]; ok {
+		return s, nil
+	}
+	if r.targets == nil {
+		r.targets = make(map[string]string)
+	}
+	s := string(r.scratch)
+	r.targets[s] = s
+	return s, nil
 }
 
 func (r *Reader) readString() (string, error) {

@@ -14,10 +14,10 @@ import (
 // sampleEvents is a fixed sequence exercising every record shape.
 func sampleEvents() []Event {
 	return []Event{
-		{Type: EvRegister, Time: 0.25, SID: 1, App: "alpha", Cores: 64},
-		{Type: EvPrepare, Time: 0.5, SID: 1, Info: map[string]string{"bytes_total": "1024", "cores": "64"}},
-		{Type: EvInform, Time: 0.75, SID: 1, Bytes: 0},
-		{Type: EvGrant, Time: 0.75, SID: 1},
+		{Type: EvRegister, Time: 0.25, SID: 1, App: "alpha", Cores: 64, Target: "ssd0"},
+		{Type: EvPrepare, Time: 0.5, SID: 1, Info: map[string]string{"bytes_total": "1024", "cores": "64"}, Target: "ssd0"},
+		{Type: EvInform, Time: 0.75, SID: 1, Bytes: 0, Target: "ssd0"},
+		{Type: EvGrant, Time: 0.75, SID: 1, Target: "ssd0"},
 		{Type: EvWait, Time: 1, SID: 1},
 		{Type: EvRegister, Time: 1.5, SID: 2, App: "beta", Cores: 8},
 		{Type: EvInform, Time: 1.75, SID: 2},
@@ -80,33 +80,70 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-// TestGoldenBytes pins the version-1 encoding byte for byte: a format
+// TestGoldenBytes pins the version-2 encoding byte for byte: a format
 // change that breaks old traces must be deliberate (bump Version and update
 // this test), never accidental.
 func TestGoldenBytes(t *testing.T) {
 	data := writeSample(t, Header{Source: SourceDaemon, Policy: "fcfs"}, []Event{
 		{Type: EvRegister, Time: 1.5, SID: 7, App: "ab", Cores: 3},
 		{Type: EvPrepare, Time: 2, SID: 7, Info: map[string]string{"b": "2", "a": "1"}},
-		{Type: EvInform, Time: 2.5, SID: 7, Bytes: 8},
-		{Type: EvGrant, Time: 2.5, SID: 7},
+		{Type: EvInform, Time: 2.5, SID: 7, Bytes: 8, Target: "bb1"},
+		{Type: EvGrant, Time: 2.5, SID: 7, Target: "bb1"},
 	})
 	want := "" +
 		// magic, version, header length, header JSON
-		"CALTRACE" + "\x01\x00" + "\x25\x00" +
+		"CALTRACE" + "\x02\x00" + "\x25\x00" +
 		`{"source":"calciomd","policy":"fcfs"}` +
-		// register: type 1, time 1.5, sid 7, "ab", cores 3
-		"\x01\x00\x00\x00\x00\x00\x00\xf8\x3f\x07\x00\x00\x00\x02\x00ab\x03\x00\x00\x00" +
-		// prepare: type 2, time 2.0, sid 7, 2 sorted pairs a=1 b=2
-		"\x02\x00\x00\x00\x00\x00\x00\x00\x40\x07\x00\x00\x00\x02\x00" +
+		// register: type 1, time 1.5, sid 7, target "", "ab", cores 3
+		"\x01\x00\x00\x00\x00\x00\x00\xf8\x3f\x07\x00\x00\x00\x00\x00\x02\x00ab\x03\x00\x00\x00" +
+		// prepare: type 2, time 2.0, sid 7, target "", 2 sorted pairs a=1 b=2
+		"\x02\x00\x00\x00\x00\x00\x00\x00\x40\x07\x00\x00\x00\x00\x00\x02\x00" +
 		"\x01\x00a\x01\x001" + "\x01\x00b\x01\x002" +
-		// inform: type 4, time 2.5, sid 7, bytes 8.0
-		"\x04\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00\x00\x00\x00\x00\x00\x00\x20\x40" +
-		// grant: type 12, time 2.5, sid 7
-		"\x0c\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00" +
+		// inform: type 4, time 2.5, sid 7, target "bb1", bytes 8.0
+		"\x04\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00\x03\x00bb1\x00\x00\x00\x00\x00\x00\x20\x40" +
+		// grant: type 12, time 2.5, sid 7, target "bb1"
+		"\x0c\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00\x03\x00bb1" +
 		// trailer: 0xFF, time 0, recorded 4, dropped 0
 		"\xff\x00\x00\x00\x00\x00\x00\x00\x00\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
 	if string(data) != want {
 		t.Fatalf("version-%d encoding changed:\n got %q\nwant %q", Version, data, want)
+	}
+}
+
+// TestReadVersion1 pins backward compatibility: a version-1 file (the
+// pre-target encoding, byte for byte the old golden bytes) must still parse,
+// with every event's Target empty — the single coordination domain such
+// traces recorded.
+func TestReadVersion1(t *testing.T) {
+	v1 := "" +
+		"CALTRACE" + "\x01\x00" + "\x25\x00" +
+		`{"source":"calciomd","policy":"fcfs"}` +
+		"\x01\x00\x00\x00\x00\x00\x00\xf8\x3f\x07\x00\x00\x00\x02\x00ab\x03\x00\x00\x00" +
+		"\x02\x00\x00\x00\x00\x00\x00\x00\x40\x07\x00\x00\x00\x02\x00" +
+		"\x01\x00a\x01\x001" + "\x01\x00b\x01\x002" +
+		"\x04\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00\x00\x00\x00\x00\x00\x00\x20\x40" +
+		"\x0c\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00" +
+		"\xff\x00\x00\x00\x00\x00\x00\x00\x00\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+	tr, err := Read(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Type: EvRegister, Time: 1.5, SID: 7, App: "ab", Cores: 3},
+		{Type: EvPrepare, Time: 2, SID: 7, Info: map[string]string{"a": "1", "b": "2"}},
+		{Type: EvInform, Time: 2.5, SID: 7, Bytes: 8},
+		{Type: EvGrant, Time: 2.5, SID: 7},
+	}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(tr.Events), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(tr.Events[i], want[i]) {
+			t.Fatalf("event %d: got %+v want %+v", i, tr.Events[i], want[i])
+		}
+		if tr.Events[i].Target != "" {
+			t.Fatalf("event %d: version-1 record decoded with target %q", i, tr.Events[i].Target)
+		}
 	}
 }
 
@@ -236,7 +273,7 @@ func TestRecordDoesNotAllocate(t *testing.T) {
 	}
 	defer w.Close()
 	info := map[string]string{"bytes_total": "4096"}
-	ev := Event{Type: EvPrepare, Time: 1, SID: 3, Info: info}
+	ev := Event{Type: EvPrepare, Time: 1, SID: 3, Info: info, Target: "ssd0"}
 	allocs := testing.AllocsPerRun(1000, func() {
 		w.Record(ev)
 	})

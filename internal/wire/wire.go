@@ -18,20 +18,30 @@
 //
 // Request types and their fields:
 //
-//	register  App, Cores     introduce the application (first request)
-//	prepare   Info           stack MPI_Info-style hints (bytes_total, ...)
-//	complete  —              unstack the most recent prepare
-//	inform    BytesDone?     open/continue an I/O phase, trigger arbitration
-//	progress  BytesDone      report progress only; no state change
-//	check     —              poll authorization; never blocks
-//	wait      —              block until authorized (deferred response)
-//	release   BytesDone?     end one access step
-//	end       —              end the I/O phase entirely
-//	stats     —              LASSi-style live metrics snapshot
+//	register  App, Cores, Target?  introduce the application (first request);
+//	                               Target sets the session's default target
+//	prepare   Info, Target?        stack MPI_Info-style hints (bytes_total, ...)
+//	complete  Target?              unstack the most recent prepare
+//	inform    BytesDone?, Target?  open/continue an I/O phase, trigger arbitration
+//	progress  BytesDone, Target?   report progress only; no state change
+//	check     Target?              poll authorization; never blocks
+//	wait      Target?              block until authorized (deferred response)
+//	release   BytesDone?, Target?  end one access step
+//	end       Target?              end the I/O phase entirely
+//	stats     —                    LASSi-style live metrics snapshot
 //
-// Every TypeResp response carries the application's authorization at the
-// time it was sent, so a client can maintain its cached Check state from
-// the ordered response stream alone.
+// Target names the storage target (PFS server group, burst buffer, ...)
+// whose coordination domain the request addresses: arbitration is
+// independent per target, so a grant on one target never convoys behind a
+// holder on another. An empty Target means the session's default target
+// (itself defaulting to ""), which preserves the original single-target
+// protocol byte for byte — a client that never sets Target speaks exactly
+// the pre-target wire format.
+//
+// Every TypeResp response carries the application's authorization on the
+// request's target at the time it was sent (Target echoed), so a client can
+// maintain its cached per-target Check state from the ordered response
+// stream alone.
 //
 // The protocol is deliberately ignorant of transport concerns beyond
 // framing; internal/server and internal/client own connection lifecycle.
@@ -82,6 +92,9 @@ type Request struct {
 	// the paper piggybacks progress on coordination messages. Honored on
 	// inform and release.
 	BytesDone float64 `json:"bytes_done,omitempty"`
+	// Target names the storage target this request addresses; empty means
+	// the session's default target. On register it sets that default.
+	Target string `json:"target,omitempty"`
 }
 
 // Response is a server → client message: either the answer to one request
@@ -93,12 +106,22 @@ type Response struct {
 	OK         bool   `json:"ok,omitempty"`
 	Err        string `json:"err,omitempty"`
 	Authorized bool   `json:"authorized,omitempty"`
-	Stats      *Stats `json:"stats,omitempty"`
+	// Target names the storage target the Authorized bit (or the pushed
+	// grant/revoke) refers to; empty is the default target.
+	Target string `json:"target,omitempty"`
+	Stats  *Stats `json:"stats,omitempty"`
 }
 
-// AppStats is one application's slice of the live metrics snapshot.
+// AppStats is one application's slice of the live metrics snapshot on one
+// storage target. An application coordinating on several targets appears
+// once per target; a session appears from its first coordination verb on a
+// target (registration alone announces no coordination domain, so a
+// registered-but-idle session is counted in Stats.Sessions but has no app
+// row yet).
 type AppStats struct {
-	Name       string  `json:"name"`
+	Name string `json:"name"`
+	// Target is the storage target these counters belong to ("" = default).
+	Target     string  `json:"target,omitempty"`
 	Cores      int     `json:"cores"`
 	State      string  `json:"state"`
 	Authorized bool    `json:"authorized,omitempty"`
@@ -129,9 +152,27 @@ type AppStats struct {
 	Interference float64 `json:"interference,omitempty"`
 }
 
+// TargetStats is one storage target's slice of the machine-wide aggregates:
+// the combining layer over the per-target arbiters. Counters follow the
+// same cumulative discipline as the top-level Stats fields.
+type TargetStats struct {
+	Target         string  `json:"target"` // "" = the default target
+	Apps           int     `json:"apps"`   // sessions attached to this target
+	Arbitrations   uint64  `json:"arbitrations"`
+	GrantsServed   uint64  `json:"grants_served"`
+	WaitsImmediate uint64  `json:"waits_immediate,omitempty"`
+	WaitsDeferred  uint64  `json:"waits_deferred,omitempty"`
+	ConvoyWaitS    float64 `json:"convoy_wait_s,omitempty"`
+	ProtocolWaitS  float64 `json:"protocol_wait_s,omitempty"`
+	LastDecision   string  `json:"last_decision,omitempty"`
+}
+
 // Stats is the daemon's LASSi-style live snapshot: per-application I/O and
 // wait accounting plus machine-wide aggregates, computed on demand from the
-// arbitration loop so it is always consistent. Apps are sorted by name.
+// arbitration goroutines so it is always consistent. Apps are sorted by
+// (name, target); Targets by target name. The top-level counters are the
+// sums over all targets, so a single-target daemon reports exactly what it
+// did before targets existed.
 type Stats struct {
 	Policy           string  `json:"policy"`
 	NowS             float64 `json:"now_s"`
@@ -150,6 +191,9 @@ type Stats struct {
 	ProtocolWaitS  float64    `json:"protocol_wait_s,omitempty"`
 	LastDecision   string     `json:"last_decision,omitempty"`
 	Apps           []AppStats `json:"apps,omitempty"`
+	// Targets is the per-storage-target breakdown, one entry per target
+	// that has seen coordination traffic, sorted by target name.
+	Targets []TargetStats `json:"targets,omitempty"`
 }
 
 // Write marshals v and writes it as one frame.
