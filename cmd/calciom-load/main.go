@@ -28,6 +28,17 @@
 // With -record the fleet's traffic is captured client-side into a trace
 // file (one session per client, timestamps on a shared clock) that
 // calciom-replay can re-arbitrate under any policy.
+//
+// The fault-tolerance flags exercise the robust client: -reconnect survives
+// daemon restarts (sessions resume under the same name), -fail-open bounds
+// how long any client blocks on a dead daemon before self-granting, and the
+// -chaos-* flags interpose an in-process fault-injecting proxy (resets,
+// delays, partitions) between the fleet and the daemon. With any of these
+// set the output gains a "degraded:" line accounting for self-granted
+// waits; the "agg:" grants counter keeps counting only daemon-coordinated
+// grants, so grants + self-grants always equals the waits the workload
+// performed. Without these flags the output is byte-identical to the
+// fault-free tool.
 package main
 
 import (
@@ -38,10 +49,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/swf"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 const miB = float64(1 << 20)
@@ -67,12 +80,16 @@ type counters struct {
 // result accumulates one client's deterministic counters (total and per
 // target) and its wait latencies. connected reports that Dial+Register
 // succeeded, separating "never reached the daemon" from "failed
-// mid-workload".
+// mid-workload". degraded is the client's fail-open accounting; grants
+// counts only daemon-coordinated grants (self-grants are subtracted), so
+// grants + degraded.SelfGrants is the number of waits the workload
+// performed.
 type result struct {
 	connected bool
 	counters
 	perTarget map[string]counters
 	lats      []time.Duration
+	degraded  client.DegradedReport
 }
 
 func main() {
@@ -90,7 +107,19 @@ func main() {
 	jobs := flag.Int("jobs", 0, "SWF: cap on jobs replayed (0 = clients*phases)")
 	swfMiBPerProc := flag.Float64("swf-mib-per-proc", 1, "SWF: declared MiB per job process")
 	record := flag.String("record", "", "capture the fleet's traffic client-side to this trace file")
+	registerTarget := flag.String("register-target", "", "register every client with this default storage target (tasks without an explicit target coordinate there)")
+	reconnect := flag.Bool("reconnect", false, "survive daemon restarts: reconnect with backoff and resume sessions")
+	failOpen := flag.Duration("fail-open", 0, "self-grant after the daemon has been unreachable this long (implies -reconnect)")
+	chaosReset := flag.Duration("chaos-reset", 0, "chaos proxy: reset each connection roughly this long after accept")
+	chaosDelay := flag.Duration("chaos-delay", 0, "chaos proxy: delay every forwarded chunk this long")
+	chaosPartEvery := flag.Duration("chaos-partition-every", 0, "chaos proxy: start a partition window this often")
+	chaosPartFor := flag.Duration("chaos-partition-for", 0, "chaos proxy: partition window length")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos proxy: deterministic fault schedule seed")
 	flag.Parse()
+	if *failOpen > 0 {
+		*reconnect = true
+	}
+	robust := *reconnect || *failOpen > 0
 
 	tasks, err := buildTasks(*swfPath, *clients, *phases, *steps, *mib, *cores, *jobs, *swfMiBPerProc)
 	if err != nil {
@@ -126,6 +155,32 @@ func main() {
 		}
 	}
 
+	// With chaos enabled the fleet dials a fault-injecting proxy in front of
+	// the daemon; the final daemonView still goes direct so the report is
+	// not a chaos casualty.
+	dialAddr := *addr
+	if *chaosReset > 0 || *chaosDelay > 0 || (*chaosPartEvery > 0 && *chaosPartFor > 0) {
+		p, err := chaos.New(chaos.Options{
+			Target:         *addr,
+			ResetEvery:     *chaosReset,
+			Delay:          *chaosDelay,
+			PartitionEvery: *chaosPartEvery,
+			PartitionFor:   *chaosPartFor,
+			Seed:           *chaosSeed,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer p.Close()
+		dialAddr = p.Addr()
+		fmt.Fprintf(os.Stderr, "chaos: proxying %s via %s\n", *addr, dialAddr)
+	}
+	copts := client.Options{Reconnect: *reconnect, FailOpen: *failOpen}
+
 	var wg sync.WaitGroup
 	results := make([]result, *clients)
 	errs := make([]error, *clients)
@@ -148,8 +203,8 @@ func main() {
 			if *stagger > 0 {
 				time.Sleep(time.Duration(i) * *stagger)
 			}
-			results[i], errs[i] = runClient(*addr, fmt.Sprintf("%s-%04d", *prefix, i), mine, *think,
-				tw, uint32(i+1), clock)
+			results[i], errs[i] = runClient(dialAddr, fmt.Sprintf("%s-%04d", *prefix, i), mine, *think,
+				tw, uint32(i+1), clock, copts, *registerTarget)
 		}(i, mine)
 	}
 	wg.Wait()
@@ -159,12 +214,16 @@ func main() {
 	// counters; failures are explicit (attempted vs connected, the error
 	// count, and a partial: line), never silently folded in.
 	var tot, partial result
+	var deg client.DegradedReport
 	perTarget := map[string]counters{}
 	connected, nerr := 0, 0
 	for i := range results {
 		if results[i].connected {
 			connected++
 		}
+		deg.SelfGrants += results[i].degraded.SelfGrants
+		deg.Seconds += results[i].degraded.Seconds
+		deg.Windows += results[i].degraded.Windows
 		if errs[i] != nil {
 			nerr++
 			partial.phases += results[i].phases
@@ -209,6 +268,21 @@ func main() {
 	if nerr > 0 {
 		fmt.Printf("partial: clients=%d phases=%d grants=%d mib=%.0f\n",
 			nerr, partial.phases, partial.grants, partial.bytes/miB)
+	}
+	// The degraded line appears only when the robust client is in play, so
+	// fault-free output stays byte-identical. self-grants is the fleet's
+	// client-side truth (grants + self-grants == waits performed);
+	// daemon-self-grants is what resumed sessions managed to report before
+	// the run ended (a client that finished while still degraded reports
+	// nothing). degraded-s is wall clock and varies.
+	if robust {
+		var dself uint64
+		var dapps int
+		if st, err := daemonStats(*addr); err == nil {
+			dself, dapps = st.SelfGrants, len(st.Degraded)
+		}
+		fmt.Printf("degraded: self-grants=%d windows=%d degraded-s=%.3f daemon-self-grants=%d daemon-degraded-apps=%d\n",
+			deg.SelfGrants, deg.Windows, deg.Seconds, dself, dapps)
 	}
 	fmt.Printf("daemon: policy=%s grants-served=%d\n", policy, daemonGrants)
 	fmt.Printf("timing: elapsed=%.3fs throughput=%.0f grants/s\n",
@@ -287,15 +361,24 @@ func buildTasks(swfPath string, clients, phases, steps int, mib float64, cores, 
 // canonical CALCioM sequence (Prepare, Inform, Wait, steps × [access,
 // Release/Inform/Wait], Complete, End) on the phase's storage target,
 // timing every Wait. A non-nil tw captures the traffic client-side under
-// the given trace session identity.
+// the given trace session identity. The grants counter is corrected at the
+// end to exclude self-granted waits (fail-open), so it counts only
+// daemon-coordinated grants; self-grants land in result.degraded. (The
+// per-target grant counters keep counting all served waits — per-target
+// self-grant attribution is not tracked.)
 func runClient(addr, name string, tasks []task, think time.Duration,
-	tw *trace.Writer, sid uint32, clock func() float64) (result, error) {
-	res := result{perTarget: map[string]counters{}}
-	c, err := client.Dial(addr)
+	tw *trace.Writer, sid uint32, clock func() float64,
+	opts client.Options, registerTarget string) (res result, err error) {
+	res = result{perTarget: map[string]counters{}}
+	c, err := client.DialOptions(addr, opts)
 	if err != nil {
 		return res, err
 	}
 	defer c.Close()
+	defer func() {
+		res.degraded = c.DegradedReport()
+		res.grants -= int(min(uint64(res.grants), res.degraded.SelfGrants))
+	}()
 	if tw != nil {
 		c.CaptureTo(tw, sid, clock)
 	}
@@ -303,7 +386,7 @@ func runClient(addr, name string, tasks []task, think time.Duration,
 	if len(tasks) > 0 {
 		co = tasks[0].cores
 	}
-	if err := c.Register(name, co); err != nil {
+	if err := c.RegisterOn(name, co, registerTarget); err != nil {
 		return res, err
 	}
 	res.connected = true
@@ -373,16 +456,21 @@ func runClient(addr, name string, tasks []task, think time.Duration,
 // daemonView fetches the daemon's own policy name and grant counter over a
 // fresh connection.
 func daemonView(addr string) (string, uint64) {
-	c, err := client.Dial(addr)
-	if err != nil {
-		return "?", 0
-	}
-	defer c.Close()
-	st, err := c.Stats()
+	st, err := daemonStats(addr)
 	if err != nil {
 		return "?", 0
 	}
 	return st.Policy, st.GrantsServed
+}
+
+// daemonStats fetches the daemon's full metrics snapshot.
+func daemonStats(addr string) (wire.Stats, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	defer c.Close()
+	return c.Stats()
 }
 
 // pct returns the p-th percentile of sorted latencies, rounded for display.

@@ -38,6 +38,7 @@ func main() {
 	nicMiBps := flag.Float64("proc-nic-mibps", 0, "override the performance model's per-core injection bandwidth")
 	apps := flag.Bool("apps", false, "print per-application rows for every policy")
 	width := flag.Int("width", 40, "bar chart width")
+	allowTrunc := flag.Bool("allow-truncated", false, "accept a truncated trace (crashed recorder): read up to the torn tail, report the truncation point, verify the grant sequence as a prefix")
 	flag.Parse()
 	if *path == "" && flag.NArg() == 1 {
 		*path = flag.Arg(0)
@@ -47,7 +48,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	tr, err := trace.Load(*path)
+	load := trace.Load
+	if *allowTrunc {
+		load = trace.LoadLenient
+	}
+	tr, err := load(*path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -68,6 +73,10 @@ func main() {
 	}
 	fmt.Printf("trace: path=%s source=%s policy=%s events=%d sessions=%d span=%.3fs dropped=%d\n",
 		*path, tr.Header.Source, tr.Header.Policy, len(tr.Events), sessions, last-first, tr.Dropped)
+	if tr.Truncated {
+		fmt.Printf("trace: TRUNCATED after event %d (recorder died mid-write; analyzing the surviving prefix)\n",
+			len(tr.Events))
+	}
 
 	// Exact-reproduction check: daemon traces carry the recorded grant
 	// sequence; replaying under the recording policy must reproduce it.

@@ -6,15 +6,23 @@
 // With -file it reads a real SWF trace (e.g. ANL-Intrepid-2009-1.swf from
 // the Parallel Workload Archive); without, it generates the calibrated
 // synthetic Intrepid-like trace.
+//
+// With -coord it instead summarizes a coordination trace recorded by
+// calciomd -record or calciom-load -record: header, event and session
+// counts, span, and per-event-type totals. -allow-truncated accepts a
+// trace whose recorder died mid-write (kill -9), reading up to the torn
+// tail and reporting the truncation point.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/swf"
 	"repro/internal/textplot"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -23,7 +31,17 @@ func main() {
 	seed := flag.Int64("seed", 20090101, "synthetic trace seed")
 	mu := flag.Float64("mu", 0.05, "E[µ]: fraction of time an app spends in I/O")
 	plot := flag.Bool("plot", true, "render ASCII charts")
+	coord := flag.String("coord", "", "summarize this coordination trace (calciomd/calciom-load -record) instead of an SWF trace")
+	allowTrunc := flag.Bool("allow-truncated", false, "with -coord: accept a truncated (crashed-recorder) trace, reporting the truncation point")
 	flag.Parse()
+
+	if *coord != "" {
+		if err := summarizeCoord(*coord, *allowTrunc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tr *swf.Trace
 	if *file != "" {
@@ -81,4 +99,42 @@ func main() {
 	fmt.Printf("P(another app is doing I/O) at E[µ]=%.0f%%: %.1f%%\n",
 		100**mu, 100*swf.ProbOtherDoingIO(tr, *mu))
 	fmt.Println("(paper: 64% at E[µ]=5% on the Intrepid trace)")
+}
+
+// summarizeCoord prints a deterministic summary of a coordination trace:
+// the analysis entry point for a trace that may have survived a daemon
+// crash, where the first question is "how much of it is usable?".
+func summarizeCoord(path string, allowTrunc bool) error {
+	load := trace.Load
+	if allowTrunc {
+		load = trace.LoadLenient
+	}
+	tr, err := load(path)
+	if err != nil {
+		return err
+	}
+	sessions, targets := 0, map[string]bool{}
+	byType := map[string]int{}
+	for _, ev := range tr.Events {
+		byType[ev.Type.String()]++
+		if ev.Type == trace.EvRegister {
+			sessions++
+		}
+		targets[ev.Target] = true
+	}
+	first, last := tr.Span()
+	fmt.Printf("coord-trace: path=%s source=%s policy=%s events=%d sessions=%d targets=%d span=%.3fs dropped=%d\n",
+		path, tr.Header.Source, tr.Header.Policy, len(tr.Events), sessions, len(targets), last-first, tr.Dropped)
+	if tr.Truncated {
+		fmt.Printf("coord-trace: TRUNCATED after event %d (recorder died mid-write)\n", len(tr.Events))
+	}
+	names := make([]string, 0, len(byType))
+	for name := range byType {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("coord-trace: type=%s count=%d\n", name, byType[name])
+	}
+	return nil
 }

@@ -15,8 +15,13 @@
 // trace offline under every policy. Recording adds no allocation or
 // blocking to the arbitration hot path.
 //
-// On SIGINT/SIGTERM the daemon shuts down cleanly and reports the grants it
-// served. Pair it with calciom-load for a quick smoke:
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener closes, every
+// pending Wait is answered with a retryable "draining" error (reconnecting
+// clients back off and resume against the daemon's successor), the trace
+// trailer is flushed, and the daemon reports the grants it served. With
+// -grant-grace a disconnected client's registration and grants survive the
+// given window, so a client that reconnects in time resumes instead of
+// starting over. Pair it with calciom-load for a quick smoke:
 //
 //	calciomd -listen 127.0.0.1:9595 -record run.trace   # terminal 1
 //	calciom-load -addr 127.0.0.1:9595                   # terminal 2
@@ -41,6 +46,7 @@ func main() {
 	listen := flag.String("listen", "", "listen address (overrides config)")
 	policy := flag.String("policy", "", "arbitration policy: fcfs|interrupt|interfere|delay (overrides config)")
 	timeout := flag.Float64("session-timeout", -1, "evict sessions idle this many seconds; 0 disables (overrides config)")
+	grace := flag.Float64("grant-grace", -1, "keep a disconnected session's grants this many seconds for resume; 0 drops immediately (overrides config)")
 	record := flag.String("record", "", "record every coordination event to this trace file (overrides config)")
 	statsEvery := flag.Duration("stats-interval", 0, "print a live metrics line this often (0 = off)")
 	quiet := flag.Bool("quiet", false, "suppress connection lifecycle logging")
@@ -63,8 +69,15 @@ func main() {
 	if *timeout >= 0 {
 		d.SessionTimeoutS = *timeout
 	}
+	if *grace >= 0 {
+		d.GrantGraceS = *grace
+	}
 	if *record != "" {
 		d.RecordPath = *record
+	}
+	if err := d.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	pol, err := d.BuildPolicy()
 	if err != nil {
@@ -77,7 +90,10 @@ func main() {
 	if d.RecordPath != "" {
 		tf, err = os.Create(d.RecordPath)
 		if err == nil {
-			tw, err = trace.NewWriter(tf, d.TraceHeader(), d.RecordBuffer)
+			// Crash-consistent by default: periodic sync points bound how
+			// much trace a kill -9 loses, and calciom-replay -allow-truncated
+			// reads the survivors.
+			tw, err = trace.NewWriterOptions(tf, d.TraceHeader(), d.TraceOptions())
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -96,6 +112,7 @@ func main() {
 		Policy:         pol,
 		Model:          d.Model(),
 		SessionTimeout: d.SessionTimeout(),
+		GrantGrace:     d.GrantGrace(),
 		LogBound:       d.DecisionLog,
 		Logf:           logf,
 		Trace:          tw,
@@ -108,6 +125,11 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
+		// First signal: graceful drain — stop accepting, answer pending
+		// waits with a retryable "draining" error, let main flush the trace
+		// trailer. Second signal: immediate shutdown.
+		<-sig
+		srv.Drain()
 		<-sig
 		srv.Close()
 	}()

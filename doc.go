@@ -162,6 +162,60 @@
 // predictions; calciom-replay prints the comparison with a recommended
 // policy and is byte-identical across runs on one trace.
 //
+// # Failure model
+//
+// Daemon mode is engineered so that no single failure wedges an
+// application forever and no failure silently corrupts coordination state.
+// The contract, failure by failure:
+//
+//   - Client crash (process death, kill -9): the daemon sees the
+//     connection drop. A registered session does not lose its grants
+//     immediately — it enters a grace window (grant_grace_s, shorter than
+//     the idle session timeout) during which a resumed incarnation can
+//     reclaim its name and every grant it held. Only when the grace
+//     expires are the session's grants revoked and its targets
+//     re-arbitrated, so waiters behind a briefly-disconnected holder
+//     resume exactly once, never twice.
+//   - Daemon crash (kill -9, node loss): a client built with
+//     Options.Reconnect redials with exponential backoff and jitter,
+//     re-registers under the same name with a higher incarnation, and
+//     replays its in-flight protocol state (stacked prepares, the open
+//     phase, a blocking re-wait when it held a grant) so the resumed
+//     session is indistinguishable from one that never disconnected.
+//     If the daemon stays unreachable past Options.FailOpen, the client
+//     degrades to self-granting — coordination is an optimization, not a
+//     correctness requirement, so an unreachable daemon must never block
+//     I/O forever. Every self-grant and every degraded second is counted
+//     locally, reported to the daemon on resume, and folded into
+//     wire.Stats per application, so an operator can see exactly how much
+//     I/O ran uncoordinated. The daemon's trace survives its crash:
+//     the recorder emits periodic sync records and the lenient reader
+//     (trace.LoadLenient, calciom-replay/-trace -allow-truncated) reads
+//     up to the torn tail and reports the truncation point — a crashed
+//     run's surviving prefix still replays and verifies.
+//   - Network partition: from each side this is just the cases above —
+//     the daemon runs the grace window, the client runs
+//     reconnect/fail-open. The internal/chaos proxy (calciom-load
+//     -chaos-* flags, the CI chaos smoke) injects exactly these faults —
+//     resets at arbitrary byte boundaries, forwarding delay, partition
+//     windows — on a seeded deterministic schedule, and the accounting
+//     invariant checked after every chaos run is exact:
+//     coordinated grants + self-grants == phases run.
+//   - Graceful drain (SIGTERM): the daemon stops accepting, answers every
+//     parked wait with the retryable "draining" error code instead of
+//     leaving it hanging, flushes the trace trailer, and exits clean; a
+//     second signal force-closes. Reconnecting clients treat retryable
+//     codes as a reconnect trigger, so a drained-and-restarted daemon is
+//     a blip, not an outage.
+//
+// Typed wire error codes (wire.Code*, Response.Retryable) separate the
+// transient from the fatal: "draining" is retryable; "stale_incarnation",
+// "duplicate", "too_many_targets" and "protocol" are not, and a
+// reconnecting client surfaces them instead of retrying forever.
+// TestResumeReclaimsGrant and TestReconnectStorm pin the core invariant
+// under -race: across forced disconnect and resume of a grant holder, a
+// grant is never lost and never duplicated.
+//
 // # Performance
 //
 // The evaluation sweeps thousands of ∆-graph points, each a full

@@ -1,0 +1,255 @@
+// Package chaos is an in-process fault-injecting TCP proxy for exercising
+// the coordination stack's failure paths: it sits between clients and
+// calciomd, forwarding byte streams while injecting connection resets,
+// per-chunk forwarding delays, and periodic partition windows on a
+// deterministic schedule (seeded, so a failing chaos run reproduces).
+//
+// The proxy is deliberately protocol-blind — it tears connections at
+// arbitrary byte boundaries, which is exactly what makes it useful: torn
+// frames, lost responses, and half-written requests are the cases the
+// client's reconnect/resume layer and the daemon's grace windows must
+// absorb. calciom-load wires it in front of the daemon under the -chaos*
+// flags; the CI chaos smoke runs a fleet through it.
+package chaos
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options configures the fault schedule. The zero value (beyond Target) is
+// a transparent proxy.
+type Options struct {
+	// Listen is the address to accept clients on; empty means an ephemeral
+	// localhost port (read it back from Proxy.Addr).
+	Listen string
+	// Target is the upstream (daemon) address. Required.
+	Target string
+	// ResetEvery, when positive, resets each proxied connection roughly
+	// this long after it is accepted (jittered ±50% from the seed), at an
+	// arbitrary byte boundary.
+	ResetEvery time.Duration
+	// Delay, when positive, delays every forwarded chunk by this much in
+	// each direction — a slow, high-latency network.
+	Delay time.Duration
+	// PartitionEvery/PartitionFor, when both positive, schedule periodic
+	// partitions: every PartitionEvery the proxy cuts all live connections
+	// and refuses new ones for PartitionFor.
+	PartitionEvery time.Duration
+	PartitionFor   time.Duration
+	// Seed makes the jitter deterministic; 0 means seed 1.
+	Seed int64
+	// Logf, when set, receives one line per injected fault.
+	Logf func(format string, args ...any)
+}
+
+// Proxy is a running chaos proxy. Close stops the listener, cuts every
+// proxied connection, and waits for the internal goroutines to finish.
+type Proxy struct {
+	opts Options
+	ln   net.Listener
+	rng  *rand.Rand // guarded by mu
+
+	mu          sync.Mutex
+	conns       map[net.Conn]struct{} // client-side conns of live pairs
+	partitioned bool
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy. It accepts immediately; faults follow the schedule.
+func New(opts Options) (*Proxy, error) {
+	addr := opts.Listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := &Proxy{
+		opts:  opts,
+		ln:    ln,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if p.opts.Logf == nil {
+		p.opts.Logf = func(string, ...any) {}
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	if opts.PartitionEvery > 0 && opts.PartitionFor > 0 {
+		p.wg.Add(1)
+		go p.partitionLoop()
+	}
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the daemon.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the proxy and severs every proxied connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.cutAll("shutdown")
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Cut severs every live proxied connection right now — a one-shot manual
+// fault for deterministic tests (the scheduled faults keep running).
+func (p *Proxy) Cut() { p.cutAll("manual cut") }
+
+// cutAll severs every live proxied connection.
+func (p *Proxy) cutAll(why string) {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	if len(conns) > 0 {
+		p.opts.Logf("chaos: cut %d connection(s): %s", len(conns), why)
+	}
+}
+
+func (p *Proxy) partitionLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.opts.PartitionEvery)
+	defer tick.Stop()
+	for range tick.C {
+		if p.isClosed() {
+			return
+		}
+		p.mu.Lock()
+		p.partitioned = true
+		p.mu.Unlock()
+		p.opts.Logf("chaos: partition for %v", p.opts.PartitionFor)
+		p.cutAll("partition")
+		time.Sleep(p.opts.PartitionFor)
+		p.mu.Lock()
+		p.partitioned = false
+		closed := p.closed
+		p.mu.Unlock()
+		p.opts.Logf("chaos: partition healed")
+		if closed {
+			return
+		}
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		refuse := p.partitioned || p.closed
+		var resetAfter time.Duration
+		if p.opts.ResetEvery > 0 {
+			// Jitter ±50% so a fleet's resets don't synchronize.
+			half := int64(p.opts.ResetEvery) / 2
+			resetAfter = p.opts.ResetEvery/2 + time.Duration(p.rng.Int63n(half+1))
+		}
+		p.mu.Unlock()
+		if refuse {
+			conn.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.opts.Target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			up.Close()
+			continue
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serve(conn, up, resetAfter)
+	}
+}
+
+// serve shuttles bytes between one client connection and its upstream pair
+// until either side dies or the scheduled reset fires.
+func (p *Proxy) serve(conn, up net.Conn, resetAfter time.Duration) {
+	defer p.wg.Done()
+	var timer *time.Timer
+	if resetAfter > 0 {
+		timer = time.AfterFunc(resetAfter, func() {
+			p.opts.Logf("chaos: reset after %v", resetAfter)
+			conn.Close()
+			up.Close()
+		})
+	}
+	var cp sync.WaitGroup
+	cp.Add(2)
+	go func() { defer cp.Done(); p.pump(up, conn) }()
+	go func() { defer cp.Done(); p.pump(conn, up) }()
+	cp.Wait()
+	if timer != nil {
+		timer.Stop()
+	}
+	conn.Close()
+	up.Close()
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+}
+
+// pump copies src→dst in chunks, applying the configured per-chunk delay.
+func (p *Proxy) pump(dst, src net.Conn) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.opts.Delay > 0 {
+				time.Sleep(p.opts.Delay)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				_ = err
+			}
+			break
+		}
+	}
+	// Half-close semantics are irrelevant for a fault proxy: one side dying
+	// tears the pair, which is also what a real reset does.
+	dst.Close()
+	src.Close()
+}

@@ -13,24 +13,125 @@
 // a single Client remains a one-application-goroutine object per target
 // handle; the internal reader goroutine that dispatches responses and
 // per-target authorization pushes is fully encapsulated.
+//
+// # Fault tolerance
+//
+// A Client dialed with Options.Reconnect survives its coordinator: a lost
+// connection triggers automatic redial with exponential backoff and jitter,
+// and the session resumes — it re-registers under the same application name
+// with a monotonically increasing incarnation, then lazily re-drives each
+// target's protocol state (the stacked prepares, the open phase, and a
+// re-acquiring Wait when it held authorization) from a client-side journal
+// before retrying the interrupted call. The daemon resets a resumed
+// session's protocol state at rebind, so the journal re-drive is correct
+// whether the daemon kept the session in a grace window, restarted from
+// scratch, or never heard of it.
+//
+// CALCioM coordination is advisory, so a dead coordinator must never wedge
+// the application's I/O: Options.FailOpen bounds how long any call blocks
+// on an unreachable daemon. Past the deadline the client enters degraded
+// mode — every coordination verb succeeds locally and Wait self-grants —
+// while reconnection continues in the background; on resume the
+// self-granted waits and the degraded seconds are reported to the daemon,
+// which surfaces them in Stats so operators can see exactly when
+// coordination lapsed. Without Reconnect (plain Dial) any connection error
+// remains terminal, exactly the original fail-fast behavior.
 package client
 
 import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
+// ErrClosed reports a call on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// ReplyError is an error reply from the daemon: the protocol-level failure
+// of one request, as opposed to a transport failure. Code classifies it
+// (see the wire.Code* constants); Retryable codes name transient daemon
+// conditions (draining) a reconnecting client retries transparently.
+type ReplyError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ReplyError) Error() string { return e.Msg }
+
+// transportError marks a connection-level failure (send, receive, or the
+// connection dying under a parked call) — retryable after reconnecting.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+func isTransport(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// Default backoff bounds for Options.Reconnect.
+const (
+	DefaultBackoffMin = 25 * time.Millisecond
+	DefaultBackoffMax = time.Second
+)
+
+// Options configures the client's failure behavior. The zero value is the
+// original fail-fast client: one connection, any error terminal.
+type Options struct {
+	// Reconnect redials a lost connection with exponential backoff plus
+	// jitter and resumes the session (same name, higher incarnation, state
+	// re-driven from the client-side journal) instead of failing calls.
+	Reconnect bool
+	// BackoffMin/BackoffMax bound the redial backoff; zero means the
+	// defaults (25ms / 1s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// FailOpen, when positive, bounds how long coordination blocks on an
+	// unreachable daemon: past this deadline the session self-grants
+	// (degraded, uncoordinated I/O — counted and reported on resume) while
+	// reconnection continues in the background. 0 means block until the
+	// daemon is back (never uncoordinated). Requires Reconnect.
+	FailOpen time.Duration
+}
+
+// tjournal is the client's per-target protocol journal: enough intended
+// state to re-drive a target after a resume (the daemon resets the session
+// at rebind) and to keep coordinating locally in degraded mode. Owned by
+// the goroutine driving that target's handle, like the handle itself.
+type tjournal struct {
+	epoch     uint64      // connection epoch this target last synced at
+	prepared  []core.Info // the prepare stack, oldest first
+	phaseOpen bool        // Inform succeeded since the last End
+	holding   bool        // Wait succeeded since the last End
+}
+
 // Client is one application's connection to the coordination daemon.
 type Client struct {
-	conn net.Conn
+	addr string
+	opts Options
+
+	// cmu guards the connection state machine: the current connection and
+	// its generation, healthy/degraded/terminal mode, and the stateCh pulse
+	// callers park on while the connection is down.
+	cmu       sync.Mutex
+	conn      net.Conn
+	gen       uint64
+	healthy   bool
+	degraded  bool
+	termErr   error
+	closed    bool
+	stateCh   chan struct{} // non-nil while down/degraded; closed on any mode change
+	recovering bool         // a recoverLoop goroutine is running
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
@@ -39,7 +140,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan wire.Response
-	err     error // terminal receive error; set once
+	err     error // terminal receive error; set once (fail-fast mode)
 
 	// auth caches the server's per-target view, updated by responses and by
 	// pushed grant/revoke notifications (the server echoes the resolved
@@ -52,29 +153,80 @@ type Client struct {
 	// any other coordination call (so later reads need no lock).
 	defTarget string
 
+	// Registration identity, kept for resume. regMu guards the fields; the
+	// incarnation increases on every register attempt so a resume always
+	// outbids whatever the daemon last accepted from this client.
+	regMu       sync.Mutex
+	regName     string
+	regCores    int
+	registered  bool
+	incarnation uint64
+
+	// epoch counts adopted connections; a journal whose epoch lags must
+	// resync before its target's next call.
+	epoch   atomic.Uint64
+	jmu     sync.Mutex
+	journal map[string]*tjournal
+
+	// Degraded (fail-open) accounting. pendSelf/pendDegraded are the
+	// not-yet-reported amounts a resume handshake carries to the daemon.
+	dmu           sync.Mutex
+	selfGrants    uint64
+	degradedSec   float64
+	windows       uint64
+	degradedSince time.Time
+	inWindow      bool
+	pendSelf      uint64
+	pendDegraded  float64
+
 	// Client-side trace capture (CaptureTo); nil when not recording.
 	tw       *trace.Writer
 	tsid     uint32
 	tclock   func() float64
 	traceReg atomic.Bool // a successful Register was recorded
 
-	done chan struct{}
+	done     chan struct{} // closed when the client is finished (Close, or fail-fast death)
+	doneOnce sync.Once
 }
 
-// Dial connects to a daemon.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+func (c *Client) finish() { c.doneOnce.Do(func() { close(c.done) }) }
+
+// Dial connects to a daemon with the original fail-fast behavior: any
+// connection error is terminal.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to a daemon with explicit failure behavior. With
+// Reconnect set, even the initial dial failing is not fatal if FailOpen is
+// positive — the client starts disconnected, recovering in the background,
+// and fails open on schedule; with FailOpen zero the initial dial must
+// succeed.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	if opts.BackoffMin <= 0 {
+		opts.BackoffMin = DefaultBackoffMin
+	}
+	if opts.BackoffMax < opts.BackoffMin {
+		opts.BackoffMax = DefaultBackoffMax
 	}
 	c := &Client{
-		conn:    conn,
-		bw:      bufio.NewWriter(conn),
+		addr:    addr,
+		opts:    opts,
 		pending: make(map[uint64]chan wire.Response),
 		auth:    make(map[string]bool),
+		journal: make(map[string]*tjournal),
 		done:    make(chan struct{}),
 	}
-	go c.readLoop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		if !opts.Reconnect || opts.FailOpen <= 0 {
+			return nil, err
+		}
+		// Start down: recoverLoop owns the dial, fail-open owns the bound.
+		c.stateCh = make(chan struct{})
+		c.recovering = true
+		go c.recoverLoop()
+		return c, nil
+	}
+	c.adopt(conn)
 	return c, nil
 }
 
@@ -86,7 +238,9 @@ func Dial(addr string) (*Client, error) {
 // observational: timestamps are client clocks, and the grant events are
 // client-observed, so it supports what-if replay but not exact
 // verification. Set it before the first call; the recorded Info maps must
-// not be mutated afterwards.
+// not be mutated afterwards. (With Reconnect, resumed state is re-driven
+// and so recorded again — the capture shows the retries, like the daemon's
+// own trace would.)
 func (c *Client) CaptureTo(w *trace.Writer, sid uint32, clock func() float64) {
 	c.tw, c.tsid, c.tclock = w, sid, clock
 }
@@ -105,20 +259,62 @@ func (c *Client) tnow() float64 {
 	return c.tclock()
 }
 
-// Close tears the connection down; outstanding calls fail. With a capture
-// attached, one unregister is recorded for the whole session — replay
-// propagates it to every target the session coordinated on.
+// Close tears the client down; outstanding calls fail with ErrClosed. With
+// a capture attached, one unregister is recorded for the whole session —
+// replay propagates it to every target the session coordinated on.
 func (c *Client) Close() error {
 	if c.tw != nil && c.traceReg.CompareAndSwap(true, false) {
 		c.rec(trace.Event{Type: trace.EvUnregister, Time: c.tnow(), Target: c.defTarget})
 	}
-	return c.conn.Close()
+	c.cmu.Lock()
+	if c.closed {
+		c.cmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	if c.stateCh != nil {
+		close(c.stateCh)
+		c.stateCh = nil
+	}
+	c.cmu.Unlock()
+	c.finish()
+	if conn != nil {
+		conn.Close()
+	}
+	return nil
+}
+
+// adopt installs a (re)established connection and wakes blocked callers.
+func (c *Client) adopt(conn net.Conn) {
+	c.cmu.Lock()
+	c.conn = conn
+	c.gen++
+	gen := c.gen
+	c.healthy = true
+	c.recovering = false
+	if c.degraded {
+		c.degraded = false
+		c.endWindow()
+	}
+	st := c.stateCh
+	c.stateCh = nil
+	c.cmu.Unlock()
+	c.epoch.Add(1)
+	c.wmu.Lock()
+	c.bw = bufio.NewWriter(conn)
+	c.wmu.Unlock()
+	go c.readLoop(conn, gen)
+	if st != nil {
+		close(st)
+	}
 }
 
 // readLoop dispatches responses to their waiting callers and folds
-// unsolicited grant/revoke pushes into the cached authorization state.
-func (c *Client) readLoop() {
-	dec := wire.NewReader(bufio.NewReader(c.conn))
+// unsolicited grant/revoke pushes into the cached authorization state. One
+// runs per adopted connection; on exit it reports the loss.
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	dec := wire.NewReader(bufio.NewReader(conn))
 	var err error
 	for {
 		var resp wire.Response
@@ -146,21 +342,299 @@ func (c *Client) readLoop() {
 			}
 		}
 	}
+	c.connLost(gen, err)
+}
+
+// connLost handles the death of the connection generation gen: parked calls
+// are failed (they retry through the recovery path), and either the
+// recovery goroutine starts (Reconnect) or the client dies (fail-fast).
+func (c *Client) connLost(gen uint64, cause error) {
+	c.cmu.Lock()
+	if c.closed || gen != c.gen || !c.healthy {
+		c.cmu.Unlock()
+		return
+	}
+	c.healthy = false
+	c.conn.Close()
+	reconnect := c.opts.Reconnect
+	if reconnect {
+		c.stateCh = make(chan struct{})
+		c.recovering = true
+	} else {
+		c.termErr = fmt.Errorf("client: connection lost: %w", cause)
+	}
+	c.cmu.Unlock()
+
 	c.mu.Lock()
-	c.err = fmt.Errorf("client: connection lost: %w", err)
 	pend := c.pending
-	c.pending = nil
+	if reconnect {
+		c.pending = make(map[uint64]chan wire.Response)
+	} else {
+		c.pending = nil
+		c.err = fmt.Errorf("client: connection lost: %w", cause)
+	}
 	c.mu.Unlock()
-	close(c.done)
 	for _, ch := range pend {
 		close(ch)
 	}
+	if reconnect {
+		go c.recoverLoop()
+	} else {
+		c.finish()
+	}
 }
 
-// call performs one blocking request/response round trip. Responses may be
-// served out of order by the daemon (Wait is answered only at grant time),
-// so each call parks on its own channel keyed by Seq.
-func (c *Client) call(req wire.Request) (wire.Response, error) {
+// recoverLoop redials with exponential backoff plus jitter until a
+// connection is adopted, the client closes, or a resume is fatally
+// rejected. When FailOpen is set and the deadline passes, the client enters
+// degraded mode (callers self-serve) while the loop keeps trying.
+func (c *Client) recoverLoop() {
+	backoff := c.opts.BackoffMin
+	var failAt time.Time
+	if c.opts.FailOpen > 0 {
+		failAt = time.Now().Add(c.opts.FailOpen)
+	}
+	for {
+		c.cmu.Lock()
+		if c.closed {
+			c.cmu.Unlock()
+			return
+		}
+		degraded := c.degraded
+		c.cmu.Unlock()
+		if !degraded && !failAt.IsZero() && time.Now().After(failAt) {
+			c.enterDegraded()
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, time.Second)
+		if err == nil {
+			ferr, fatal := c.handshake(conn)
+			if ferr == nil {
+				c.adopt(conn)
+				return
+			}
+			conn.Close()
+			if fatal {
+				c.terminal(ferr)
+				return
+			}
+		}
+		d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		select {
+		case <-time.After(d):
+		case <-c.done:
+			return
+		}
+		if backoff *= 2; backoff > c.opts.BackoffMax {
+			backoff = c.opts.BackoffMax
+		}
+	}
+}
+
+// handshake re-registers on a fresh connection before it is adopted: the
+// resume carries the same name, the next incarnation, and the accumulated
+// degraded report. A client that never registered has nothing to resume.
+// Returns (nil, _) on success; fatal reports an unrecoverable rejection
+// (another incarnation won the name).
+func (c *Client) handshake(conn net.Conn) (error, bool) {
+	c.regMu.Lock()
+	if !c.registered {
+		c.regMu.Unlock()
+		return nil, false
+	}
+	c.incarnation++
+	req := wire.Request{
+		Seq:         c.seq.Add(1),
+		Type:        wire.TypeRegister,
+		App:         c.regName,
+		Cores:       c.regCores,
+		Target:      c.defTarget,
+		Incarnation: c.incarnation,
+	}
+	c.regMu.Unlock()
+	reportSelf, reportDeg := c.snapshotReport()
+	req.SelfGrants = reportSelf
+	req.DegradedS = reportDeg
+
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+	if err := wire.Write(conn, req); err != nil {
+		return err, false
+	}
+	for {
+		var resp wire.Response
+		if err := wire.Read(conn, &resp); err != nil {
+			return err, false
+		}
+		if resp.Type != wire.TypeResp || resp.Seq != req.Seq {
+			continue // a stale push; the register answer is still coming
+		}
+		if resp.Err != "" {
+			return &ReplyError{Code: resp.Code, Msg: resp.Err}, !wire.Retryable(resp.Code)
+		}
+		c.markReported(reportSelf, reportDeg)
+		return nil, false
+	}
+}
+
+// terminal kills the client: recovery is impossible (the name was taken by
+// a newer incarnation, or an equally unrecoverable rejection).
+func (c *Client) terminal(err error) {
+	c.cmu.Lock()
+	if c.closed {
+		c.cmu.Unlock()
+		return
+	}
+	c.termErr = err
+	c.recovering = false
+	st := c.stateCh
+	c.stateCh = nil
+	c.cmu.Unlock()
+	if st != nil {
+		close(st)
+	}
+}
+
+// enterDegraded flips the client into fail-open mode: coordination verbs
+// self-serve from here until a connection is adopted.
+func (c *Client) enterDegraded() {
+	c.cmu.Lock()
+	if c.closed || c.degraded || c.healthy {
+		c.cmu.Unlock()
+		return
+	}
+	c.degraded = true
+	st := c.stateCh
+	c.stateCh = make(chan struct{})
+	c.cmu.Unlock()
+	c.dmu.Lock()
+	c.degradedSince = time.Now()
+	c.inWindow = true
+	c.windows++
+	c.dmu.Unlock()
+	if st != nil {
+		close(st)
+	}
+}
+
+// endWindow closes the open degraded window (caller holds cmu).
+func (c *Client) endWindow() {
+	c.dmu.Lock()
+	if c.inWindow {
+		d := time.Since(c.degradedSince).Seconds()
+		c.degradedSec += d
+		c.pendDegraded += d
+		c.inWindow = false
+	}
+	c.dmu.Unlock()
+}
+
+// snapshotReport returns the degraded amounts to report on a resume: the
+// unreported totals plus the still-open window so far.
+func (c *Client) snapshotReport() (uint64, float64) {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	self, deg := c.pendSelf, c.pendDegraded
+	if c.inWindow {
+		deg += time.Since(c.degradedSince).Seconds()
+	}
+	return self, deg
+}
+
+// markReported subtracts amounts the daemon has accepted. Self-grants that
+// landed during the handshake stay pending for the next report; reported
+// open-window seconds are rebased by moving the window start forward.
+func (c *Client) markReported(self uint64, deg float64) {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	c.pendSelf -= min(self, c.pendSelf)
+	c.pendDegraded -= deg
+	if c.pendDegraded < 0 {
+		// Part of the report came from the open window; rebase it so the
+		// remainder is not reported twice.
+		if c.inWindow {
+			c.degradedSince = c.degradedSince.Add(time.Duration(-c.pendDegraded * float64(time.Second)))
+		}
+		c.pendDegraded = 0
+	}
+}
+
+// DegradedReport is a client's cumulative fail-open accounting.
+type DegradedReport struct {
+	// SelfGrants counts Waits the client granted itself while the daemon
+	// was unreachable past the fail-open deadline.
+	SelfGrants uint64
+	// Seconds is the total time spent in degraded (uncoordinated) mode.
+	Seconds float64
+	// Windows counts distinct degraded episodes.
+	Windows uint64
+}
+
+// DegradedReport returns the client's fail-open accounting so far (an open
+// degraded window is included up to now). The same numbers are reported to
+// the daemon on resume and surfaced in its Stats.
+func (c *Client) DegradedReport() DegradedReport {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	r := DegradedReport{SelfGrants: c.selfGrants, Seconds: c.degradedSec, Windows: c.windows}
+	if c.inWindow {
+		r.Seconds += time.Since(c.degradedSince).Seconds()
+	}
+	return r
+}
+
+// mode reads the connection state machine for the retry loop.
+type mode int
+
+const (
+	modeHealthy mode = iota
+	modeDown
+	modeDegraded
+	modeTerminal
+	modeClosed
+)
+
+func (c *Client) mode() (mode, chan struct{}, error) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	switch {
+	case c.closed:
+		return modeClosed, nil, ErrClosed
+	case c.termErr != nil:
+		return modeTerminal, nil, c.termErr
+	case c.degraded:
+		return modeDegraded, nil, nil
+	case c.healthy:
+		return modeHealthy, nil, nil
+	default:
+		return modeDown, c.stateCh, nil
+	}
+}
+
+// await parks until the connection state changes from down, returning the
+// mode that ended the wait.
+func (c *Client) await() (mode, error) {
+	for {
+		m, st, err := c.mode()
+		if m != modeDown {
+			return m, err
+		}
+		if st == nil {
+			return m, errors.New("client: connection down")
+		}
+		select {
+		case <-st:
+		case <-c.done:
+			return modeClosed, ErrClosed
+		}
+	}
+}
+
+// rawCall performs one blocking request/response round trip on the current
+// connection. Responses may be served out of order by the daemon (Wait is
+// answered only at grant time), so each call parks on its own channel keyed
+// by Seq. Failures are typed: *transportError is retryable after recovery,
+// *ReplyError is the daemon's answer.
+func (c *Client) rawCall(req wire.Request) (wire.Response, error) {
 	req.Seq = c.seq.Add(1)
 	ch := make(chan wire.Response, 1)
 	c.mu.Lock()
@@ -173,16 +647,22 @@ func (c *Client) call(req wire.Request) (wire.Response, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := wire.Write(c.bw, req)
-	if err == nil {
-		err = c.bw.Flush()
+	var err error
+	if c.bw == nil {
+		err = errors.New("not connected")
+	} else {
+		if err = wire.Write(c.bw, req); err == nil {
+			err = c.bw.Flush()
+		}
 	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
-		delete(c.pending, req.Seq)
+		if c.pending != nil {
+			delete(c.pending, req.Seq)
+		}
 		c.mu.Unlock()
-		return wire.Response{}, fmt.Errorf("client: send: %w", err)
+		return wire.Response{}, &transportError{fmt.Errorf("client: send: %w", err)}
 	}
 
 	resp, ok := <-ch
@@ -190,12 +670,64 @@ func (c *Client) call(req wire.Request) (wire.Response, error) {
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
+		if err == nil {
+			err = &transportError{errors.New("client: connection lost")}
+		}
 		return wire.Response{}, err
 	}
 	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+		return resp, &ReplyError{Code: resp.Code, Msg: resp.Err}
 	}
 	return resp, nil
+}
+
+// call wraps rawCall with the recovery loop for requests with no per-target
+// journal (stats): transport errors wait out the outage and retry;
+// retryable daemon errors (draining) force a reconnect cycle first.
+func (c *Client) call(req wire.Request) (wire.Response, error) {
+	for {
+		m, _, err := c.mode()
+		switch m {
+		case modeClosed, modeTerminal:
+			return wire.Response{}, err
+		case modeDegraded:
+			return wire.Response{}, errors.New("client: degraded: coordinator unreachable")
+		case modeDown:
+			if _, err := c.await(); err != nil {
+				return wire.Response{}, err
+			}
+			continue
+		}
+		resp, err := c.rawCall(req)
+		if err == nil {
+			return resp, nil
+		}
+		if !c.opts.Reconnect {
+			return resp, err
+		}
+		if isTransport(err) {
+			continue // loop re-reads mode and parks in await
+		}
+		var re *ReplyError
+		if errors.As(err, &re) && wire.Retryable(re.Code) {
+			c.kickReconnect()
+			continue
+		}
+		return resp, err
+	}
+}
+
+// kickReconnect force-cycles the current connection (the daemon said it is
+// draining): closing it makes the read loop exit into the recovery path.
+func (c *Client) kickReconnect() {
+	c.cmu.Lock()
+	if c.healthy && c.conn != nil {
+		c.conn.Close()
+	}
+	c.cmu.Unlock()
+	// Give the read loop a moment to observe the close; await handles the
+	// rest once connLost has run.
+	time.Sleep(time.Millisecond)
 }
 
 func (c *Client) setAuth(target string, v bool) {
@@ -208,6 +740,155 @@ func (c *Client) getAuth(target string) bool {
 	c.amu.Lock()
 	defer c.amu.Unlock()
 	return c.auth[target]
+}
+
+func (c *Client) journalFor(target string) *tjournal {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	j := c.journal[target]
+	if j == nil {
+		j = &tjournal{epoch: c.epoch.Load()}
+		c.journal[target] = j
+	}
+	return j
+}
+
+// ensureSynced re-drives a target's journal after a resume: the daemon
+// reset the session's protocol state at rebind, so the stacked prepares,
+// the open phase, and — when the client held authorization — a blocking
+// re-acquiring Wait are re-issued before the interrupted call retries.
+func (c *Client) ensureSynced(t Target) error {
+	if !c.opts.Reconnect {
+		return nil
+	}
+	c.regMu.Lock()
+	registered := c.registered
+	c.regMu.Unlock()
+	if !registered {
+		return nil
+	}
+	j := c.journalFor(t.resolved())
+	cur := c.epoch.Load()
+	if j.epoch == cur {
+		return nil
+	}
+	j.epoch = cur
+	redrive := func(req wire.Request) error {
+		if _, err := c.rawCall(req); err != nil {
+			j.epoch = 0 // resync again after the next recovery
+			return err
+		}
+		return nil
+	}
+	for _, info := range j.prepared {
+		if err := redrive(wire.Request{Type: wire.TypePrepare, Info: info, Target: t.send}); err != nil {
+			return err
+		}
+	}
+	if j.phaseOpen {
+		if err := redrive(wire.Request{Type: wire.TypeInform, Target: t.send}); err != nil {
+			return err
+		}
+		if j.holding {
+			if err := redrive(wire.Request{Type: wire.TypeWait, Target: t.send}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// note updates the target's journal after one successful verb, keeping it
+// exactly the state a resync must re-drive.
+func (j *tjournal) note(typ string, info core.Info) {
+	switch typ {
+	case wire.TypePrepare:
+		j.prepared = append(j.prepared, info)
+	case wire.TypeComplete:
+		if n := len(j.prepared); n > 0 {
+			j.prepared = j.prepared[:n-1]
+		}
+	case wire.TypeInform:
+		j.phaseOpen = true
+	case wire.TypeWait:
+		j.holding = true
+	case wire.TypeEnd:
+		j.phaseOpen = false
+		j.holding = false
+	}
+}
+
+// selfServe answers one coordination verb locally in degraded mode: the
+// journal advances exactly as if the daemon had said yes, and a Wait is a
+// counted self-grant. When the daemon comes back the journal re-drives the
+// resulting state through the real protocol.
+func (c *Client) selfServe(t Target, req wire.Request) wire.Response {
+	j := c.journalFor(t.resolved())
+	j.note(req.Type, core.Info(req.Info))
+	resp := wire.Response{Type: wire.TypeResp, OK: true, Target: t.resolved()}
+	switch req.Type {
+	case wire.TypeWait:
+		c.dmu.Lock()
+		c.selfGrants++
+		c.pendSelf++
+		c.dmu.Unlock()
+		c.setAuth(t.resolved(), true)
+		resp.Authorized = true
+	case wire.TypeCheck:
+		// Degraded coordination is self-coordination: the session is always
+		// authorized by itself.
+		resp.Authorized = true
+	case wire.TypeEnd:
+		c.setAuth(t.resolved(), false)
+	default:
+		resp.Authorized = c.getAuth(t.resolved())
+	}
+	return resp
+}
+
+// invoke is the robust round trip for one coordination verb on one target:
+// degraded mode self-serves, a stale journal resyncs first, transport
+// errors wait out the outage and retry, and retryable daemon errors
+// (draining) force a reconnect cycle. On success the journal advances.
+func (t Target) invoke(req wire.Request) (wire.Response, error) {
+	c := t.c
+	for {
+		m, _, err := c.mode()
+		switch m {
+		case modeClosed, modeTerminal:
+			return wire.Response{}, err
+		case modeDegraded:
+			return c.selfServe(t, req), nil
+		case modeDown:
+			if _, err := c.await(); err != nil {
+				return wire.Response{}, err
+			}
+			continue
+		}
+		if err := c.ensureSynced(t); err != nil {
+			if isTransport(err) && c.opts.Reconnect {
+				continue
+			}
+			return wire.Response{}, err
+		}
+		resp, err := c.rawCall(req)
+		if err == nil {
+			c.journalFor(t.resolved()).note(req.Type, core.Info(req.Info))
+			return resp, nil
+		}
+		if !c.opts.Reconnect {
+			return resp, err
+		}
+		if isTransport(err) {
+			continue
+		}
+		var re *ReplyError
+		if errors.As(err, &re) && wire.Retryable(re.Code) {
+			c.kickReconnect()
+			continue
+		}
+		return resp, err
+	}
 }
 
 // Target is a handle for one storage target's coordination domain: the
@@ -250,22 +931,75 @@ func (c *Client) Register(name string, cores int) error {
 // RegisterOn is Register with a default storage target: requests that do
 // not name a target coordinate there. It must be the first call on the
 // client (later calls read the default without synchronization).
+//
+// With Reconnect, the register carries incarnation 1 and every retry or
+// resume bumps it, so the daemon can tell a resumed session from a name
+// collision; in degraded mode registration succeeds locally and reaches
+// the daemon when it comes back.
 func (c *Client) RegisterOn(name string, cores int, target string) error {
-	t := c.tnow()
-	_, err := c.call(wire.Request{Type: wire.TypeRegister, App: name, Cores: cores, Target: target})
-	if err == nil {
+	at := c.tnow()
+	commit := func() {
 		c.defTarget = target
+		c.regMu.Lock()
+		c.regName, c.regCores, c.registered = name, cores, true
+		c.regMu.Unlock()
 		c.traceReg.Store(true)
-		c.rec(trace.Event{Type: trace.EvRegister, Time: t, App: name, Cores: int32(cores), Target: target})
+		c.rec(trace.Event{Type: trace.EvRegister, Time: at, App: name, Cores: int32(cores), Target: target})
 	}
-	return err
+	for {
+		m, _, err := c.mode()
+		switch m {
+		case modeClosed, modeTerminal:
+			return err
+		case modeDegraded:
+			// Fail-open before the daemon ever heard of us: the session runs
+			// uncoordinated and registers (reporting the lapse) on recovery.
+			commit()
+			return nil
+		case modeDown:
+			if _, err := c.await(); err != nil {
+				return err
+			}
+			continue
+		}
+		req := wire.Request{Type: wire.TypeRegister, App: name, Cores: cores, Target: target}
+		if c.opts.Reconnect {
+			c.regMu.Lock()
+			c.incarnation++
+			req.Incarnation = c.incarnation
+			c.regMu.Unlock()
+			req.SelfGrants, req.DegradedS = c.snapshotReport()
+		}
+		_, err = c.rawCall(req)
+		if err == nil {
+			if c.opts.Reconnect {
+				c.markReported(req.SelfGrants, req.DegradedS)
+			}
+			commit()
+			return nil
+		}
+		if !c.opts.Reconnect {
+			return err
+		}
+		if isTransport(err) {
+			// The register may have landed before the connection died; the
+			// next attempt's higher incarnation resumes it either way.
+			continue
+		}
+		var re *ReplyError
+		if errors.As(err, &re) && wire.Retryable(re.Code) {
+			c.kickReconnect()
+			continue
+		}
+		return err
+	}
 }
 
 // Prepare stacks information about the upcoming I/O accesses on this
 // target, as the paper's Prepare(MPI_Info) does.
 func (t Target) Prepare(info core.Info) error {
 	at := t.c.tnow()
-	_, err := t.c.call(wire.Request{Type: wire.TypePrepare, Info: info, Target: t.send})
+	_, err := t.invoke(wire.Request{Type: wire.TypePrepare, Info: info, Target: t.send})
 	if err == nil {
 		t.c.rec(trace.Event{Type: trace.EvPrepare, Time: at, Info: info, Target: t.resolved()})
 	}
@@ -275,7 +1009,7 @@ func (t Target) Prepare(info core.Info) error {
 // Complete unstacks the most recent Prepare.
 func (t Target) Complete() error {
 	at := t.c.tnow()
-	_, err := t.c.call(wire.Request{Type: wire.TypeComplete, Target: t.send})
+	_, err := t.invoke(wire.Request{Type: wire.TypeComplete, Target: t.send})
 	if err == nil {
 		t.c.rec(trace.Event{Type: trace.EvComplete, Time: at, Target: t.resolved()})
 	}
@@ -287,7 +1021,7 @@ func (t Target) Complete() error {
 // target's arbitration.
 func (t Target) Inform() error {
 	at := t.c.tnow()
-	_, err := t.c.call(wire.Request{Type: wire.TypeInform, Target: t.send})
+	_, err := t.invoke(wire.Request{Type: wire.TypeInform, Target: t.send})
 	if err == nil {
 		t.c.rec(trace.Event{Type: trace.EvInform, Time: at, Target: t.resolved()})
 	}
@@ -299,7 +1033,7 @@ func (t Target) Inform() error {
 // the value influences the next inform/release arbitration.
 func (t Target) Progress(bytesDone float64) error {
 	at := t.c.tnow()
-	_, err := t.c.call(wire.Request{Type: wire.TypeProgress, BytesDone: bytesDone, Target: t.send})
+	_, err := t.invoke(wire.Request{Type: wire.TypeProgress, BytesDone: bytesDone, Target: t.send})
 	if err == nil {
 		t.c.rec(trace.Event{Type: trace.EvProgress, Time: at, Bytes: bytesDone, Target: t.resolved()})
 	}
@@ -307,10 +1041,11 @@ func (t Target) Progress(bytesDone float64) error {
 }
 
 // Check polls authorization on this target with a round trip. It never
-// blocks waiting for a grant.
+// blocks waiting for a grant. In degraded mode it reports true: a session
+// coordinating with itself is always authorized.
 func (t Target) Check() (bool, error) {
 	at := t.c.tnow()
-	resp, err := t.c.call(wire.Request{Type: wire.TypeCheck, Target: t.send})
+	resp, err := t.invoke(wire.Request{Type: wire.TypeCheck, Target: t.send})
 	if err != nil {
 		return false, err
 	}
@@ -325,10 +1060,13 @@ func (t Target) Authorized() bool { return t.c.getAuth(t.resolved()) }
 // Wait blocks until the daemon authorizes the application's access on this
 // target (a Wait on another target from another goroutine is unaffected —
 // the domains arbitrate independently). With a capture attached, the wait
-// is recorded at send time and the observed grant at response time.
+// is recorded at send time and the observed grant at response time. In
+// degraded mode Wait self-grants immediately (counted, reported on
+// resume); with Reconnect a Wait lost to a connection drop is re-issued
+// after the session resumes, so the grant is re-acquired, not lost.
 func (t Target) Wait() error {
 	t.c.rec(trace.Event{Type: trace.EvWait, Time: t.c.tnow(), Target: t.resolved()})
-	_, err := t.c.call(wire.Request{Type: wire.TypeWait, Target: t.send})
+	_, err := t.invoke(wire.Request{Type: wire.TypeWait, Target: t.send})
 	if err == nil {
 		t.c.rec(trace.Event{Type: trace.EvGrant, Time: t.c.tnow(), Target: t.resolved()})
 	}
@@ -339,7 +1077,7 @@ func (t Target) Wait() error {
 // Inform is required before the next access step.
 func (t Target) Release(bytesDone float64) error {
 	at := t.c.tnow()
-	_, err := t.c.call(wire.Request{Type: wire.TypeRelease, BytesDone: bytesDone, Target: t.send})
+	_, err := t.invoke(wire.Request{Type: wire.TypeRelease, BytesDone: bytesDone, Target: t.send})
 	if err == nil {
 		t.c.rec(trace.Event{Type: trace.EvRelease, Time: at, Bytes: bytesDone, Target: t.resolved()})
 	}
@@ -349,7 +1087,7 @@ func (t Target) Release(bytesDone float64) error {
 // End terminates the I/O phase on this target entirely.
 func (t Target) End() error {
 	at := t.c.tnow()
-	_, err := t.c.call(wire.Request{Type: wire.TypeEnd, Target: t.send})
+	_, err := t.invoke(wire.Request{Type: wire.TypeEnd, Target: t.send})
 	if err == nil {
 		t.c.rec(trace.Event{Type: trace.EvEnd, Time: at, Target: t.resolved()})
 	}
@@ -398,7 +1136,8 @@ func (c *Client) Release(bytesDone float64) error { return c.Target("").Release(
 // End terminates the I/O phase entirely.
 func (c *Client) End() error { return c.Target("").End() }
 
-// Stats fetches the daemon's live metrics snapshot.
+// Stats fetches the daemon's live metrics snapshot. It cannot be
+// self-served: in degraded mode it errors.
 func (c *Client) Stats() (wire.Stats, error) {
 	resp, err := c.call(wire.Request{Type: wire.TypeStats})
 	if err != nil {

@@ -24,6 +24,12 @@ type Daemon struct {
 	// SessionTimeoutS evicts sessions idle longer than this many seconds;
 	// 0 disables eviction.
 	SessionTimeoutS float64 `json:"session_timeout_s,omitempty"`
+	// GrantGraceS keeps a disconnected session's registration and grants
+	// alive this many seconds so a reconnecting client can resume without
+	// losing its place; 0 drops disconnected sessions immediately. Must be
+	// shorter than session_timeout_s when both are set — the grace window
+	// is for reconnection, idle eviction is for abandonment.
+	GrantGraceS float64 `json:"grant_grace_s,omitempty"`
 	// DecisionLog bounds the decision log kept for stats (default 256).
 	DecisionLog int `json:"decision_log,omitempty"`
 	// FSMiBps and ProcNICMiBps describe the storage system for the
@@ -40,6 +46,14 @@ type Daemon struct {
 	// RecordBuffer is the in-flight event capacity between the arbitration
 	// goroutine and the trace writer; 0 means the trace package default.
 	RecordBuffer int `json:"record_buffer,omitempty"`
+	// RecordSyncEvery emits a crash-consistency sync point in the trace
+	// every this many events (0 = the trace package default); a daemon that
+	// dies mid-write leaves a trace readable up to the last sync.
+	RecordSyncEvery int `json:"record_sync_every,omitempty"`
+	// RecordSyncIntervalS additionally syncs the trace on this wall-clock
+	// period in seconds (0 = the trace package default; -1 disables the
+	// timer, syncing on event count only).
+	RecordSyncIntervalS float64 `json:"record_sync_interval_s,omitempty"`
 }
 
 // DefaultListenAddr is used when listen_addr is omitted.
@@ -88,6 +102,12 @@ func (d Daemon) Validate() error {
 	if d.SessionTimeoutS < 0 {
 		return fmt.Errorf("config: session_timeout_s must be >= 0")
 	}
+	if d.GrantGraceS < 0 {
+		return fmt.Errorf("config: grant_grace_s must be >= 0")
+	}
+	if d.GrantGraceS > 0 && d.SessionTimeoutS > 0 && d.GrantGraceS >= d.SessionTimeoutS {
+		return fmt.Errorf("config: grant_grace_s must be shorter than session_timeout_s")
+	}
 	if d.FSMiBps < 0 || d.ProcNICMiBps < 0 {
 		return fmt.Errorf("config: fs_mibps and proc_nic_mibps must be >= 0")
 	}
@@ -96,6 +116,12 @@ func (d Daemon) Validate() error {
 	// unused buffer size is harmless.
 	if d.RecordBuffer < 0 {
 		return fmt.Errorf("config: record_buffer must be >= 0")
+	}
+	if d.RecordSyncEvery < 0 {
+		return fmt.Errorf("config: record_sync_every must be >= 0")
+	}
+	if d.RecordSyncIntervalS < -1 {
+		return fmt.Errorf("config: record_sync_interval_s must be >= 0, or -1 to disable")
 	}
 	return nil
 }
@@ -131,6 +157,31 @@ func (d Daemon) Addr() string {
 // SessionTimeout returns the eviction timeout as a duration.
 func (d Daemon) SessionTimeout() time.Duration {
 	return time.Duration(d.SessionTimeoutS * float64(time.Second))
+}
+
+// GrantGrace returns the disconnect grace window as a duration.
+func (d Daemon) GrantGrace() time.Duration {
+	return time.Duration(d.GrantGraceS * float64(time.Second))
+}
+
+// TraceOptions returns the recording options (buffer and crash-consistency
+// sync cadence) for trace.NewWriterOptions, defaults applied: calciomd
+// always records crash-consistently unless the sync timer is explicitly
+// disabled with record_sync_interval_s = -1.
+func (d Daemon) TraceOptions() trace.Options {
+	o := trace.Options{Buffer: d.RecordBuffer, SyncEvery: d.RecordSyncEvery}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = trace.DefaultSyncEvery
+	}
+	switch {
+	case d.RecordSyncIntervalS < 0:
+		o.SyncInterval = 0 // timer disabled; sync on event count only
+	case d.RecordSyncIntervalS == 0:
+		o.SyncInterval = trace.DefaultSyncInterval
+	default:
+		o.SyncInterval = time.Duration(d.RecordSyncIntervalS * float64(time.Second))
+	}
+	return o
 }
 
 // Model builds the performance model, or nil when no bandwidths are given.

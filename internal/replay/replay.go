@@ -191,7 +191,11 @@ func headerDaemon(hdr trace.Header) config.Daemon {
 	}
 }
 
-// checkReplayable rejects traces a replay would silently misrepresent.
+// checkReplayable rejects traces a replay would silently misrepresent. A
+// truncated trace (loaded with trace.LoadLenient after a recorder crash) is
+// replayable: truncation removes a suffix, so the surviving prefix is still
+// an exact record — Verify just compares flips prefix-wise. A lossy trace
+// (drop-counted overflow) has holes anywhere, so it is always refused.
 func checkReplayable(tr *trace.Trace) error {
 	if tr.Dropped > 0 {
 		return fmt.Errorf("replay: trace is lossy (%d events dropped on overflow); replaying it would silently diverge", tr.Dropped)
@@ -397,7 +401,10 @@ func Verify(tr *trace.Trace) (VerifyResult, error) {
 			return VerifyResult{}, err
 		}
 		res := m.finish()
-		match, mismatch := compareFlips(m.recorded, res.Flips)
+		// On a truncated trace the file may have lost flip records whose
+		// triggering requests survived, so the recorded flips are verified
+		// as a prefix of the replayed sequence instead of an exact match.
+		match, mismatch := compareFlips(m.recorded, res.Flips, tr.Truncated)
 		if !match && p.Target != "" {
 			mismatch = fmt.Sprintf("target %s: %s", p.Target, mismatch)
 		}
@@ -419,7 +426,7 @@ func Verify(tr *trace.Trace) (VerifyResult, error) {
 	return v, nil
 }
 
-func compareFlips(recorded, replayed []Flip) (bool, string) {
+func compareFlips(recorded, replayed []Flip, prefixOK bool) (bool, string) {
 	n := len(recorded)
 	if len(replayed) < n {
 		n = len(replayed)
@@ -428,6 +435,9 @@ func compareFlips(recorded, replayed []Flip) (bool, string) {
 		if recorded[i] != replayed[i] {
 			return false, fmt.Sprintf("flip %d: recorded %s, replayed %s", i, recorded[i], replayed[i])
 		}
+	}
+	if prefixOK && len(recorded) <= len(replayed) {
+		return true, ""
 	}
 	if len(recorded) != len(replayed) {
 		return false, fmt.Sprintf("recorded %d flips, replayed %d", len(recorded), len(replayed))
@@ -530,12 +540,20 @@ func (m *machine) step(ev *trace.Event) error {
 
 	switch ev.Type {
 	case trace.EvRegister:
-		if s != nil {
+		if s != nil && s.app != nil {
 			return fmt.Errorf("duplicate sid %d", ev.SID)
 		}
 		app, err := m.arb.Register(ev.App, int(ev.Cores))
 		if err != nil {
 			return err
+		}
+		if s != nil {
+			// A resumed session (the daemon's rebind records unregister +
+			// register under the same sid): accounting continues in the same
+			// sess, mirroring the daemon carrying its binding counters over.
+			s.app = app
+			app.Data = s
+			return nil
 		}
 		s = &sess{sid: ev.SID, name: ev.App, cores: int(ev.Cores), app: app}
 		app.Data = s

@@ -60,6 +60,17 @@ type Config struct {
 	MaxTargets int
 	// SessionTimeout evicts sessions idle longer than this; 0 disables.
 	SessionTimeout time.Duration
+	// GrantGrace keeps a disconnected registered session's coordination
+	// state — its name, bindings, and any authorization it holds — alive
+	// for this long, giving the client a window to reconnect and resume
+	// under the same name with a higher incarnation. When the window
+	// expires unresumed the session is dropped: its grants are revoked and
+	// every target it was mid-phase on re-arbitrates, so one crashed client
+	// convoys a target for at most GrantGrace. 0 drops a session the moment
+	// its connection dies (the original behavior). GrantGrace should be
+	// shorter than SessionTimeout: the grace window is for fast reconnects,
+	// idle eviction for abandoned sessions.
+	GrantGrace time.Duration
 	// Clock returns the coordination time in seconds. Nil means monotonic
 	// wall time since the server started. Tests inject a logical clock to
 	// make entire runs deterministic. The clock must be safe for concurrent
@@ -95,14 +106,24 @@ const (
 	kindStats
 	kindDetach
 	kindSnapshot
+	// kindRebind moves a limbo session's binding to the session that
+	// resumed it (shard-bound; env.s is the old session, env.to the new).
+	kindRebind
+	// kindExpire is a limbo session's grace deadline (control-bound).
+	kindExpire
+	// kindDrain fails the shard's pending Waits with a retryable draining
+	// error and refuses new ones (shard-bound; ackCh closed when done).
+	kindDrain
 )
 
 type envelope struct {
 	kind    int
 	s       *session
+	to      *session // kindRebind: the resuming session
 	req     wire.Request
 	statsCh chan wire.Stats
 	snapCh  chan shardSnap
+	ackCh   chan struct{}
 	now     float64
 }
 
@@ -114,6 +135,11 @@ type ident struct {
 	cores     int
 	sid       uint32 // trace session identity
 	defTarget string // target requests with an empty Target route to
+	// incarnation is the client instance's connection epoch: a register for
+	// a held name with a strictly higher incarnation resumes the session
+	// (reclaims name, sid and accounting); an equal-or-lower one is a lost
+	// resume race and is rejected. 0 is a legacy client (never resumable).
+	incarnation uint64
 }
 
 // session is one client connection. The shared fields are written by the
@@ -127,8 +153,15 @@ type session struct {
 
 	id           atomic.Pointer[ident]
 	gone         atomic.Bool   // dropped; shards ignore later envelopes
+	torn         atomic.Bool   // teardown ran (limbo and drop may both reach it)
 	lastSeen     atomic.Uint64 // float64 bits of the last request time
 	pendingWaits atomic.Int32  // deferred Waits across all targets
+
+	// limbo and graceTimer are owned by the control goroutine: a
+	// disconnected registered session under Config.GrantGrace keeps its
+	// coordination state until the timer fires or a resume reclaims it.
+	limbo      bool
+	graceTimer *time.Timer
 	// viaControl counts this session's coordination frames still in
 	// flight through the control goroutine (frames read before the
 	// session had an identity). While it is nonzero the reader keeps
@@ -145,10 +178,11 @@ func (s *session) touch(now float64) { s.lastSeen.Store(math.Float64bits(now)) }
 func (s *session) seen() float64 { return math.Float64frombits(s.lastSeen.Load()) }
 
 // teardown ends the session's write loop (which closes the connection).
-// Callers serialize through the drop/shutdown paths, so quit closes once.
+// Idempotent: the limbo path tears a connection down at disconnect, and the
+// eventual drop (grace expiry, resume, shutdown) reaches here again.
 func (s *session) teardown() {
 	s.dead.Store(true)
-	if s.quit != nil {
+	if s.quit != nil && s.torn.CompareAndSwap(false, true) {
 		close(s.quit)
 	}
 }
@@ -212,6 +246,7 @@ type shard struct {
 	recheck      *time.Timer
 	arbitrations uint64
 	grantsServed uint64
+	draining     bool // Drain ran: pending Waits failed, new ones refused
 
 	// Wait-decomposition counters of departed bindings, folded in by
 	// detach, so the aggregates are cumulative like grantsServed (and like
@@ -261,6 +296,7 @@ type Server struct {
 	mu        sync.Mutex
 	ln        net.Listener
 	closed    bool
+	draining  bool
 	serving   bool
 	serveDone chan struct{}
 	loopDone  chan struct{}
@@ -272,6 +308,10 @@ type Server struct {
 	sessions map[*session]struct{}
 	names    map[string]*session // registered application names
 	sidSeq   uint32              // last trace session identity handed out
+	// degraded accumulates the fail-open accounting clients report on
+	// (re-)register: per app name, cumulative across resumes. Owned like
+	// sessions/names; surfaced through Stats.Degraded.
+	degraded map[string]*wire.DegradedStats
 }
 
 // New validates the configuration and builds a server (not yet listening).
@@ -306,6 +346,7 @@ func New(cfg Config) (*Server, error) {
 		shards:    make(map[string]*shard),
 		sessions:  make(map[*session]struct{}),
 		names:     make(map[string]*session),
+		degraded:  make(map[string]*wire.DegradedStats),
 	}, nil
 }
 
@@ -434,14 +475,51 @@ func (srv *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			srv.mu.Lock()
-			closed := srv.closed
+			clean := srv.closed || srv.draining
 			srv.mu.Unlock()
-			if closed {
+			if clean {
 				return nil
 			}
 			return err
 		}
 		srv.startSession(conn)
+	}
+}
+
+// Drain begins a graceful shutdown: the listener stops accepting, every
+// shard answers its pending Waits (and refuses subsequent ones) with a
+// retryable wire.CodeDraining error, so clients unblock, learn the daemon is
+// going away, and can retry against its successor instead of hanging into
+// Close's teardown. Coordination state is otherwise intact — sessions may
+// still Release/End cleanly. Drain returns once every existing shard has
+// acknowledged; call Close afterwards to tear the daemon down.
+func (srv *Server) Drain() {
+	srv.mu.Lock()
+	if srv.closed || srv.draining {
+		srv.mu.Unlock()
+		return
+	}
+	srv.draining = true
+	ln, serving := srv.ln, srv.serving
+	srv.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	srv.logf("calciomd: draining")
+	for _, sh := range srv.shardsSorted() {
+		if !serving {
+			sh.drainWaits()
+			continue
+		}
+		ack := make(chan struct{})
+		select {
+		case sh.ch <- envelope{kind: kindDrain, ackCh: ack}:
+			select {
+			case <-ack:
+			case <-srv.stop:
+			}
+		case <-srv.stop:
+		}
 	}
 }
 
@@ -573,7 +651,7 @@ func (srv *Server) readLoop(s *session) {
 		if coordination && s.id.Load() != nil && s.viaControl.Load() == 0 {
 			sh, err := srv.shardFor(srv.routeTarget(s, req.Target))
 			if err != nil {
-				s.reply(req.Seq, false, err, req.Target)
+				s.reply(req.Seq, err, req.Target)
 				continue
 			}
 			ch = sh.ch
@@ -656,7 +734,14 @@ func (srv *Server) dispatch(env envelope) {
 		srv.sessions[env.s] = struct{}{}
 		env.s.touch(srv.clock())
 	case kindDisconnect:
-		srv.drop(env.s, "disconnect")
+		srv.disconnect(env.s)
+	case kindExpire:
+		// The grace deadline of a limbo session. A resume stops the timer,
+		// but a firing racing the stop can still deliver this envelope —
+		// the limbo check makes it a no-op then (resume cleared it).
+		if !env.s.gone.Load() && env.s.limbo {
+			srv.drop(env.s, "grace expired")
+		}
 	case kindStats:
 		env.statsCh <- srv.snapshotLive()
 	case kindRequest:
@@ -681,13 +766,13 @@ func (srv *Server) dispatch(env envelope) {
 			// forward has been enqueued, so the reader resumes direct
 			// routing only once this frame is in the shard's FIFO.
 			if env.s.id.Load() == nil {
-				env.s.reply(env.req.Seq, false, errors.New("not registered"), env.req.Target)
+				env.s.reply(env.req.Seq, errors.New("not registered"), env.req.Target)
 				env.s.viaControl.Add(-1)
 				return
 			}
 			sh, err := srv.shardFor(srv.routeTarget(env.s, env.req.Target))
 			if err != nil {
-				env.s.reply(env.req.Seq, false, err, env.req.Target)
+				env.s.reply(env.req.Seq, err, env.req.Target)
 				env.s.viaControl.Add(-1)
 				return
 			}
@@ -705,33 +790,161 @@ func (srv *Server) dispatch(env envelope) {
 // about the application yet — each target's shard attaches it lazily on the
 // session's first coordination request there, so registration order within
 // a shard is its attach order (which is also what the trace records).
+//
+// A register naming an app the daemon already knows is a resume attempt
+// when it carries a strictly higher incarnation: the old session — in its
+// grace window after a disconnect, or a half-open zombie the client gave up
+// on — is superseded and every shard moves its coordination accounting to
+// the new connection. The client is expected to re-drive its protocol state
+// (prepare/inform/wait) afterwards; the shard resets it at rebind, so
+// resumed state is identical whether or not the daemon kept anything.
 func (srv *Server) register(s *session, req wire.Request, now float64) {
 	if id := s.id.Load(); id != nil {
-		s.reply(req.Seq, false, fmt.Errorf("already registered as %s", id.name), req.Target)
+		s.replyCode(req.Seq, wire.CodeProtocol, fmt.Errorf("already registered as %s", id.name), req.Target)
 		return
 	}
 	if req.App == "" {
-		s.reply(req.Seq, false, errors.New("server: empty application name"), req.Target)
+		s.replyCode(req.Seq, wire.CodeProtocol, errors.New("server: empty application name"), req.Target)
 		return
 	}
-	if _, dup := srv.names[req.App]; dup {
-		s.reply(req.Seq, false, fmt.Errorf("server: duplicate application %q", req.App), req.Target)
+	if old, dup := srv.names[req.App]; dup {
+		oldInc := uint64(0)
+		if oid := old.id.Load(); oid != nil {
+			oldInc = oid.incarnation
+		}
+		switch {
+		case req.Incarnation == 0:
+			s.replyCode(req.Seq, wire.CodeDuplicate, fmt.Errorf("server: duplicate application %q", req.App), req.Target)
+		case req.Incarnation <= oldInc:
+			s.replyCode(req.Seq, wire.CodeStaleIncarnation,
+				fmt.Errorf("server: application %q resumed by incarnation %d, rejecting %d",
+					req.App, oldInc, req.Incarnation), req.Target)
+		default:
+			srv.resume(s, old, req)
+		}
 		return
 	}
 	srv.sidSeq++
-	id := &ident{name: req.App, cores: req.Cores, sid: srv.sidSeq, defTarget: req.Target}
+	id := &ident{name: req.App, cores: req.Cores, sid: srv.sidSeq,
+		defTarget: req.Target, incarnation: req.Incarnation}
 	srv.names[req.App] = s
 	s.id.Store(id)
-	s.reply(req.Seq, true, nil, req.Target)
+	// Incarnation > 1 on a fresh name is still a resume from the client's
+	// point of view: its earlier incarnation registered with a daemon that
+	// has since restarted.
+	srv.foldDegraded(req, req.Incarnation > 1)
+	s.reply(req.Seq, nil, req.Target)
+}
+
+// resume supersedes old with s: the name, trace sid and per-target
+// accounting move to the new connection; the old session is torn down. The
+// rebind envelopes are enqueued before the register reply is sent, so by the
+// time the client's next coordination frame reaches a shard the binding is
+// already its.
+func (srv *Server) resume(s, old *session, req wire.Request) {
+	oid := old.id.Load()
+	id := &ident{name: req.App, cores: req.Cores, sid: oid.sid,
+		defTarget: req.Target, incarnation: req.Incarnation}
+	srv.names[req.App] = s
+	s.id.Store(id)
+	if old.graceTimer != nil {
+		old.graceTimer.Stop()
+		old.graceTimer = nil
+	}
+	old.limbo = false
+	old.gone.Store(true)
+	delete(srv.sessions, old)
+	live := func() bool {
+		srv.shmu.RLock()
+		defer srv.shmu.RUnlock()
+		return srv.shardsLive
+	}()
+	for _, sh := range srv.shardsSorted() {
+		if !live {
+			sh.rebind(old, s)
+			continue
+		}
+		select {
+		case sh.ch <- envelope{kind: kindRebind, s: old, to: s}:
+		case <-srv.stop:
+		}
+	}
+	old.teardown()
+	srv.foldDegraded(req, true)
+	srv.logf("calciomd: %s: resumed (incarnation %d)", req.App, req.Incarnation)
+	s.reply(req.Seq, nil, req.Target)
+}
+
+// foldDegraded accumulates the fail-open report riding a register.
+func (srv *Server) foldDegraded(req wire.Request, resumed bool) {
+	if req.SelfGrants == 0 && req.DegradedS == 0 && !resumed {
+		return
+	}
+	d := srv.degraded[req.App]
+	if d == nil {
+		d = &wire.DegradedStats{Name: req.App}
+		srv.degraded[req.App] = d
+	}
+	d.SelfGrants += req.SelfGrants
+	d.DegradedS += req.DegradedS
+	if resumed {
+		d.Resumes++
+	}
+}
+
+// disconnect handles a connection death: under GrantGrace a registered
+// session enters limbo — coordination state intact, name reserved — until
+// the grace deadline or a resume; otherwise (no grace, or never registered)
+// it is dropped immediately.
+func (srv *Server) disconnect(s *session) {
+	if s.gone.Load() || s.limbo {
+		return
+	}
+	grace := srv.cfg.GrantGrace
+	if grace <= 0 || s.id.Load() == nil {
+		srv.drop(s, "disconnect")
+		return
+	}
+	s.limbo = true
+	s.teardown()
+	s.graceTimer = time.AfterFunc(grace, func() {
+		select {
+		case srv.reqCh <- envelope{kind: kindExpire, s: s}:
+		case <-srv.stop:
+		}
+	})
+	if id := s.id.Load(); id != nil {
+		srv.logf("calciomd: %s: disconnected, holding state for %s", id.name, grace)
+	}
 }
 
 // reply answers a control-plane request (no binding, so never authorized).
-func (s *session) reply(seq uint64, ok bool, err error, target string) {
-	r := wire.Response{Seq: seq, Type: wire.TypeResp, OK: ok, Target: target}
+// Errors are classified by codeFor; use replyCode for an explicit code.
+func (s *session) reply(seq uint64, err error, target string) {
+	code := ""
+	if err != nil {
+		code = codeFor(err)
+	}
+	s.replyCode(seq, code, err, target)
+}
+
+func (s *session) replyCode(seq uint64, code string, err error, target string) {
+	r := wire.Response{Seq: seq, Type: wire.TypeResp, OK: err == nil, Target: target}
 	if err != nil {
 		r.Err = err.Error()
+		r.Code = code
 	}
 	s.send(r)
+}
+
+// codeFor classifies an error reply for clients deciding between retry and
+// fail-fast: everything here is fatal for the request that provoked it;
+// retryable codes (draining) are set explicitly at their source.
+func codeFor(err error) string {
+	if errors.Is(err, errTooManyTargets) {
+		return wire.CodeTooManyTargets
+	}
+	return wire.CodeProtocol
 }
 
 // drop removes a session: its name is freed, every shard is told to detach
@@ -741,6 +954,10 @@ func (s *session) reply(seq uint64, ok bool, err error, target string) {
 func (srv *Server) drop(s *session, why string) {
 	if !s.gone.CompareAndSwap(false, true) {
 		return
+	}
+	if s.graceTimer != nil {
+		s.graceTimer.Stop()
+		s.graceTimer = nil
 	}
 	delete(srv.sessions, s)
 	if id := s.id.Load(); id != nil {
@@ -856,6 +1073,11 @@ func (sh *shard) dispatch(env envelope) {
 		sh.arbitrate(now)
 	case kindDetach:
 		sh.detach(env.s)
+	case kindRebind:
+		sh.rebind(env.s, env.to)
+	case kindDrain:
+		sh.drainWaits()
+		close(env.ackCh)
 	case kindSnapshot:
 		env.snapCh <- sh.snap(env.now)
 	}
@@ -938,6 +1160,14 @@ func (sh *shard) handle(s *session, req wire.Request, now float64) {
 			sh.reply(b, s, req.Seq, false, errors.New("wait already pending"))
 			return
 		}
+		if sh.draining {
+			// Never park a Wait on a daemon that is going away: the client
+			// gets a retryable error now instead of hanging into teardown.
+			s.send(wire.Response{Seq: req.Seq, Type: wire.TypeResp,
+				Err: "draining: coordinator shutting down", Code: wire.CodeDraining,
+				Authorized: b.app.Authorized(), Target: sh.target})
+			return
+		}
 		sh.rec(trace.Event{Type: trace.EvWait, Time: now, SID: b.sid})
 		if b.app.Authorized() {
 			b.waitsImmediate++
@@ -971,7 +1201,7 @@ func (sh *shard) handle(s *session, req wire.Request, now float64) {
 			// never come and the dangling waitSeq would shield the session
 			// from idle eviction forever.
 			s.send(wire.Response{Seq: b.waitSeq, Type: wire.TypeResp,
-				Err: "wait cancelled: phase ended", Target: sh.target})
+				Err: "wait cancelled: phase ended", Code: wire.CodeProtocol, Target: sh.target})
 			b.waitSeq = 0
 			s.pendingWaits.Add(-1)
 		}
@@ -1036,6 +1266,83 @@ func (sh *shard) detach(s *session) {
 	}
 }
 
+// rebind moves a resumed session's coordination state on this target from
+// the dead connection to the new one. Protocol state is reset — the open
+// phase is abandoned exactly as if the app had vanished (unregister,
+// re-arbitrate survivors) and the app re-registers under the same name and
+// sid — because the client cannot know which of its in-flight verbs the old
+// connection delivered; it re-drives prepare/inform/wait from its own
+// journal, which is correct against a reset state and only against one.
+// Cumulative accounting (phases, grants, I/O and wait time) carries over,
+// so stats and the `agg:` rollups see one application, not two. In the
+// trace this is EvUnregister + EvRegister (+ EvRecheck when mid-phase):
+// existing event types, so replay needs no special case.
+func (sh *shard) rebind(old, s *session) {
+	ob := sh.bindings[old]
+	if ob == nil {
+		return
+	}
+	id := s.id.Load()
+	now := sh.srv.clock()
+	delete(sh.bindings, old)
+	sh.goneWaitsImmediate += ob.waitsImmediate
+	sh.goneWaitsDeferred += ob.waitsDeferred
+	sh.goneConvoyWait += ob.convoyWait
+	sh.goneProtoWait += ob.protoWait
+	if ob.waitSeq != 0 {
+		// The deferred Wait died with the old connection; the client will
+		// re-issue it after the resume.
+		ob.waitSeq = 0
+		old.pendingWaits.Add(-1)
+	}
+	wasBusy := ob.app.State() != core.Idle
+	ioTime := ob.ioTime
+	if wasBusy {
+		ioTime += now - ob.phaseStart
+	}
+	sh.arb.Unregister(ob.app)
+	sh.rec(trace.Event{Type: trace.EvUnregister, Time: now, SID: ob.sid})
+	app, err := sh.arb.Register(id.name, id.cores)
+	if err != nil {
+		// Unreachable: the name was unregistered two lines up. Degrade to a
+		// plain detach; the client's next verb will attach afresh.
+		if wasBusy {
+			sh.rec(trace.Event{Type: trace.EvRecheck, Time: now})
+			sh.arbitrate(now)
+		}
+		return
+	}
+	b := &binding{s: s, app: app, sid: ob.sid,
+		phases: ob.phases, grants: ob.grants, ioTime: ioTime, waitTime: ob.waitTime}
+	app.Data = b
+	sh.bindings[s] = b
+	sh.rec(trace.Event{Type: trace.EvRegister, Time: now, SID: ob.sid,
+		App: id.name, Cores: int32(id.cores)})
+	if wasBusy {
+		sh.rec(trace.Event{Type: trace.EvRecheck, Time: now})
+		sh.arbitrate(now)
+	}
+}
+
+// drainWaits is the shard half of Server.Drain: every parked Wait is
+// answered with a retryable draining error (in registration order, so the
+// response sequence is deterministic), and the draining flag makes handle
+// refuse to park any new ones.
+func (sh *shard) drainWaits() {
+	sh.draining = true
+	for _, a := range sh.arb.Apps() {
+		b, ok := a.Data.(*binding)
+		if !ok || b.waitSeq == 0 {
+			continue
+		}
+		b.s.send(wire.Response{Seq: b.waitSeq, Type: wire.TypeResp,
+			Err: "draining: coordinator shutting down", Code: wire.CodeDraining,
+			Authorized: b.app.Authorized(), Target: sh.target})
+		b.waitSeq = 0
+		b.s.pendingWaits.Add(-1)
+	}
+}
+
 // reply sends the response to one request. Every response reports the
 // application's current authorization on this shard's target (Target
 // echoed), so the client library can maintain its cached per-target Check
@@ -1044,6 +1351,7 @@ func (sh *shard) reply(b *binding, s *session, seq uint64, ok bool, err error) {
 	r := wire.Response{Seq: seq, Type: wire.TypeResp, OK: ok, Target: sh.target}
 	if err != nil {
 		r.Err = err.Error()
+		r.Code = codeFor(err)
 	}
 	if b != nil && b.app != nil {
 		r.Authorized = b.app.Authorized()
@@ -1271,6 +1579,19 @@ func (srv *Server) merge(now float64, snaps []shardSnap) wire.Stats {
 		}
 		return st.Apps[i].Target < st.Apps[j].Target
 	})
+	if len(srv.degraded) > 0 {
+		names := make([]string, 0, len(srv.degraded))
+		for name := range srv.degraded {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			d := srv.degraded[name]
+			st.SelfGrants += d.SelfGrants
+			st.DegradedS += d.DegradedS
+			st.Degraded = append(st.Degraded, *d)
+		}
+	}
 	st.CPUSecondsWasted = rep.CPUSecondsWasted()
 	if srv.cfg.Model != nil {
 		st.SumInterference = rep.SumInterferenceFinite()
@@ -1294,7 +1615,7 @@ func (srv *Server) handle(s *session, req wire.Request) {
 	default:
 		sh, err := srv.shardFor(srv.routeTarget(s, req.Target))
 		if err != nil {
-			s.reply(req.Seq, false, err, req.Target)
+			s.reply(req.Seq, err, req.Target)
 			return
 		}
 		sh.handle(s, req, now)

@@ -6,15 +6,25 @@
 // reproduce the grant sequence event for event, or re-arbitrate the same
 // arrival pattern under a different policy.
 //
-// # File format (version 2)
+// # File format (version 3)
 //
 // A trace file is:
 //
 //	magic   8 bytes  "CALTRACE"
-//	version u16      format version (currently 2)
+//	version u16      format version (currently 3)
 //	header  u16 len + that many bytes of JSON (Header)
 //	records ...      until the trailer
 //	trailer 0xFF, f64 time, u64 recorded, u64 dropped
+//
+// Interleaved with the event records, version-3 writers may emit sync
+// records (type 0xFE, u64 recorded-so-far, u64 dropped-so-far) followed by
+// a buffer flush. They are stream bookkeeping, not events: readers consume
+// them transparently and they are not counted in the trailer's record
+// count. Their purpose is crash consistency — a recorder killed without
+// Close leaves a file whose last sync point bounds what was durably
+// written, so a lenient reader (ReadLenient) can recover every complete
+// record and report the drop count as of the last sync instead of refusing
+// the whole file.
 //
 // Every record is little-endian and self-delimiting:
 //
@@ -48,9 +58,9 @@
 // Version history: version 1 had no per-record target field (every event
 // belongs to the single coordination domain); version 2 inserts the target
 // between sid and the extras on every record, carrying the storage target
-// whose per-target arbiter handled the event. Version-1 files read back
-// with every Target empty, which replays as one shard — the single-target
-// behavior they recorded.
+// whose per-target arbiter handled the event; version 3 adds the 0xFE sync
+// record. Version-1 files read back with every Target empty, which replays
+// as one shard — the single-target behavior they recorded.
 //
 // # Writer discipline
 //
@@ -75,10 +85,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Version is the trace format version this package writes.
-const Version = 2
+const Version = 3
 
 var magic = [8]byte{'C', 'A', 'L', 'T', 'R', 'A', 'C', 'E'}
 
@@ -107,6 +118,10 @@ const (
 	EvGrant
 	EvRevoke
 
+	// evSync is a version-3 stream-bookkeeping record: the writer's
+	// recorded/dropped counters at a durability point, followed by a flush.
+	// Not an event — readers consume it transparently.
+	evSync    Type = 0xFE
 	evTrailer Type = 0xFF
 )
 
@@ -212,15 +227,45 @@ type Writer struct {
 	recorded atomic.Uint64 // events accepted into the channel
 	dropped  atomic.Uint64
 
+	syncEvery    int           // emit a sync record every N encoded events (0 = never)
+	syncInterval time.Duration // and at least this often while events flow (0 = never)
+
 	bw  *bufio.Writer
 	buf []byte // encoding scratch, owned by the drain goroutine
 	err error  // first write error, surfaced by Close
 }
 
+// Options configures a Writer beyond the mandatory header.
+type Options struct {
+	// Buffer is the in-flight event capacity; <= 0 means DefaultBuffer.
+	Buffer int
+	// SyncEvery emits a sync record and flushes the output buffer every N
+	// encoded events, bounding how much a crashed recorder loses. 0 means
+	// never; the trailer at Close is then the only durability point.
+	SyncEvery int
+	// SyncInterval additionally emits a sync point when events have been
+	// encoded but none flushed for this long — so a lightly loaded daemon's
+	// trace is still near-complete after a kill -9. 0 disables the timer.
+	SyncInterval time.Duration
+}
+
+// DefaultSyncEvery and DefaultSyncInterval are the sync cadence calciomd
+// records with: a kill -9 loses at most 4096 events or one second of tail.
+const (
+	DefaultSyncEvery    = 4096
+	DefaultSyncInterval = time.Second
+)
+
 // NewWriter writes the magic, version and header synchronously (so
 // configuration errors surface immediately), then starts the drain
-// goroutine. buffer <= 0 means DefaultBuffer.
+// goroutine. buffer <= 0 means DefaultBuffer. No sync records are emitted;
+// use NewWriterOptions for crash-consistent recording.
 func NewWriter(w io.Writer, hdr Header, buffer int) (*Writer, error) {
+	return NewWriterOptions(w, hdr, Options{Buffer: buffer})
+}
+
+// NewWriterOptions is NewWriter with an explicit sync cadence.
+func NewWriterOptions(w io.Writer, hdr Header, opts Options) (*Writer, error) {
 	if hdr.Source == "" {
 		hdr.Source = SourceDaemon
 	}
@@ -231,14 +276,17 @@ func NewWriter(w io.Writer, hdr Header, buffer int) (*Writer, error) {
 	if len(hj) > math.MaxUint16 {
 		return nil, fmt.Errorf("trace: header too large (%d bytes)", len(hj))
 	}
+	buffer := opts.Buffer
 	if buffer <= 0 {
 		buffer = DefaultBuffer
 	}
 	tw := &Writer{
-		ch:   make(chan Event, buffer),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
-		bw:   bufio.NewWriter(w),
+		ch:           make(chan Event, buffer),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		syncEvery:    opts.SyncEvery,
+		syncInterval: opts.SyncInterval,
+		bw:           bufio.NewWriter(w),
 	}
 	tw.bw.Write(magic[:])
 	var u16 [2]byte
@@ -283,15 +331,48 @@ func (w *Writer) Close() error {
 
 func (w *Writer) drain() {
 	defer close(w.done)
+	var encoded uint64 // events actually encoded, the drain goroutine's view
+	var sinceSync uint64
+	var tick <-chan time.Time
+	if w.syncInterval > 0 {
+		t := time.NewTicker(w.syncInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	sync := func() {
+		if sinceSync == 0 {
+			return
+		}
+		b := w.buf[:0]
+		b = append(b, byte(evSync))
+		b = binary.LittleEndian.AppendUint64(b, encoded)
+		b = binary.LittleEndian.AppendUint64(b, w.dropped.Load())
+		w.buf = b
+		w.write(b)
+		if err := w.bw.Flush(); err != nil && w.err == nil {
+			w.err = fmt.Errorf("trace: flush: %w", err)
+		}
+		sinceSync = 0
+	}
+	handle := func(ev Event) {
+		w.encode(ev)
+		encoded++
+		sinceSync++
+		if w.syncEvery > 0 && sinceSync >= uint64(w.syncEvery) {
+			sync()
+		}
+	}
 	for {
 		select {
 		case ev := <-w.ch:
-			w.encode(ev)
+			handle(ev)
+		case <-tick:
+			sync()
 		case <-w.quit:
 			for {
 				select {
 				case ev := <-w.ch:
-					w.encode(ev)
+					handle(ev)
 					continue
 				default:
 				}
@@ -399,6 +480,17 @@ type Reader struct {
 	dropped  uint64
 	read     uint64
 
+	// lenient tolerates a torn tail: when set, a stream that ends without a
+	// trailer (or mid-record) makes Next return io.EOF after the last
+	// complete record instead of an error, with Truncated reporting what
+	// happened and Dropped falling back to the last sync point's counter.
+	lenient    bool
+	truncated  bool
+	syncRead   uint64 // recorded counter from the last sync record seen
+	syncDrop   uint64 // dropped counter from the last sync record seen
+	sawSync    bool
+	truncAfter uint64 // records successfully read before the tear
+
 	// targets interns target strings: a long trace repeats a handful of
 	// target names on every record, so Next allocates each name once.
 	targets map[string]string
@@ -444,28 +536,81 @@ func (r *Reader) Header() Header { return r.hdr }
 func (r *Reader) Version() int { return int(r.version) }
 
 // Recorded and Dropped return the trailer counters; valid only after Next
-// has returned io.EOF.
+// has returned io.EOF. On a truncated stream read leniently, Recorded is
+// the number of records actually recovered and Dropped falls back to the
+// last sync point's counter (0 when the tear precedes the first sync).
 func (r *Reader) Recorded() uint64 { return r.recorded }
 
 // Dropped returns the number of events the recorder dropped on overflow.
 func (r *Reader) Dropped() uint64 { return r.dropped }
 
+// SetLenient makes a torn tail non-fatal: when the stream ends without a
+// trailer, mid-record, or at garbage (all the shapes a kill -9 leaves),
+// Next returns io.EOF after the last complete record instead of an error.
+// Truncated then reports that the tail was lost. Must be set before the
+// first Next.
+func (r *Reader) SetLenient(v bool) { r.lenient = v }
+
+// Truncated reports whether a lenient read hit a torn tail: the recorder
+// died before writing the trailer, so events after the truncation point are
+// missing. Valid after Next has returned io.EOF.
+func (r *Reader) Truncated() bool { return r.truncated }
+
+// TruncatedAfter returns how many records were recovered before the tear
+// (equal to Recorded on truncated streams). Valid once Truncated is true.
+func (r *Reader) TruncatedAfter() uint64 { return r.truncAfter }
+
 // Next fills ev with the next record. It returns io.EOF after the trailer,
 // ErrTruncated when the stream ends without one, and a descriptive error on
-// corruption. The Info map and App string are freshly allocated per record;
+// corruption — except under SetLenient, where a torn tail ends the stream
+// cleanly. The Info map and App string are freshly allocated per record;
 // everything else reuses ev's storage.
 func (r *Reader) Next(ev *Event) error {
 	if r.done {
 		return io.EOF
 	}
-	var fixed [13]byte // type + time + sid
-	if _, err := io.ReadFull(r.r, fixed[:1]); err != nil {
-		if err == io.EOF {
-			return ErrTruncated
-		}
-		return fmt.Errorf("trace: record: %w", err)
+	err := r.next(ev)
+	if err == nil || err == io.EOF || !r.lenient {
+		return err
 	}
-	t := Type(fixed[0])
+	// Lenient mode: the stream tore here. Everything already returned is
+	// complete and usable; surface the tear through Truncated, not an error.
+	r.truncated = true
+	r.truncAfter = r.read
+	r.recorded = r.read
+	if r.sawSync {
+		r.dropped = r.syncDrop
+	}
+	r.done = true
+	return io.EOF
+}
+
+func (r *Reader) next(ev *Event) error {
+	var fixed [13]byte // type + time + sid
+	var t Type
+	for {
+		if _, err := io.ReadFull(r.r, fixed[:1]); err != nil {
+			if err == io.EOF {
+				return ErrTruncated
+			}
+			return fmt.Errorf("trace: record: %w", err)
+		}
+		t = Type(fixed[0])
+		if t != evSync {
+			break
+		}
+		// Sync record: stream bookkeeping, consumed transparently.
+		var sy [16]byte
+		if _, err := io.ReadFull(r.r, sy[:]); err != nil {
+			return fmt.Errorf("trace: sync: %w", noEOF(err))
+		}
+		r.syncRead = binary.LittleEndian.Uint64(sy[0:8])
+		r.syncDrop = binary.LittleEndian.Uint64(sy[8:16])
+		r.sawSync = true
+		if r.syncRead != r.read {
+			return fmt.Errorf("trace: corrupt: sync point records %d events, stream holds %d", r.syncRead, r.read)
+		}
+	}
 	if t == evTrailer {
 		var tr [24]byte
 		if _, err := io.ReadFull(r.r, tr[:]); err != nil {
@@ -595,14 +740,26 @@ type Trace struct {
 	Header  Header
 	Events  []Event
 	Dropped uint64 // events the recorder dropped on overflow
+	// Truncated reports a lenient load of a trailer-less (crashed-recorder)
+	// file: Events holds every complete record up to the tear; whatever the
+	// recorder did afterwards is missing. Dropped is then the last sync
+	// point's counter — a lower bound on the true drop count.
+	Truncated bool
 }
 
 // Read loads a whole trace from a stream.
-func Read(r io.Reader) (*Trace, error) {
+func Read(r io.Reader) (*Trace, error) { return read(r, false) }
+
+// ReadLenient loads a whole trace, tolerating a torn tail: a stream a
+// crashed recorder left behind loads with Truncated set instead of failing.
+func ReadLenient(r io.Reader) (*Trace, error) { return read(r, true) }
+
+func read(r io.Reader, lenient bool) (*Trace, error) {
 	tr, err := NewReader(r)
 	if err != nil {
 		return nil, err
 	}
+	tr.SetLenient(lenient)
 	out := &Trace{Header: tr.Header()}
 	for {
 		var ev Event
@@ -615,17 +772,27 @@ func Read(r io.Reader) (*Trace, error) {
 		out.Events = append(out.Events, ev)
 	}
 	out.Dropped = tr.Dropped()
+	out.Truncated = tr.Truncated()
 	return out, nil
 }
 
 // Load reads a trace file.
 func Load(path string) (*Trace, error) {
+	return load(path, Read)
+}
+
+// LoadLenient reads a trace file, tolerating a torn tail (see ReadLenient).
+func LoadLenient(path string) (*Trace, error) {
+	return load(path, ReadLenient)
+}
+
+func load(path string, read func(io.Reader) (*Trace, error)) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	t, err := Read(f)
+	t, err := read(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

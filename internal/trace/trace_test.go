@@ -80,9 +80,12 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-// TestGoldenBytes pins the version-2 encoding byte for byte: a format
+// TestGoldenBytes pins the version-3 encoding byte for byte: a format
 // change that breaks old traces must be deliberate (bump Version and update
-// this test), never accidental.
+// this test), never accidental. The record encoding is identical to
+// version 2; version 3 only adds the optional sync record (pinned in
+// TestSyncGoldenBytes), so a syncless file differs from version 2 in the
+// version field alone.
 func TestGoldenBytes(t *testing.T) {
 	data := writeSample(t, Header{Source: SourceDaemon, Policy: "fcfs"}, []Event{
 		{Type: EvRegister, Time: 1.5, SID: 7, App: "ab", Cores: 3},
@@ -92,7 +95,7 @@ func TestGoldenBytes(t *testing.T) {
 	})
 	want := "" +
 		// magic, version, header length, header JSON
-		"CALTRACE" + "\x02\x00" + "\x25\x00" +
+		"CALTRACE" + "\x03\x00" + "\x25\x00" +
 		`{"source":"calciomd","policy":"fcfs"}` +
 		// register: type 1, time 1.5, sid 7, target "", "ab", cores 3
 		"\x01\x00\x00\x00\x00\x00\x00\xf8\x3f\x07\x00\x00\x00\x00\x00\x02\x00ab\x03\x00\x00\x00" +
@@ -107,6 +110,38 @@ func TestGoldenBytes(t *testing.T) {
 		"\xff\x00\x00\x00\x00\x00\x00\x00\x00\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
 	if string(data) != want {
 		t.Fatalf("version-%d encoding changed:\n got %q\nwant %q", Version, data, want)
+	}
+}
+
+// TestReadVersion2 pins backward compatibility with version-2 files (the
+// pre-sync-record encoding, byte for byte the version-2 golden bytes).
+func TestReadVersion2(t *testing.T) {
+	v2 := "" +
+		"CALTRACE" + "\x02\x00" + "\x25\x00" +
+		`{"source":"calciomd","policy":"fcfs"}` +
+		"\x01\x00\x00\x00\x00\x00\x00\xf8\x3f\x07\x00\x00\x00\x00\x00\x02\x00ab\x03\x00\x00\x00" +
+		"\x02\x00\x00\x00\x00\x00\x00\x00\x40\x07\x00\x00\x00\x00\x00\x02\x00" +
+		"\x01\x00a\x01\x001" + "\x01\x00b\x01\x002" +
+		"\x04\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00\x03\x00bb1\x00\x00\x00\x00\x00\x00\x20\x40" +
+		"\x0c\x00\x00\x00\x00\x00\x00\x04\x40\x07\x00\x00\x00\x03\x00bb1" +
+		"\xff\x00\x00\x00\x00\x00\x00\x00\x00\x04\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+	tr, err := Read(strings.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Type: EvRegister, Time: 1.5, SID: 7, App: "ab", Cores: 3},
+		{Type: EvPrepare, Time: 2, SID: 7, Info: map[string]string{"a": "1", "b": "2"}},
+		{Type: EvInform, Time: 2.5, SID: 7, Bytes: 8, Target: "bb1"},
+		{Type: EvGrant, Time: 2.5, SID: 7, Target: "bb1"},
+	}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(tr.Events), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(tr.Events[i], want[i]) {
+			t.Fatalf("event %d: got %+v want %+v", i, tr.Events[i], want[i])
+		}
 	}
 }
 
@@ -298,6 +333,142 @@ func TestUnencodableStringFailsLoudly(t *testing.T) {
 	}
 	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("failed recording should read back as truncated, got %v", err)
+	}
+}
+
+// TestSyncGoldenBytes pins the version-3 sync record encoding: 0xFE, u64
+// recorded-so-far, u64 dropped-so-far, emitted after every SyncEvery events.
+func TestSyncGoldenBytes(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterOptions(&buf, Header{Source: SourceDaemon, Policy: "fcfs"}, Options{Buffer: 8, SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w.Record(Event{Type: EvCheck, Time: 1, SID: 1})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check := "\x06\x00\x00\x00\x00\x00\x00\xf0\x3f\x01\x00\x00\x00\x00\x00"
+	want := "" +
+		"CALTRACE" + "\x03\x00" + "\x25\x00" +
+		`{"source":"calciomd","policy":"fcfs"}` +
+		check + check +
+		// sync: 0xFE, recorded 2, dropped 0
+		"\xfe\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00" +
+		check +
+		// trailer: 0xFF, time 0, recorded 3, dropped 0
+		"\xff\x00\x00\x00\x00\x00\x00\x00\x00\x03\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"
+	if buf.String() != want {
+		t.Fatalf("sync encoding changed:\n got %q\nwant %q", buf.Bytes(), want)
+	}
+	// Sync records are bookkeeping, not events: a normal read consumes them
+	// transparently and reports only the 3 real records.
+	tr, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 || tr.Truncated {
+		t.Fatalf("got %d events truncated=%v, want 3 events, complete", len(tr.Events), tr.Truncated)
+	}
+}
+
+// TestLenientTruncatedRead simulates a kill -9 mid-record: the strict
+// reader refuses, the lenient reader recovers every complete record and
+// reports the truncation instead.
+func TestLenientTruncatedRead(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterOptions(&buf, Header{Policy: "fcfs"}, Options{Buffer: 16, SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w.Record(Event{Type: EvCheck, Time: float64(i), SID: 1})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cuts := []struct {
+		name string
+		cut  int // bytes removed from the end
+		want int // complete records recoverable
+	}{
+		{"trailer only", 25, 5},
+		{"torn record", 25 + 7, 4},
+		{"at sync point", 25 + 15, 4}, // 5th record gone, 2nd sync intact
+		{"torn sync", 25 + 15 + 5, 4},
+		{"deep tear", 25 + 15 + 17 + 15 + 7, 2},
+	}
+	for _, tc := range cuts {
+		t.Run(tc.name, func(t *testing.T) {
+			data := full[:len(full)-tc.cut]
+			if _, err := Read(bytes.NewReader(data)); err == nil {
+				t.Fatal("strict read accepted a truncated stream")
+			}
+			tr, err := ReadLenient(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("lenient read: %v", err)
+			}
+			if !tr.Truncated {
+				t.Fatal("lenient read of torn stream: Truncated not set")
+			}
+			if len(tr.Events) != tc.want {
+				t.Fatalf("recovered %d events, want %d", len(tr.Events), tc.want)
+			}
+			if tr.Dropped != 0 {
+				t.Fatalf("dropped = %d, want 0", tr.Dropped)
+			}
+		})
+	}
+
+	// A complete stream read leniently is indistinguishable from a strict read.
+	tr, err := ReadLenient(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Truncated || len(tr.Events) != 5 {
+		t.Fatalf("complete stream: truncated=%v events=%d", tr.Truncated, len(tr.Events))
+	}
+}
+
+// TestLenientReaderCounters pins the Reader-level lenient API surface used
+// by calciom-replay's truncation report.
+func TestLenientReaderCounters(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterOptions(&buf, Header{Policy: "fcfs"}, Options{Buffer: 8, SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		w.Record(Event{Type: EvCheck, Time: float64(i), SID: 1})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data = data[:len(data)-25-17-7] // trailer, final sync, torn 4th record
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetLenient(true)
+	var n int
+	for {
+		var ev Event
+		if err := r.Next(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3 || !r.Truncated() || r.TruncatedAfter() != 3 || r.Recorded() != 3 {
+		t.Fatalf("n=%d truncated=%v after=%d recorded=%d, want 3/true/3/3",
+			n, r.Truncated(), r.TruncatedAfter(), r.Recorded())
 	}
 }
 

@@ -81,6 +81,35 @@ const (
 	TypeRevoke = "revoke"
 )
 
+// Error codes carried on Response.Code when Err is set. Codes partition
+// failures into retryable conditions (the request may succeed against the
+// same daemon later, or against its successor after a restart) and fatal
+// protocol errors (retrying the identical request can never succeed).
+// Responses from daemons predating codes carry Code "" — clients must treat
+// an empty code as fatal, which matches the old fail-fast behavior.
+const (
+	// CodeDraining: the daemon is shutting down gracefully; re-issue the
+	// request after reconnecting (to a restarted daemon). Retryable.
+	CodeDraining = "draining"
+	// CodeStaleIncarnation: a register named an incarnation not newer than
+	// the one the daemon already holds for that app name — a second client
+	// instance lost the resume race. Fatal for this client instance.
+	CodeStaleIncarnation = "stale_incarnation"
+	// CodeDuplicate: the app name is registered by a live session and the
+	// register carried no incarnation (legacy client). Fatal.
+	CodeDuplicate = "duplicate"
+	// CodeTooManyTargets: the daemon's MaxTargets bound is exhausted. Fatal.
+	CodeTooManyTargets = "too_many_targets"
+	// CodeProtocol: the request violated the coordination protocol state
+	// machine (complete without prepare, release while idle, ...). Fatal.
+	CodeProtocol = "protocol"
+)
+
+// Retryable reports whether an error code names a transient condition worth
+// backing off and retrying, as opposed to a protocol violation or a lost
+// resume race that no retry can fix.
+func Retryable(code string) bool { return code == CodeDraining }
+
 // Request is a client → server message.
 type Request struct {
 	Seq   uint64            `json:"seq"`
@@ -95,16 +124,32 @@ type Request struct {
 	// Target names the storage target this request addresses; empty means
 	// the session's default target. On register it sets that default.
 	Target string `json:"target,omitempty"`
+	// Incarnation, on register, is the client instance's monotonically
+	// increasing connection epoch for this app name. Zero means a legacy
+	// client: the name must be free. Nonzero means resume semantics: if the
+	// name is held by a disconnected (grace-window) or superseded session,
+	// a strictly newer incarnation reclaims the name and its accounting.
+	Incarnation uint64 `json:"incarnation,omitempty"`
+	// SelfGrants and DegradedS, on register, report coordination the client
+	// performed for itself while the daemon was unreachable past its
+	// fail-open deadline: the number of self-granted waits and the seconds
+	// spent in degraded (uncoordinated) mode since the last report. The
+	// daemon folds them into per-app degraded accounting in Stats.
+	SelfGrants uint64  `json:"self_grants,omitempty"`
+	DegradedS  float64 `json:"degraded_s,omitempty"`
 }
 
 // Response is a server → client message: either the answer to one request
 // (TypeResp, Seq echoed) or an unsolicited push (TypeGrant/TypeRevoke,
 // Seq 0).
 type Response struct {
-	Seq        uint64 `json:"seq,omitempty"`
-	Type       string `json:"type"`
-	OK         bool   `json:"ok,omitempty"`
-	Err        string `json:"err,omitempty"`
+	Seq  uint64 `json:"seq,omitempty"`
+	Type string `json:"type"`
+	OK   bool   `json:"ok,omitempty"`
+	Err  string `json:"err,omitempty"`
+	// Code classifies Err (see the Code* constants); empty on success and
+	// on errors from daemons predating typed codes (treat as fatal).
+	Code       string `json:"code,omitempty"`
 	Authorized bool   `json:"authorized,omitempty"`
 	// Target names the storage target the Authorized bit (or the pushed
 	// grant/revoke) refers to; empty is the default target.
@@ -190,10 +235,35 @@ type Stats struct {
 	ConvoyWaitS    float64    `json:"convoy_wait_s,omitempty"`
 	ProtocolWaitS  float64    `json:"protocol_wait_s,omitempty"`
 	LastDecision   string     `json:"last_decision,omitempty"`
-	Apps           []AppStats `json:"apps,omitempty"`
+	// SelfGrants and DegradedS total the degraded (uncoordinated) windows
+	// clients have reported on resume: waits each client granted itself
+	// while the daemon was unreachable past its fail-open deadline, and the
+	// seconds spent in that mode. Cumulative per app name (not per target —
+	// a client cut off from the daemon is cut off from every target), and
+	// preserved across resume like the rest of the accounting.
+	SelfGrants uint64     `json:"self_grants,omitempty"`
+	DegradedS  float64    `json:"degraded_s,omitempty"`
+	Apps       []AppStats `json:"apps,omitempty"`
+	// Degraded lists per-app-name degraded windows, sorted by name; only
+	// apps that reported any appear. Kept separate from Apps because those
+	// rows are per (app, target) while fail-open is a per-client condition.
+	Degraded []DegradedStats `json:"degraded,omitempty"`
 	// Targets is the per-storage-target breakdown, one entry per target
 	// that has seen coordination traffic, sorted by target name.
 	Targets []TargetStats `json:"targets,omitempty"`
+}
+
+// DegradedStats is one application's cumulative fail-open accounting: how
+// much coordination it performed for itself while the daemon was
+// unreachable. Reported by the client on resume, so the daemon that was down
+// learns about the outage from the survivors that come back.
+type DegradedStats struct {
+	Name       string  `json:"name"`
+	SelfGrants uint64  `json:"self_grants"`
+	DegradedS  float64 `json:"degraded_s"`
+	// Resumes counts successful resume registrations (incarnation > 1 on a
+	// name the daemon knew), degraded or not — a measure of connection churn.
+	Resumes uint64 `json:"resumes,omitempty"`
 }
 
 // Write marshals v and writes it as one frame.
