@@ -29,6 +29,14 @@
 // file (one session per client, timestamps on a shared clock) that
 // calciom-replay can re-arbitrate under any policy.
 //
+// With -scrape URL the tool fetches the daemon's /metrics endpoint after
+// the burst and prints a "scrape:" line (grants, waits and the
+// wait-histogram count, summed across targets). Against a fresh daemon and
+// a fixed fault-free workload the grants and wait-count fields are
+// deterministic and must equal the agg block's grant count, so smoke tests
+// can diff the daemon's Prometheus view against client-side truth exactly;
+// the immediate/deferred split reflects arrival interleaving and varies.
+//
 // The fault-tolerance flags exercise the robust client: -reconnect survives
 // daemon restarts (sessions resume under the same name), -fail-open bounds
 // how long any client blocks on a dead daemon before self-granting, and the
@@ -42,10 +50,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -115,6 +127,7 @@ func main() {
 	chaosPartEvery := flag.Duration("chaos-partition-every", 0, "chaos proxy: start a partition window this often")
 	chaosPartFor := flag.Duration("chaos-partition-for", 0, "chaos proxy: partition window length")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos proxy: deterministic fault schedule seed")
+	scrape := flag.String("scrape", "", "after the burst, fetch the daemon's Prometheus endpoint at this URL (e.g. http://127.0.0.1:9596/metrics) and print a byte-stable scrape: line")
 	flag.Parse()
 	if *failOpen > 0 {
 		*reconnect = true
@@ -285,6 +298,23 @@ func main() {
 			deg.SelfGrants, deg.Windows, deg.Seconds, dself, dapps)
 	}
 	fmt.Printf("daemon: policy=%s grants-served=%d\n", policy, daemonGrants)
+	// The scrape line is the daemon's /metrics view of the same counters the
+	// agg block reports client-side: grants and waits summed across targets,
+	// plus the wait-histogram observation count. Against a fresh daemon and
+	// a fixed fault-free workload, grants and wait-count are deterministic
+	// (and equal); the immediate/deferred split varies with interleaving.
+	if *scrape != "" {
+		sums, err := scrapeMetrics(*scrape)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calciom-load: scrape: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scrape: grants=%d waits-immediate=%d waits-deferred=%d wait-count=%d\n",
+			sums["calciomd_grants_total"],
+			sums["calciomd_waits_immediate_total"],
+			sums["calciomd_waits_deferred_total"],
+			sums["calciomd_wait_seconds_count"])
+	}
 	fmt.Printf("timing: elapsed=%.3fs throughput=%.0f grants/s\n",
 		elapsed.Seconds(), float64(tot.grants)/elapsed.Seconds())
 	if len(tot.lats) > 0 {
@@ -451,6 +481,46 @@ func runClient(addr, name string, tasks []task, think time.Duration,
 		}
 	}
 	return res, nil
+}
+
+// scrapeMetrics fetches a Prometheus text-format endpoint and sums every
+// sample by family name (label sets collapse, so per-target series sum into
+// the fleet-wide total). Values are parsed as floats — the text format
+// renders counters that way — and truncated to integers.
+func scrapeMetrics(url string) (map[string]uint64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	sums := map[string]uint64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || v < 0 {
+			continue
+		}
+		sums[name] += uint64(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sums, nil
 }
 
 // daemonView fetches the daemon's own policy name and grant counter over a

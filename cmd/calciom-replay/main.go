@@ -20,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/textplot"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 	apps := flag.Bool("apps", false, "print per-application rows for every policy")
 	width := flag.Int("width", 40, "bar chart width")
 	allowTrunc := flag.Bool("allow-truncated", false, "accept a truncated trace (crashed recorder): read up to the torn tail, report the truncation point, verify the grant sequence as a prefix")
+	jsonOut := flag.Bool("json", false, "emit the comparison as one JSON document (per-policy objects with the text table's fields plus wait histograms) instead of text")
 	flag.Parse()
 	if *path == "" && flag.NArg() == 1 {
 		*path = flag.Arg(0)
@@ -71,36 +74,42 @@ func main() {
 			sessions++
 		}
 	}
-	fmt.Printf("trace: path=%s source=%s policy=%s events=%d sessions=%d span=%.3fs dropped=%d\n",
-		*path, tr.Header.Source, tr.Header.Policy, len(tr.Events), sessions, last-first, tr.Dropped)
-	if tr.Truncated {
-		fmt.Printf("trace: TRUNCATED after event %d (recorder died mid-write; analyzing the surviving prefix)\n",
-			len(tr.Events))
+	if !*jsonOut {
+		fmt.Printf("trace: path=%s source=%s policy=%s events=%d sessions=%d span=%.3fs dropped=%d\n",
+			*path, tr.Header.Source, tr.Header.Policy, len(tr.Events), sessions, last-first, tr.Dropped)
+		if tr.Truncated {
+			fmt.Printf("trace: TRUNCATED after event %d (recorder died mid-write; analyzing the surviving prefix)\n",
+				len(tr.Events))
+		}
 	}
 
 	// Exact-reproduction check: daemon traces carry the recorded grant
 	// sequence; replaying under the recording policy must reproduce it.
+	var verified *replay.VerifyResult
 	if tr.Header.Source == trace.SourceDaemon {
 		v, err := replay.Verify(tr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("verify: policy=%s grants=%d arbitrations=%d flips=%d match=%v\n",
-			tr.Header.Policy, v.GrantsServed, v.Arbitrations, len(v.Flips), v.Match)
-		if len(v.Shards) > 1 {
-			// Sharded recording: the check is per storage target (each
-			// target's grant sequence is its own serialized order).
-			for _, sh := range v.Shards {
-				fmt.Printf("verify-target: target=%s grants=%d flips=%d match=%v\n",
-					sh.Target, sh.GrantsServed, sh.Flips, sh.Match)
+		verified = &v
+		if !*jsonOut {
+			fmt.Printf("verify: policy=%s grants=%d arbitrations=%d flips=%d match=%v\n",
+				tr.Header.Policy, v.GrantsServed, v.Arbitrations, len(v.Flips), v.Match)
+			if len(v.Shards) > 1 {
+				// Sharded recording: the check is per storage target (each
+				// target's grant sequence is its own serialized order).
+				for _, sh := range v.Shards {
+					fmt.Printf("verify-target: target=%s grants=%d flips=%d match=%v\n",
+						sh.Target, sh.GrantsServed, sh.Flips, sh.Match)
+				}
 			}
 		}
 		if !v.Match {
 			fmt.Fprintf(os.Stderr, "calciom-replay: replay diverged from recording: %s\n", v.Mismatch)
 			os.Exit(1)
 		}
-	} else {
+	} else if !*jsonOut {
 		fmt.Printf("verify: skipped (client-side capture has no authoritative grant sequence)\n")
 	}
 
@@ -116,6 +125,55 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		doc := jsonDoc{
+			Trace: jsonTrace{
+				Path: *path, Source: string(tr.Header.Source), Policy: tr.Header.Policy,
+				Events: len(tr.Events), Sessions: sessions, SpanS: last - first,
+				Dropped: tr.Dropped, Truncated: tr.Truncated,
+			},
+			Recording: c.Recording,
+			Best:      c.Outcomes[c.Best].Policy,
+		}
+		if verified != nil {
+			doc.Verify = &jsonVerify{
+				Policy: tr.Header.Policy, Grants: verified.GrantsServed,
+				Arbitrations: verified.Arbitrations, Flips: len(verified.Flips),
+				Match: verified.Match,
+			}
+		}
+		for i := range c.Outcomes {
+			o := &c.Outcomes[i]
+			p := jsonPolicy{
+				Policy: o.Policy, Best: i == c.Best,
+				Grants: o.GrantsServed, Unserved: o.Unserved, Aborted: o.Aborted,
+				WaitTotalS: o.TotalWaitS, WaitP50S: o.WaitPercentile(50),
+				WaitP99S: o.WaitPercentile(99), WaitMaxS: o.MaxWait(),
+				ConvoyWaitS: o.ConvoyWaitS, ProtocolWaitS: o.ProtocolWaitS,
+				OverlapS: o.OverlapS, SumInterference: o.SumInterference,
+				CPUSecondsWasted: o.CPUSecondsWasted,
+				WaitHist:         o.WaitHist(),
+			}
+			if *apps {
+				for _, a := range o.Apps {
+					p.Apps = append(p.Apps, jsonApp{
+						Name: a.Name, Target: a.Target, Cores: a.Cores,
+						Phases: a.Phases, Grants: a.Grants, IOTimeS: a.IOTimeS,
+						WaitS: a.WaitS, ConvoyWaitS: a.ConvoyWaitS, ProtocolWaitS: a.ProtocolWaitS,
+					})
+				}
+			}
+			doc.Policies = append(doc.Policies, p)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Println()
@@ -161,6 +219,67 @@ func main() {
 	fmt.Printf("replay: trace=%s recording=%s policies=%d best=%s cpu_sec=%.3f wait_s=%.3f overlap_s=%.3f unserved=%d\n",
 		*path, c.Recording, len(c.Outcomes), best.Policy, best.CPUSecondsWasted,
 		best.TotalWaitS, best.OverlapS, best.Unserved)
+}
+
+// The -json document: one object per policy carrying the text table's
+// fields (plus the wait histogram in the daemon's bucket layout), wrapped
+// with the trace/verify context the text header lines report.
+type jsonDoc struct {
+	Trace     jsonTrace    `json:"trace"`
+	Verify    *jsonVerify  `json:"verify,omitempty"`
+	Recording string       `json:"recording"`
+	Best      string       `json:"best"`
+	Policies  []jsonPolicy `json:"policies"`
+}
+
+type jsonTrace struct {
+	Path      string  `json:"path"`
+	Source    string  `json:"source"`
+	Policy    string  `json:"policy"`
+	Events    int     `json:"events"`
+	Sessions  int     `json:"sessions"`
+	SpanS     float64 `json:"span_s"`
+	Dropped   uint64  `json:"dropped"`
+	Truncated bool    `json:"truncated,omitempty"`
+}
+
+type jsonVerify struct {
+	Policy       string `json:"policy"`
+	Grants       uint64 `json:"grants"`
+	Arbitrations uint64 `json:"arbitrations"`
+	Flips        int    `json:"flips"`
+	Match        bool   `json:"match"`
+}
+
+type jsonPolicy struct {
+	Policy           string     `json:"policy"`
+	Best             bool       `json:"best"`
+	Grants           uint64     `json:"grants"`
+	Unserved         int        `json:"unserved"`
+	Aborted          int        `json:"aborted"`
+	WaitTotalS       float64    `json:"wait_total_s"`
+	WaitP50S         float64    `json:"wait_p50_s"`
+	WaitP99S         float64    `json:"wait_p99_s"`
+	WaitMaxS         float64    `json:"wait_max_s"`
+	ConvoyWaitS      float64    `json:"convoy_wait_s"`
+	ProtocolWaitS    float64    `json:"protocol_wait_s"`
+	OverlapS         float64    `json:"overlap_s"`
+	SumInterference  float64    `json:"sum_interference"`
+	CPUSecondsWasted float64    `json:"cpu_seconds_wasted"`
+	WaitHist         *wire.Hist `json:"wait_hist"`
+	Apps             []jsonApp  `json:"apps,omitempty"`
+}
+
+type jsonApp struct {
+	Name          string  `json:"name"`
+	Target        string  `json:"target,omitempty"`
+	Cores         int     `json:"cores"`
+	Phases        int     `json:"phases"`
+	Grants        uint64  `json:"grants"`
+	IOTimeS       float64 `json:"io_time_s"`
+	WaitS         float64 `json:"wait_s"`
+	ConvoyWaitS   float64 `json:"convoy_wait_s"`
+	ProtocolWaitS float64 `json:"protocol_wait_s"`
 }
 
 // filterPolicies keeps the candidates whose family name (the part before

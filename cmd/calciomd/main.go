@@ -15,6 +15,17 @@
 // trace offline under every policy. Recording adds no allocation or
 // blocking to the arbitration hot path.
 //
+// With -admin (or admin_addr) the daemon serves its observability endpoints
+// on a second address: /metrics in Prometheus text format (per-target grant,
+// arbitration and revoke counters, queue depth, wait and hold latency
+// histograms, per-app rows from the stats merge), /healthz
+// (serving/draining/degraded), /statusz (the full stats snapshot as JSON)
+// and net/http/pprof under /debug/pprof/. Collection uses the same
+// discipline as recording: atomic adds into preallocated series, zero
+// allocation on the hot path. With -log-level the daemon additionally emits
+// a structured grant-lifecycle event stream to stderr (sampled per
+// -log-sample for the high-frequency grant events).
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener closes, every
 // pending Wait is answered with a retryable "draining" error (reconnecting
 // clients back off and resume against the daemon's successor), the trace
@@ -31,12 +42,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
@@ -50,6 +65,10 @@ func main() {
 	record := flag.String("record", "", "record every coordination event to this trace file (overrides config)")
 	statsEvery := flag.Duration("stats-interval", 0, "print a live metrics line this often (0 = off)")
 	quiet := flag.Bool("quiet", false, "suppress connection lifecycle logging")
+	admin := flag.String("admin", "", "serve /metrics, /healthz, /statusz and pprof on this address, e.g. 127.0.0.1:9596 (overrides config)")
+	logLevel := flag.String("log-level", "", "grant-lifecycle event logging to stderr: debug|info|warn|error; empty = off (overrides config)")
+	logSample := flag.Int("log-sample", -1, "log every Nth grant event; lifecycle events always log (overrides config)")
+	drainLinger := flag.Duration("drain-linger", 0, "after a drain signal, keep /healthz answering \"draining\" this long (or until a second signal) before shutting down")
 	flag.Parse()
 
 	d := config.Daemon{}
@@ -74,6 +93,15 @@ func main() {
 	}
 	if *record != "" {
 		d.RecordPath = *record
+	}
+	if *admin != "" {
+		d.AdminAddr = *admin
+	}
+	if *logLevel != "" {
+		d.LogLevel = *logLevel
+	}
+	if *logSample >= 0 {
+		d.LogSample = *logSample
 	}
 	if err := d.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -107,6 +135,19 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
+
+	// Metrics collection rides the admin listener: no listener, no registry,
+	// and the hot path runs exactly the pre-observability instruction stream.
+	var reg *obs.Registry
+	if d.AdminAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	var evlog *obs.EventLog
+	if level, ok := d.EventLevel(); ok {
+		handler := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+		evlog = obs.NewEventLog(slog.New(handler), d.LogSampleN(), 0)
+	}
+
 	srv, err := server.New(server.Config{
 		ListenAddr:     d.Addr(),
 		Policy:         pol,
@@ -116,21 +157,46 @@ func main() {
 		LogBound:       d.DecisionLog,
 		Logf:           logf,
 		Trace:          tw,
+		Metrics:        reg,
+		Events:         evlog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	var adminSrv *http.Server
+	if d.AdminAddr != "" {
+		handler := (&obs.Admin{
+			Registry: reg,
+			Extra:    srv.WriteStatsMetrics,
+			Health:   srv.Health,
+			Status:   func() any { return srv.Stats() },
+		}).Handler()
+		adminLn, err := net.Listen("tcp", d.AdminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		adminSrv = &http.Server{Handler: handler}
+		go adminSrv.Serve(adminLn)
+		if logf != nil {
+			logf("calciomd: admin on %s", adminLn.Addr())
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	secondSig := make(chan struct{})
 	go func() {
 		// First signal: graceful drain — stop accepting, answer pending
 		// waits with a retryable "draining" error, let main flush the trace
-		// trailer. Second signal: immediate shutdown.
+		// trailer (and, with -drain-linger, keep /healthz answering
+		// "draining" for the window). Second signal: immediate shutdown.
 		<-sig
 		srv.Drain()
 		<-sig
+		close(secondSig)
 		srv.Close()
 	}()
 
@@ -149,12 +215,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// A drained daemon can linger so operators (and the chaos smoke) observe
+	// /healthz reporting "draining" before teardown; a second signal cuts
+	// the linger short.
+	if *drainLinger > 0 && srv.Draining() {
+		select {
+		case <-time.After(*drainLinger):
+		case <-secondSig:
+		}
+	}
 	// ListenAndServe returns as soon as the accept loop stops; the
 	// arbitration goroutine may still be draining queued envelopes (and
 	// recording them). Close blocks until the whole teardown — including
 	// the signal goroutine's — is complete, so the trace writer below
 	// cannot race a Record.
 	srv.Close()
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	if evlog != nil {
+		evlog.Close()
+		if n := evlog.Dropped(); n > 0 && logf != nil {
+			logf("calciomd: events: %d dropped (buffer overflow)", n)
+		}
+	}
 	st := srv.Stats()
 	fmt.Printf("calciomd: clean shutdown: policy=%s grants-served=%d arbitrations=%d uptime=%.3fs\n",
 		st.Policy, st.GrantsServed, st.Arbitrations, st.NowS)

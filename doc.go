@@ -87,11 +87,12 @@
 // observe → replay → decide pipeline: record live traffic once, then ask
 // which coordination strategy fits it, without re-running the applications.
 //
-// Quickstart (three terminals):
+// Quickstart (four terminals):
 //
-//	go run ./cmd/calciomd -listen 127.0.0.1:9595 -record run.trace   # 1: record
+//	go run ./cmd/calciomd -listen 127.0.0.1:9595 -record run.trace -admin 127.0.0.1:9596   # 1: record
 //	go run ./cmd/calciom-load -addr 127.0.0.1:9595 -clients 64      # 2: traffic
-//	go run ./cmd/calciom-replay -trace run.trace                    # 3: decide
+//	curl 127.0.0.1:9596/metrics                                     # 3: observe
+//	go run ./cmd/calciom-replay -trace run.trace                    # 4: decide
 //
 // (calciom-load -record captures the same traffic client-side instead, for
 // daemons that cannot record.)
@@ -338,4 +339,49 @@
 // parallelism on top. TestStressShardedExactlyOneWriterPerTarget pins the
 // safety side under -race: within a target fcfs still admits exactly one
 // writer, while a grant on one target never blocks a waiter on another.
+//
+// # Observability
+//
+// calciomd -admin ADDR (admin_addr in the config) serves the daemon's
+// observability surface on a second listener, built on the dependency-free
+// internal/obs package:
+//
+//	/metrics        Prometheus text format: counters, gauges, histograms
+//	/healthz        "serving", "draining" or "degraded" (non-serving: 503)
+//	/statusz        the full wire.Stats snapshot as indented JSON
+//	/debug/pprof/   the standard net/http/pprof profiles
+//
+// Enabling the listener also enables collection; without -admin the
+// registry is nil and the arbitration goroutines run the exact
+// pre-observability instruction stream (fault-free agg and replay output is
+// byte-identical either way). Collection follows the same discipline as
+// trace recording: every per-shard series is resolved once at shard
+// creation and the hot path performs only atomic adds — zero allocations,
+// pinned by TestMetricsStayAllocFree and BenchmarkServerArbitrateMetrics.
+//
+// The hot-path series are per storage target (label target=""): grants,
+// arbitrations and revokes (calciomd_grants_total,
+// calciomd_arbitrations_total, calciomd_revokes_total), the
+// immediate-vs-deferred wait split (calciomd_waits_immediate_total,
+// calciomd_waits_deferred_total), the live wait-queue depth
+// (calciomd_queue_depth) and two fixed-bucket latency histograms —
+// calciomd_wait_seconds (request-to-grant, immediate waits observe 0) and
+// calciomd_hold_seconds (grant-to-release). The control goroutine adds the
+// fault-tolerance counters (calciomd_self_grants_total,
+// calciomd_degraded_seconds_total, calciomd_resumes_total), and scrape time
+// adds the stats-merge view: calciomd_sessions, calciomd_cpu_seconds_wasted
+// and the per-application calciomd_app_* rows (labels app, target). The
+// wait histograms also ride the stats merge into wire.Stats.WaitHist, so
+// TCP stats consumers get the same distribution the scrape reports.
+// calciom-load -scrape URL diffs the scrape against client-side truth in
+// the CI smoke jobs, exactly.
+//
+// With -log-level (debug logs per-grant events; -log-sample N thins them to
+// every Nth) the daemon emits a structured grant-lifecycle stream through
+// log/slog: register/resume/disconnect (info), grant (debug; wait seconds,
+// queue position, deferred-vs-immediate, convoy cause), revoke (info), and
+// grace-expired/drain (warn). Emission is off the hot path — events travel
+// by value through a fixed-capacity channel to a formatting goroutine,
+// overflow is dropped and counted, never blocked on — the recording
+// subsystem's discipline, applied to logging.
 package repro

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -102,6 +103,12 @@ type Options struct {
 	// reconnection continues in the background. 0 means block until the
 	// daemon is back (never uncoordinated). Requires Reconnect.
 	FailOpen time.Duration
+	// DegradedHist, when non-nil, observes the length in seconds of every
+	// closed degraded window, so a fleet embedding the client can expose
+	// its fail-open episodes on the same /metrics surface as the daemon.
+	// Observation happens when a window closes (connection re-adopted or
+	// final report), never on the coordination path.
+	DegradedHist *obs.Histogram
 }
 
 // tjournal is the client's per-target protocol journal: enough intended
@@ -524,6 +531,9 @@ func (c *Client) endWindow() {
 		c.degradedSec += d
 		c.pendDegraded += d
 		c.inWindow = false
+		if c.opts.DegradedHist != nil {
+			c.opts.DegradedHist.Observe(d)
+		}
 	}
 	c.dmu.Unlock()
 }

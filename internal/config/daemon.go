@@ -3,6 +3,7 @@ package config
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
@@ -54,6 +55,20 @@ type Daemon struct {
 	// period in seconds (0 = the trace package default; -1 disables the
 	// timer, syncing on event count only).
 	RecordSyncIntervalS float64 `json:"record_sync_interval_s,omitempty"`
+	// AdminAddr, when set, serves the observability endpoints on this TCP
+	// address: /metrics (Prometheus text format), /healthz, /statusz (the
+	// full stats snapshot as JSON) and net/http/pprof. Enabling it also
+	// turns on hot-path metrics collection (still allocation-free). Empty
+	// disables the listener and collection entirely.
+	AdminAddr string `json:"admin_addr,omitempty"`
+	// LogLevel enables grant-lifecycle structured logging to stderr at the
+	// given slog level: "debug" (includes per-grant events), "info",
+	// "warn" or "error". Empty disables event logging.
+	LogLevel string `json:"log_level,omitempty"`
+	// LogSample thins high-frequency grant events: only every LogSample-th
+	// grant is logged (lifecycle events are never sampled away). 0 or 1
+	// logs every grant.
+	LogSample int `json:"log_sample,omitempty"`
 }
 
 // DefaultListenAddr is used when listen_addr is omitted.
@@ -123,7 +138,40 @@ func (d Daemon) Validate() error {
 	if d.RecordSyncIntervalS < -1 {
 		return fmt.Errorf("config: record_sync_interval_s must be >= 0, or -1 to disable")
 	}
+	switch d.LogLevel {
+	case "", "debug", "info", "warn", "error":
+	default:
+		return fmt.Errorf("config: unknown log_level %q (want debug, info, warn or error)", d.LogLevel)
+	}
+	if d.LogSample < 0 {
+		return fmt.Errorf("config: log_sample must be >= 0")
+	}
 	return nil
+}
+
+// EventLevel returns the slog level for grant-lifecycle event logging and
+// whether logging is enabled at all (log_level nonempty).
+func (d Daemon) EventLevel() (slog.Level, bool) {
+	switch d.LogLevel {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return 0, false
+}
+
+// LogSampleN returns the grant-event sampling stride with the default
+// applied (1 = every grant).
+func (d Daemon) LogSampleN() int {
+	if d.LogSample < 1 {
+		return 1
+	}
+	return d.LogSample
 }
 
 // PolicyName returns the configured policy with the default applied.

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+)
+
+// EventKind classifies a grant-lifecycle event.
+type EventKind uint8
+
+// Grant-lifecycle event kinds, in rough protocol order.
+const (
+	EvRegister EventKind = iota + 1 // a session registered a fresh name
+	EvResume                        // a session resumed an existing name
+	EvGrant                         // a Wait was served (sampled by Sample)
+	EvRevoke                        // a holder's authorization was revoked
+	EvGraceExpire                   // a disconnected session's grace window ran out
+	EvDrain                         // pending Waits answered with retryable draining
+	EvDisconnect                    // a session dropped
+)
+
+// Event is one grant-lifecycle record, passed by value from the emitting
+// goroutine into the log's channel so emitting never allocates or blocks.
+type Event struct {
+	Kind EventKind
+	Time float64 // coordination clock, seconds
+	App  string
+	// Target is the storage target the event happened on (grant, revoke,
+	// drain); empty for session-scoped events.
+	Target string
+	// WaitS is the wait-to-grant latency of a served Wait; Queue the number
+	// of Waits already parked on the target when this one was deferred (0 =
+	// served immediately); Convoy whether the deferral was behind another
+	// authorized app (vs pure protocol/arbitration latency).
+	WaitS       float64
+	Queue       int32
+	Convoy      bool
+	Deferred    bool
+	Incarnation uint64
+}
+
+// EventLog is a sampled, asynchronous structured log of grant-lifecycle
+// events. Emit is safe on the arbitration hot path: a nil check, an atomic
+// sample counter, and a non-blocking by-value channel send — formatting and
+// the slog call happen on the log's own drain goroutine. Overflow is
+// drop-counted, never waited on.
+type EventLog struct {
+	log     *slog.Logger
+	ch      chan Event
+	stop    chan struct{}
+	done    chan struct{}
+	sample  uint64
+	grants  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// DefaultEventBuffer bounds in-flight events between emitters and the
+// drain goroutine.
+const DefaultEventBuffer = 4096
+
+// NewEventLog starts an event log writing to logger. sample thins the
+// high-frequency grant events: only every sample-th EvGrant is logged
+// (<= 1 logs them all); lifecycle events (register, resume, revoke, grace
+// expiry, drain, disconnect) are never sampled away. buffer <= 0 means
+// DefaultEventBuffer.
+func NewEventLog(logger *slog.Logger, sample int, buffer int) *EventLog {
+	if buffer <= 0 {
+		buffer = DefaultEventBuffer
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	l := &EventLog{
+		log:    logger,
+		ch:     make(chan Event, buffer),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		sample: uint64(sample),
+	}
+	go l.drain()
+	return l
+}
+
+// Emit records one event. Nil-safe (a nil *EventLog drops everything), so
+// instrumented code needs no enablement branches beyond the pointer it
+// already holds.
+func (l *EventLog) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	if ev.Kind == EvGrant {
+		if (l.grants.Add(1)-1)%l.sample != 0 {
+			return
+		}
+	}
+	select {
+	case l.ch <- ev:
+	default:
+		l.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many events overflowed the buffer.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// Close flushes queued events and stops the drain goroutine. Emit calls
+// racing Close may be dropped; they are not counted as overflow.
+func (l *EventLog) Close() {
+	if l == nil {
+		return
+	}
+	close(l.stop)
+	<-l.done
+}
+
+func (l *EventLog) drain() {
+	defer close(l.done)
+	for {
+		select {
+		case ev := <-l.ch:
+			l.emit(ev)
+		case <-l.stop:
+			for {
+				select {
+				case ev := <-l.ch:
+					l.emit(ev)
+					continue
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+// emit formats one event through slog. Runs only on the drain goroutine.
+func (l *EventLog) emit(ev Event) {
+	ctx := context.Background()
+	switch ev.Kind {
+	case EvRegister:
+		l.log.LogAttrs(ctx, slog.LevelInfo, "register",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App),
+			slog.String("target", ev.Target), slog.Uint64("incarnation", ev.Incarnation))
+	case EvResume:
+		l.log.LogAttrs(ctx, slog.LevelInfo, "resume",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App),
+			slog.Uint64("incarnation", ev.Incarnation))
+	case EvGrant:
+		cause := "immediate"
+		if ev.Deferred {
+			cause = "protocol"
+			if ev.Convoy {
+				cause = "convoy"
+			}
+		}
+		l.log.LogAttrs(ctx, slog.LevelDebug, "grant",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App),
+			slog.String("target", ev.Target), slog.Float64("wait_s", ev.WaitS),
+			slog.Int("queue", int(ev.Queue)), slog.String("cause", cause))
+	case EvRevoke:
+		l.log.LogAttrs(ctx, slog.LevelInfo, "revoke",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App),
+			slog.String("target", ev.Target))
+	case EvGraceExpire:
+		l.log.LogAttrs(ctx, slog.LevelWarn, "grace-expired",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App))
+	case EvDrain:
+		l.log.LogAttrs(ctx, slog.LevelWarn, "drain",
+			slog.Float64("t", ev.Time), slog.String("target", ev.Target),
+			slog.Int("waits_failed", int(ev.Queue)))
+	case EvDisconnect:
+		l.log.LogAttrs(ctx, slog.LevelInfo, "disconnect",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App))
+	}
+}

@@ -1,0 +1,350 @@
+// Package obs is calciomd's zero-dependency observability layer: a metrics
+// registry (counters, gauges, fixed-bucket histograms) whose hot-path
+// operations are single atomic adds into preallocated storage, a Prometheus
+// text-exposition renderer, an HTTP admin handler (/metrics, /healthz,
+// /statusz, net/http/pprof), and a sampled structured event log for grant
+// lifecycle logging.
+//
+// The package is built for instrumenting code that must stay allocation-free
+// under load: Counter.Add, Gauge.Set/Add and Histogram.Observe never
+// allocate, never lock, and never branch on more than a nil check plus a
+// bucket search. All allocation happens at registration time (one series per
+// (name, labels) pair, created once) and at render time (scrapes), both off
+// the arbitration hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// ready to use; methods are safe for concurrent use and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 metric (queue depths, session counts).
+// The zero value is ready to use; methods are allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatCounter is a monotonically increasing float64 metric (accumulated
+// seconds). Add is a CAS loop — still allocation-free, but meant for
+// control-plane accounting rather than per-request hot paths.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates v (v must be >= 0).
+func (f *FloatCounter) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (f *FloatCounter) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// DefaultLatencyBuckets are the upper bounds (seconds) used for
+// coordination-latency histograms: 10µs to 10s, roughly 1-2.5-5 per decade,
+// with an implicit +Inf overflow bucket. wire.Hist summaries in daemon
+// stats and offline replay use the same bounds, so live and replayed
+// percentiles are comparable bucket for bucket.
+var DefaultLatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with atomic, allocation-free
+// observation. Buckets are preallocated at construction; Observe is a
+// binary search over the (immutable) bounds plus one atomic add into the
+// matching bucket and one atomic add into the fixed-point sum.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; bucket i counts v <= bounds[i]
+	buckets []atomic.Uint64
+	// sum is kept in nanosecond fixed point so Observe stays a plain
+	// atomic add (float64 accumulation would need a CAS loop). At 1e-9
+	// resolution an int64 holds ~292 years of accumulated latency.
+	sumNanos atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (an implicit +Inf bucket is appended). Panics on empty or unsorted
+// bounds — histogram shape is a programming decision, not input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Values at an exact bucket bound land in that
+// bucket (le semantics); values above every bound land in the +Inf
+// overflow bucket. Negative values clamp into the first bucket. Safe for
+// concurrent use; never allocates.
+func (h *Histogram) Observe(v float64) {
+	// sort.SearchFloat64s is the first index with bounds[i] >= v, which is
+	// exactly the le-bucket; len(bounds) means overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	if v > 0 {
+		h.sumNanos.Add(int64(v * 1e9))
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Counts has
+// one entry per bucket (the last is the +Inf overflow); Count is their
+// sum. Concurrent Observes may land between bucket reads — each bucket is
+// internally consistent, which is what scraping needs.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram state for rendering or merging.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Sum:    float64(h.sumNanos.Load()) / 1e9,
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// metric kinds for rendering.
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+	kindHist    = "histogram"
+)
+
+// Label is one name=value pair attached to a metric series.
+type Label struct{ Key, Value string }
+
+// series is one (family, labels) instance.
+type series struct {
+	labels string // rendered `{k="v",...}`, or "" for an unlabeled series
+	c      *Counter
+	g      *Gauge
+	f      *FloatCounter
+	h      *Histogram
+}
+
+// family is one metric name: help text, kind, and its label series.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is idempotent — asking for an existing
+// (name, labels) series returns the same instance, so callers can resolve
+// their series once at setup and hold the pointer for the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) get(name, help, kind string, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	key := renderLabels(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.get(name, help, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.get(name, help, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// FloatCounter registers (or finds) a float counter series (rendered as a
+// Prometheus counter).
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	s := r.get(name, help, kindCounter, labels)
+	if s.f == nil {
+		s.f = &FloatCounter{}
+	}
+	return s.f
+}
+
+// Histogram registers (or finds) a histogram series over the given bounds.
+// An existing series keeps its original bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.get(name, help, kindHist, labels)
+	if s.h == nil {
+		s.h = NewHistogram(bounds)
+	}
+	return s.h
+}
+
+// WriteTo renders every family in Prometheus text exposition format,
+// deterministically: families sorted by name, series by label string.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, strconv.FormatUint(s.c.Value(), 10))
+			case s.f != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.f.Value()))
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, strconv.FormatInt(s.g.Value(), 10))
+			case s.h != nil:
+				writeHist(&b, f.name, s.labels, s.h.Snapshot())
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// writeHist renders one histogram series: cumulative le-buckets, sum,
+// count.
+func writeHist(b *strings.Builder, name, labels string, s HistSnapshot) {
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(labels, "le", formatFloat(bound)), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}
+
+// withLabel appends one more label pair to an already-rendered label set.
+func withLabel(labels, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// renderLabels renders a label set in the given order (callers pass a fixed
+// order, so one series always renders identically).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float like Prometheus clients do: shortest exact
+// representation, deterministic across runs.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

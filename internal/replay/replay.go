@@ -50,7 +50,9 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // Flip is one authorization change, in delivery order within its target.
@@ -168,6 +170,20 @@ func (r *Result) MaxWait() float64 {
 		return 0
 	}
 	return r.Waits[len(r.Waits)-1]
+}
+
+// WaitHist summarizes the wait durations into the fixed buckets the live
+// daemon's /metrics histograms use (obs.DefaultLatencyBuckets), so offline
+// replay reports percentiles bucket-compatible with a live scrape.
+func (r *Result) WaitHist() *wire.Hist {
+	bounds := obs.DefaultLatencyBuckets
+	h := &wire.Hist{BoundsS: bounds, Counts: make([]uint64, len(bounds)+1)}
+	for _, w := range r.Waits {
+		h.Counts[sort.SearchFloat64s(bounds, w)]++
+		h.SumS += w
+	}
+	h.Count = uint64(len(r.Waits))
+	return h
 }
 
 // RecordingPolicy rebuilds the policy the trace was recorded under from its

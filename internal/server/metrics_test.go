@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// metricsServer is the BenchmarkServerArbitrate fixture with metrics and
+// event collection enabled.
+func metricsServer(tb testing.TB, k int) (*Server, []*session, *obs.Registry, *obs.EventLog) {
+	reg := obs.NewRegistry()
+	ev := obs.NewEventLog(slog.New(slog.NewTextHandler(io.Discard, nil)), 64, 0)
+	srv, err := New(Config{Policy: core.FCFSPolicy{}, Clock: logicalClock(), Metrics: reg, Events: ev})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ss := make([]*session, k)
+	for i := range ss {
+		ss[i] = &session{}
+		srv.handle(ss[i], wire.Request{Seq: 1, Type: wire.TypeRegister, App: fmt.Sprintf("app-%02d", i), Cores: 64})
+		srv.handle(ss[i], wire.Request{Seq: 2, Type: wire.TypePrepare, Info: map[string]string{core.KeyBytesTotal: "1000000"}})
+		srv.handle(ss[i], wire.Request{Seq: 3, Type: wire.TypeInform})
+		srv.handle(ss[i], wire.Request{Seq: 4, Type: wire.TypeWait})
+	}
+	return srv, ss, reg, ev
+}
+
+// TestMetricsStayAllocFree pins the instrumented arbitration cycle at zero
+// allocations, metrics and sampled event emission both enabled — the same
+// guard recording has.
+func TestMetricsStayAllocFree(t *testing.T) {
+	srv, ss, _, ev := metricsServer(t, 8)
+	defer ev.Close()
+	n := 0
+	cycle := func() {
+		s := ss[n%len(ss)]
+		n++
+		srv.handle(s, wire.Request{Seq: 5, Type: wire.TypeRelease})
+		srv.handle(s, wire.Request{Seq: 6, Type: wire.TypeEnd})
+		srv.handle(s, wire.Request{Seq: 7, Type: wire.TypeInform})
+		srv.handle(s, wire.Request{Seq: 8, Type: wire.TypeWait})
+	}
+	for i := 0; i < 256; i++ {
+		cycle() // warm the decision-log ring and the event sampler
+	}
+	if allocs := testing.AllocsPerRun(512, cycle); allocs != 0 {
+		t.Fatalf("metrics add %.2f allocs per arbitration cycle, want 0", allocs)
+	}
+}
+
+// BenchmarkServerArbitrateMetrics is BenchmarkServerArbitrate with the obs
+// registry and sampled event log enabled: the acceptance criterion is
+// identical allocs/op (0).
+func BenchmarkServerArbitrateMetrics(b *testing.B) {
+	srv, ss, _, ev := metricsServer(b, 16)
+	defer ev.Close()
+	cycle := func(holder int) {
+		s := ss[holder]
+		srv.handle(s, wire.Request{Seq: 5, Type: wire.TypeRelease})
+		srv.handle(s, wire.Request{Seq: 6, Type: wire.TypeEnd})
+		srv.handle(s, wire.Request{Seq: 7, Type: wire.TypeInform})
+		srv.handle(s, wire.Request{Seq: 8, Type: wire.TypeWait})
+	}
+	for n := 0; n < 128; n++ {
+		cycle(n % len(ss))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		cycle(n % len(ss))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "grants/s")
+}
+
+// TestMetricsMatchStats cross-checks the registry against the stats merge:
+// the scrape-facing counters and the wire.Stats counters are two views of
+// the same arbitration stream and must agree exactly.
+func TestMetricsMatchStats(t *testing.T) {
+	srv, ss, reg, ev := metricsServer(t, 4)
+	defer ev.Close()
+	for n := 0; n < 40; n++ {
+		s := ss[n%len(ss)]
+		srv.handle(s, wire.Request{Seq: 5, Type: wire.TypeRelease})
+		srv.handle(s, wire.Request{Seq: 6, Type: wire.TypeEnd})
+		srv.handle(s, wire.Request{Seq: 7, Type: wire.TypeInform})
+		srv.handle(s, wire.Request{Seq: 8, Type: wire.TypeWait})
+	}
+	st := srv.Stats()
+	l := obs.Label{Key: "target", Value: ""}
+	if got := reg.Counter("calciomd_grants_total", "", l).Value(); got != st.GrantsServed {
+		t.Errorf("grants counter %d != stats GrantsServed %d", got, st.GrantsServed)
+	}
+	if got := reg.Counter("calciomd_arbitrations_total", "", l).Value(); got != st.Arbitrations {
+		t.Errorf("arbitrations counter %d != stats Arbitrations %d", got, st.Arbitrations)
+	}
+	imm := reg.Counter("calciomd_waits_immediate_total", "", l).Value()
+	def := reg.Counter("calciomd_waits_deferred_total", "", l).Value()
+	if imm != st.WaitsImmediate || def != st.WaitsDeferred {
+		t.Errorf("wait counters (%d, %d) != stats (%d, %d)", imm, def, st.WaitsImmediate, st.WaitsDeferred)
+	}
+	if st.WaitHist == nil {
+		t.Fatal("stats carry no WaitHist with metrics enabled")
+	}
+	if st.WaitHist.Count != st.GrantsServed {
+		t.Errorf("WaitHist.Count %d != GrantsServed %d (every wait observes)", st.WaitHist.Count, st.GrantsServed)
+	}
+	if q := st.WaitHist.Quantile(0.5); q < 0 {
+		t.Errorf("median quantile %v", q)
+	}
+}
+
+// TestAdminEndToEnd serves a traffic-bearing server's registry, health and
+// status through obs.Admin and checks the scrape is consistent with stats.
+func TestAdminEndToEnd(t *testing.T) {
+	srv, ss, reg, ev := metricsServer(t, 4)
+	defer ev.Close()
+	for n := 0; n < 20; n++ {
+		s := ss[n%len(ss)]
+		srv.handle(s, wire.Request{Seq: 5, Type: wire.TypeRelease})
+		srv.handle(s, wire.Request{Seq: 6, Type: wire.TypeEnd})
+		srv.handle(s, wire.Request{Seq: 7, Type: wire.TypeInform})
+		srv.handle(s, wire.Request{Seq: 8, Type: wire.TypeWait})
+	}
+	admin := &obs.Admin{
+		Registry: reg,
+		Extra:    srv.WriteStatsMetrics,
+		Health:   srv.Health,
+		Status:   func() any { return srv.Stats() },
+	}
+	ts := httptest.NewServer(admin.Handler())
+	defer ts.Close()
+
+	get := func(path string) string {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	st := srv.Stats()
+	body := get("/metrics")
+	if want := fmt.Sprintf("calciomd_grants_total{target=\"\"} %d", st.GrantsServed); !strings.Contains(body, want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+	if !strings.Contains(body, "calciomd_wait_seconds_bucket{target=\"\",le=\"+Inf\"}") {
+		t.Error("/metrics missing wait histogram")
+	}
+	if want := `calciomd_app_grants_total{app="app-00",target=""}`; !strings.Contains(body, want) {
+		t.Errorf("/metrics missing per-app row %q", want)
+	}
+	if !strings.Contains(body, fmt.Sprintf("calciomd_sessions %d", st.Sessions)) {
+		t.Error("/metrics missing sessions gauge")
+	}
+	if got := get("/healthz"); got != "serving\n" {
+		t.Errorf("/healthz: %q", got)
+	}
+	if got := get("/statusz"); !strings.Contains(got, `"policy": "fcfs"`) {
+		t.Errorf("/statusz missing policy: %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// shardMetrics is one target's hot-path instrumentation, resolved once at
+// shard creation so the arbitration goroutine only ever touches atomic adds
+// through pointers it already holds. Nil when the server has no registry.
+type shardMetrics struct {
+	grants         *obs.Counter
+	arbitrations   *obs.Counter
+	revokes        *obs.Counter
+	waitsImmediate *obs.Counter
+	waitsDeferred  *obs.Counter
+	queueDepth     *obs.Gauge
+	waitSeconds    *obs.Histogram
+	holdSeconds    *obs.Histogram
+}
+
+func newShardMetrics(r *obs.Registry, target string) *shardMetrics {
+	l := obs.Label{Key: "target", Value: target}
+	return &shardMetrics{
+		grants: r.Counter("calciomd_grants_total",
+			"Wait authorizations served, by storage target.", l),
+		arbitrations: r.Counter("calciomd_arbitrations_total",
+			"Arbitration rounds run, by storage target.", l),
+		revokes: r.Counter("calciomd_revokes_total",
+			"Authorizations revoked by arbitration, by storage target.", l),
+		waitsImmediate: r.Counter("calciomd_waits_immediate_total",
+			"Waits answered without deferral (already authorized).", l),
+		waitsDeferred: r.Counter("calciomd_waits_deferred_total",
+			"Waits parked until a later arbitration granted access.", l),
+		queueDepth: r.Gauge("calciomd_queue_depth",
+			"Waits currently parked on the target.", l),
+		waitSeconds: r.Histogram("calciomd_wait_seconds",
+			"Wait-to-grant latency in seconds (immediate waits observe 0).",
+			obs.DefaultLatencyBuckets, l),
+		holdSeconds: r.Histogram("calciomd_hold_seconds",
+			"Grant hold time in seconds, from serve to release/end/revoke.",
+			obs.DefaultLatencyBuckets, l),
+	}
+}
+
+// serverMetrics is the control-plane slice: degraded/fail-open folds and
+// resume churn, accumulated on the control goroutine.
+type serverMetrics struct {
+	selfGrants      *obs.Counter
+	degradedSeconds *obs.FloatCounter
+	resumes         *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		selfGrants: r.Counter("calciomd_self_grants_total",
+			"Waits clients granted themselves during fail-open windows, as reported on (re-)register."),
+		degradedSeconds: r.FloatCounter("calciomd_degraded_seconds_total",
+			"Seconds clients reported spending in degraded (uncoordinated) mode."),
+		resumes: r.Counter("calciomd_resumes_total",
+			"Successful resume registrations (connection churn)."),
+	}
+}
+
+// Draining reports whether Drain has begun and Close has not finished —
+// the window in which /healthz answers "draining".
+func (srv *Server) Draining() bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.draining && !srv.closed
+}
+
+// Health returns the daemon's health word for /healthz: "closed",
+// "draining", "degraded" (some client has reported fail-open coordination)
+// or "serving".
+func (srv *Server) Health() string {
+	srv.mu.Lock()
+	closed, draining := srv.closed, srv.draining
+	srv.mu.Unlock()
+	switch {
+	case closed:
+		return "closed"
+	case draining:
+		return "draining"
+	case srv.degradedSeen.Load():
+		return "degraded"
+	default:
+		return "serving"
+	}
+}
+
+// WriteStatsMetrics renders scrape-time metric series computed from the
+// stats merge — per-application rows and machine-wide aggregates that would
+// be wasteful to maintain on the hot path. It is meant as the Extra hook of
+// an obs.Admin, appended after the registry's own families. Output is
+// deterministic: Stats sorts Apps by (name, target) and Degraded by name.
+func (srv *Server) WriteStatsMetrics(w io.Writer) {
+	st := srv.Stats()
+	fmt.Fprintf(w, "# HELP calciomd_sessions Connected (or grace-window) sessions.\n# TYPE calciomd_sessions gauge\ncalciomd_sessions %d\n", st.Sessions)
+	fmt.Fprintf(w, "# HELP calciomd_cpu_seconds_wasted Core-seconds idled by I/O slowdown (paper §IV metric).\n# TYPE calciomd_cpu_seconds_wasted gauge\ncalciomd_cpu_seconds_wasted %s\n", formatScrapeFloat(st.CPUSecondsWasted))
+	writeAppCounter(w, st, "calciomd_app_grants_total", "Grants served per application and target.", "counter",
+		func(a *wire.AppStats) string { return fmt.Sprintf("%d", a.Grants) })
+	writeAppCounter(w, st, "calciomd_app_io_seconds_total", "Cumulative I/O phase time per application and target.", "counter",
+		func(a *wire.AppStats) string { return formatScrapeFloat(a.IOTimeS) })
+	writeAppCounter(w, st, "calciomd_app_wait_seconds_total", "Cumulative wait time per application and target.", "counter",
+		func(a *wire.AppStats) string { return formatScrapeFloat(a.WaitTimeS) })
+	if len(st.Degraded) > 0 {
+		fmt.Fprintf(w, "# HELP calciomd_app_resumes_total Successful resumes per application name.\n# TYPE calciomd_app_resumes_total counter\n")
+		for i := range st.Degraded {
+			d := &st.Degraded[i]
+			fmt.Fprintf(w, "calciomd_app_resumes_total{app=\"%s\"} %d\n", scrapeEscape(d.Name), d.Resumes)
+		}
+	}
+}
+
+func writeAppCounter(w io.Writer, st wire.Stats, name, help, kind string, value func(*wire.AppStats) string) {
+	if len(st.Apps) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	for i := range st.Apps {
+		a := &st.Apps[i]
+		fmt.Fprintf(w, "%s{app=\"%s\",target=\"%s\"} %s\n",
+			name, scrapeEscape(a.Name), scrapeEscape(a.Target), value(a))
+	}
+}
+
+var scrapeEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func scrapeEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	return scrapeEscaper.Replace(v)
+}
+
+// formatScrapeFloat matches obs's float rendering so the appended series
+// read like the registry's.
+func formatScrapeFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// histFromSnapshot converts an obs histogram snapshot into the wire summary
+// riding stats.
+func histFromSnapshot(s obs.HistSnapshot) *wire.Hist {
+	return &wire.Hist{BoundsS: s.Bounds, Counts: s.Counts, SumS: s.Sum, Count: s.Count}
+}

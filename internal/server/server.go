@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -92,6 +93,19 @@ type Config struct {
 	// on. The caller owns the writer and must Close it only after the
 	// server has shut down.
 	Trace *trace.Writer
+	// Metrics, when set, receives hot-path instrumentation: per-target
+	// grant/arbitration/revoke counters, queue-depth gauges, and
+	// wait-to-grant and hold-time histograms. Each shard resolves its series
+	// once at creation, so the arbitration goroutines only ever perform
+	// atomic adds — the hot path stays allocation-free with metrics on. Nil
+	// disables collection entirely (and stats carry no histograms).
+	Metrics *obs.Registry
+	// Events, when set, receives sampled grant-lifecycle events
+	// (register/resume, wait→grant, revoke, grace expiry, drain). Emission
+	// is a non-blocking by-value channel send; formatting happens on the
+	// event log's own goroutine. The caller owns the log and must Close it
+	// only after the server has shut down.
+	Events *obs.EventLog
 }
 
 // envelope kinds. kindConnect/kindDisconnect/kindStats and control-plane
@@ -213,7 +227,14 @@ type binding struct {
 
 	waitSeq    uint64 // Seq of the deferred Wait response; 0 = none pending
 	waitFrom   float64
-	waitConvoy bool // deferred behind another authorized app (vs protocol)
+	waitConvoy bool  // deferred behind another authorized app (vs protocol)
+	waitPos    int32 // Waits already parked on the target when this one was
+
+	// grantAt/holding track the served grant currently outstanding, for the
+	// hold-time histogram: set by serveGrant, cleared (and observed) at the
+	// next release, end or revoke.
+	grantAt float64
+	holding bool
 
 	phaseStart float64
 	phases     int
@@ -241,12 +262,18 @@ type shard struct {
 	ch     chan envelope
 	done   chan struct{}
 
+	// Resolved once at shard creation; nil when the server has no registry
+	// or event log. Shard goroutines touch them without further lookups.
+	m  *shardMetrics
+	ev *obs.EventLog
+
 	// Owned by the shard's arbitration goroutine.
 	bindings     map[*session]*binding
 	recheck      *time.Timer
 	arbitrations uint64
 	grantsServed uint64
-	draining     bool // Drain ran: pending Waits failed, new ones refused
+	pending      int32 // Waits currently parked (mirrored to m.queueDepth)
+	draining     bool  // Drain ran: pending Waits failed, new ones refused
 
 	// Wait-decomposition counters of departed bindings, folded in by
 	// detach, so the aggregates are cumulative like grantsServed (and like
@@ -273,6 +300,8 @@ type shardSnap struct {
 	lastDecision string
 	lastTime     float64
 	hasDecision  bool
+
+	waitHist *wire.Hist // nil unless the server collects metrics
 
 	apps []wire.AppStats
 	rep  []metrics.AppResult
@@ -312,6 +341,12 @@ type Server struct {
 	// (re-)register: per app name, cumulative across resumes. Owned like
 	// sessions/names; surfaced through Stats.Degraded.
 	degraded map[string]*wire.DegradedStats
+
+	// m holds the control-plane metric series (nil without a registry);
+	// degradedSeen flips once any client reports fail-open coordination and
+	// feeds Health.
+	m            *serverMetrics
+	degradedSeen atomic.Bool
 }
 
 // New validates the configuration and builds a server (not yet listening).
@@ -334,10 +369,15 @@ func New(cfg Config) (*Server, error) {
 	default:
 		set.SetLogBound(cfg.LogBound)
 	}
+	var m *serverMetrics
+	if cfg.Metrics != nil {
+		m = newServerMetrics(cfg.Metrics)
+	}
 	return &Server{
 		cfg:       cfg,
 		clock:     clock,
 		set:       set,
+		m:         m,
 		reqCh:     make(chan envelope, 256),
 		stop:      make(chan struct{}),
 		serveDone: make(chan struct{}),
@@ -403,6 +443,10 @@ func (srv *Server) shardFor(target string) (*shard, error) {
 		ch:       make(chan envelope, 256),
 		done:     make(chan struct{}),
 		bindings: make(map[*session]*binding),
+		ev:       srv.cfg.Events,
+	}
+	if srv.cfg.Metrics != nil {
+		sh.m = newShardMetrics(srv.cfg.Metrics, target)
 	}
 	srv.shards[target] = sh
 	i := sort.Search(len(srv.shardList), func(i int) bool { return srv.shardList[i].target >= target })
@@ -740,6 +784,10 @@ func (srv *Server) dispatch(env envelope) {
 		// but a firing racing the stop can still deliver this envelope —
 		// the limbo check makes it a no-op then (resume cleared it).
 		if !env.s.gone.Load() && env.s.limbo {
+			if id := env.s.id.Load(); id != nil {
+				srv.cfg.Events.Emit(obs.Event{Kind: obs.EvGraceExpire,
+					Time: srv.clock(), App: id.name})
+			}
 			srv.drop(env.s, "grace expired")
 		}
 	case kindStats:
@@ -833,6 +881,8 @@ func (srv *Server) register(s *session, req wire.Request, now float64) {
 	// point of view: its earlier incarnation registered with a daemon that
 	// has since restarted.
 	srv.foldDegraded(req, req.Incarnation > 1)
+	srv.cfg.Events.Emit(obs.Event{Kind: obs.EvRegister, Time: now, App: req.App,
+		Target: req.Target, Incarnation: req.Incarnation})
 	s.reply(req.Seq, nil, req.Target)
 }
 
@@ -871,6 +921,8 @@ func (srv *Server) resume(s, old *session, req wire.Request) {
 	}
 	old.teardown()
 	srv.foldDegraded(req, true)
+	srv.cfg.Events.Emit(obs.Event{Kind: obs.EvResume, Time: srv.clock(),
+		App: req.App, Incarnation: req.Incarnation})
 	srv.logf("calciomd: %s: resumed (incarnation %d)", req.App, req.Incarnation)
 	s.reply(req.Seq, nil, req.Target)
 }
@@ -879,6 +931,18 @@ func (srv *Server) resume(s, old *session, req wire.Request) {
 func (srv *Server) foldDegraded(req wire.Request, resumed bool) {
 	if req.SelfGrants == 0 && req.DegradedS == 0 && !resumed {
 		return
+	}
+	if req.SelfGrants > 0 || req.DegradedS > 0 {
+		srv.degradedSeen.Store(true)
+	}
+	if srv.m != nil {
+		srv.m.selfGrants.Add(req.SelfGrants)
+		if req.DegradedS > 0 {
+			srv.m.degradedSeconds.Add(req.DegradedS)
+		}
+		if resumed {
+			srv.m.resumes.Inc()
+		}
 	}
 	d := srv.degraded[req.App]
 	if d == nil {
@@ -899,6 +963,10 @@ func (srv *Server) foldDegraded(req wire.Request, resumed bool) {
 func (srv *Server) disconnect(s *session) {
 	if s.gone.Load() || s.limbo {
 		return
+	}
+	if id := s.id.Load(); id != nil {
+		srv.cfg.Events.Emit(obs.Event{Kind: obs.EvDisconnect,
+			Time: srv.clock(), App: id.name})
 	}
 	grace := srv.cfg.GrantGrace
 	if grace <= 0 || s.id.Load() == nil {
@@ -1171,13 +1239,26 @@ func (sh *shard) handle(s *session, req wire.Request, now float64) {
 		sh.rec(trace.Event{Type: trace.EvWait, Time: now, SID: b.sid})
 		if b.app.Authorized() {
 			b.waitsImmediate++
-			sh.serveGrant(b, req.Seq)
+			if sh.m != nil {
+				sh.m.waitsImmediate.Inc()
+				sh.m.waitSeconds.Observe(0)
+			}
+			if sh.ev != nil {
+				sh.ev.Emit(obs.Event{Kind: obs.EvGrant, Time: now,
+					App: b.app.Name(), Target: sh.target})
+			}
+			sh.serveGrant(b, req.Seq, now)
 			return
 		}
 		b.waitSeq = req.Seq
 		b.waitFrom = now
 		b.waitConvoy = sh.arb.OtherAuthorized(b.app)
+		b.waitPos = sh.pending
 		s.pendingWaits.Add(1)
+		sh.pending++
+		if sh.m != nil {
+			sh.m.queueDepth.Set(int64(sh.pending))
+		}
 
 	case wire.TypeRelease:
 		// Recorded before the state-machine check: a failed Release still
@@ -1190,6 +1271,7 @@ func (sh *shard) handle(s *session, req wire.Request, now float64) {
 			sh.reply(b, s, req.Seq, false, err)
 			return
 		}
+		sh.endHold(b, now)
 		sh.arbitrate(now)
 		sh.reply(b, s, req.Seq, true, nil)
 
@@ -1203,12 +1285,13 @@ func (sh *shard) handle(s *session, req wire.Request, now float64) {
 			s.send(wire.Response{Seq: b.waitSeq, Type: wire.TypeResp,
 				Err: "wait cancelled: phase ended", Code: wire.CodeProtocol, Target: sh.target})
 			b.waitSeq = 0
-			s.pendingWaits.Add(-1)
+			sh.unpark(s)
 		}
 		sh.rec(trace.Event{Type: trace.EvEnd, Time: now, SID: b.sid})
 		if b.app.State() != core.Idle {
 			b.ioTime += now - b.phaseStart
 		}
+		sh.endHold(b, now)
 		b.app.End()
 		sh.arbitrate(now)
 		sh.reply(b, s, req.Seq, true, nil)
@@ -1250,7 +1333,7 @@ func (sh *shard) detach(s *session) {
 	sh.goneProtoWait += b.protoWait
 	if b.waitSeq != 0 {
 		b.waitSeq = 0
-		s.pendingWaits.Add(-1)
+		sh.unpark(s)
 	}
 	now := sh.srv.clock()
 	wasBusy := b.app.State() != core.Idle
@@ -1293,7 +1376,7 @@ func (sh *shard) rebind(old, s *session) {
 		// The deferred Wait died with the old connection; the client will
 		// re-issue it after the resume.
 		ob.waitSeq = 0
-		old.pendingWaits.Add(-1)
+		sh.unpark(old)
 	}
 	wasBusy := ob.app.State() != core.Idle
 	ioTime := ob.ioTime
@@ -1330,6 +1413,7 @@ func (sh *shard) rebind(old, s *session) {
 // refuse to park any new ones.
 func (sh *shard) drainWaits() {
 	sh.draining = true
+	failed := int32(0)
 	for _, a := range sh.arb.Apps() {
 		b, ok := a.Data.(*binding)
 		if !ok || b.waitSeq == 0 {
@@ -1339,7 +1423,12 @@ func (sh *shard) drainWaits() {
 			Err: "draining: coordinator shutting down", Code: wire.CodeDraining,
 			Authorized: b.app.Authorized(), Target: sh.target})
 		b.waitSeq = 0
-		b.s.pendingWaits.Add(-1)
+		sh.unpark(b.s)
+		failed++
+	}
+	if sh.ev != nil {
+		sh.ev.Emit(obs.Event{Kind: obs.EvDrain, Time: sh.srv.clock(),
+			Target: sh.target, Queue: failed})
 	}
 }
 
@@ -1361,11 +1450,38 @@ func (sh *shard) reply(b *binding, s *session, seq uint64, ok bool, err error) {
 
 // serveGrant answers a Wait — immediately or deferred — and accounts for
 // the served grant in one place.
-func (sh *shard) serveGrant(b *binding, seq uint64) {
+func (sh *shard) serveGrant(b *binding, seq uint64, now float64) {
 	b.app.Activate()
 	b.grants++
 	sh.grantsServed++
+	b.grantAt = now
+	b.holding = true
+	if sh.m != nil {
+		sh.m.grants.Inc()
+	}
 	b.s.send(wire.Response{Seq: seq, Type: wire.TypeResp, OK: true, Authorized: true, Target: sh.target})
+}
+
+// unpark undoes one parked Wait's queue accounting (served, cancelled,
+// drained, or departed with its session).
+func (sh *shard) unpark(s *session) {
+	s.pendingWaits.Add(-1)
+	sh.pending--
+	if sh.m != nil {
+		sh.m.queueDepth.Set(int64(sh.pending))
+	}
+}
+
+// endHold closes the binding's outstanding grant hold, observing its
+// duration. A no-op unless a serveGrant is outstanding.
+func (sh *shard) endHold(b *binding, now float64) {
+	if !b.holding {
+		return
+	}
+	b.holding = false
+	if sh.m != nil {
+		sh.m.holdSeconds.Observe(now - b.grantAt)
+	}
 }
 
 // rec records one trace event when recording is enabled, stamped with this
@@ -1390,6 +1506,9 @@ func (sh *shard) arbitrate(now float64) {
 	}
 	out := sh.arb.Arbitrate(now)
 	sh.arbitrations++
+	if sh.m != nil {
+		sh.m.arbitrations.Inc()
+	}
 	if !out.Acted {
 		return
 	}
@@ -1405,10 +1524,19 @@ func (sh *shard) arbitrate(now float64) {
 				b.protoWait += d
 			}
 			b.waitsDeferred++
+			if sh.m != nil {
+				sh.m.waitsDeferred.Inc()
+				sh.m.waitSeconds.Observe(d)
+			}
+			if sh.ev != nil {
+				sh.ev.Emit(obs.Event{Kind: obs.EvGrant, Time: now,
+					App: b.app.Name(), Target: sh.target, WaitS: d,
+					Queue: b.waitPos, Deferred: true, Convoy: b.waitConvoy})
+			}
 			seq := b.waitSeq
 			b.waitSeq = 0
-			b.s.pendingWaits.Add(-1)
-			sh.serveGrant(b, seq)
+			sh.unpark(b.s)
+			sh.serveGrant(b, seq, now)
 		} else {
 			b.s.send(wire.Response{Type: wire.TypeGrant, Authorized: true, Target: sh.target})
 		}
@@ -1416,6 +1544,14 @@ func (sh *shard) arbitrate(now float64) {
 	for _, a := range out.Revoked {
 		b := a.Data.(*binding)
 		sh.rec(trace.Event{Type: trace.EvRevoke, Time: now, SID: b.sid})
+		sh.endHold(b, now)
+		if sh.m != nil {
+			sh.m.revokes.Inc()
+		}
+		if sh.ev != nil {
+			sh.ev.Emit(obs.Event{Kind: obs.EvRevoke, Time: now,
+				App: b.app.Name(), Target: sh.target})
+		}
 		b.s.send(wire.Response{Type: wire.TypeRevoke, Target: sh.target})
 	}
 	if out.RecheckAfter > 0 {
@@ -1453,6 +1589,9 @@ func (sh *shard) snap(now float64) shardSnap {
 		sn.lastDecision = fmt.Sprintf("t=%.3f allowed=%v %s", rec.Time, rec.Allowed, rec.Reason)
 		sn.lastTime = rec.Time
 		sn.hasDecision = true
+	}
+	if sh.m != nil {
+		sn.waitHist = histFromSnapshot(sh.m.waitSeconds.Snapshot())
 	}
 	model := sh.srv.cfg.Model
 	for _, a := range sh.arb.Apps() {
@@ -1559,6 +1698,15 @@ func (srv *Server) merge(now float64, snaps []shardSnap) wire.Stats {
 			lastTime = sn.lastTime
 			st.LastDecision = sn.lastDecision
 		}
+		if sn.waitHist != nil {
+			if st.WaitHist == nil {
+				st.WaitHist = &wire.Hist{
+					BoundsS: sn.waitHist.BoundsS,
+					Counts:  make([]uint64, len(sn.waitHist.Counts)),
+				}
+			}
+			st.WaitHist.Add(sn.waitHist)
+		}
 		st.Apps = append(st.Apps, sn.apps...)
 		rep.Apps = append(rep.Apps, sn.rep...)
 		st.Targets = append(st.Targets, wire.TargetStats{
@@ -1571,6 +1719,7 @@ func (srv *Server) merge(now float64, snaps []shardSnap) wire.Stats {
 			ConvoyWaitS:    sn.convoyWait,
 			ProtocolWaitS:  sn.protoWait,
 			LastDecision:   sn.lastDecision,
+			WaitHist:       sn.waitHist,
 		})
 	}
 	sort.Slice(st.Apps, func(i, j int) bool {

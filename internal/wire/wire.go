@@ -52,6 +52,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // MaxFrame is the maximum payload size either side will read or write.
@@ -210,6 +211,59 @@ type TargetStats struct {
 	ConvoyWaitS    float64 `json:"convoy_wait_s,omitempty"`
 	ProtocolWaitS  float64 `json:"protocol_wait_s,omitempty"`
 	LastDecision   string  `json:"last_decision,omitempty"`
+	// WaitHist summarizes this target's wait-to-grant latency distribution;
+	// nil on daemons not collecting metrics (the field predates nothing — it
+	// simply rides along only when an obs registry is configured).
+	WaitHist *Hist `json:"wait_hist,omitempty"`
+}
+
+// Hist is a fixed-bucket histogram summary riding a stats snapshot: the
+// upper bounds (seconds) and one count per bucket, the last being the +Inf
+// overflow. It carries the same shape the daemon's /metrics endpoint
+// exposes, so offline replay can report percentiles bucket-compatible with
+// the live scrape.
+type Hist struct {
+	BoundsS []float64 `json:"bounds_s"`
+	Counts  []uint64  `json:"counts"` // len(BoundsS)+1
+	SumS    float64   `json:"sum_s"`
+	Count   uint64    `json:"count"`
+}
+
+// Add folds another histogram with identical bounds into h (merging shard
+// histograms into the machine-wide one).
+func (h *Hist) Add(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := range o.Counts {
+		if i < len(h.Counts) {
+			h.Counts[i] += o.Counts[i]
+		}
+	}
+	h.SumS += o.SumS
+	h.Count += o.Count
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the bound
+// of the bucket the ceil-rank observation landed in, +Inf for the overflow
+// bucket, 0 on an empty histogram. Bucket resolution bounds the error, which
+// is the usual histogram-quantile trade.
+func (h *Hist) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i < len(h.BoundsS) {
+				return h.BoundsS[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
 }
 
 // Stats is the daemon's LASSi-style live snapshot: per-application I/O and
@@ -241,9 +295,12 @@ type Stats struct {
 	// seconds spent in that mode. Cumulative per app name (not per target —
 	// a client cut off from the daemon is cut off from every target), and
 	// preserved across resume like the rest of the accounting.
-	SelfGrants uint64     `json:"self_grants,omitempty"`
-	DegradedS  float64    `json:"degraded_s,omitempty"`
-	Apps       []AppStats `json:"apps,omitempty"`
+	SelfGrants uint64  `json:"self_grants,omitempty"`
+	DegradedS  float64 `json:"degraded_s,omitempty"`
+	// WaitHist is the machine-wide wait-to-grant latency histogram (the sum
+	// of every target's); nil unless the daemon collects metrics.
+	WaitHist *Hist      `json:"wait_hist,omitempty"`
+	Apps     []AppStats `json:"apps,omitempty"`
 	// Degraded lists per-app-name degraded windows, sorted by name; only
 	// apps that reported any appear. Kept separate from Apps because those
 	// rows are per (app, target) while fail-open is a per-client condition.
