@@ -51,6 +51,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -127,6 +128,9 @@ func main() {
 	chaosPartEvery := flag.Duration("chaos-partition-every", 0, "chaos proxy: start a partition window this often")
 	chaosPartFor := flag.Duration("chaos-partition-for", 0, "chaos proxy: partition window length")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos proxy: deterministic fault schedule seed")
+	chaosGarbage := flag.Bool("chaos-garbage", false, "chaos proxy: inject seeded protocol garbage (bit flips, junk frames) into the client→daemon stream")
+	flood := flag.Bool("flood", false, "overload probe: every client registers at once, admitted clients run max-rate check loops and earn one grant each; prints a shed: line instead of the workload blocks")
+	floodChecks := flag.Int("flood-checks", 8, "flood: back-to-back Check calls per admitted client")
 	scrape := flag.String("scrape", "", "after the burst, fetch the daemon's Prometheus endpoint at this URL (e.g. http://127.0.0.1:9596/metrics) and print a byte-stable scrape: line")
 	flag.Parse()
 	if *failOpen > 0 {
@@ -172,13 +176,14 @@ func main() {
 	// the daemon; the final daemonView still goes direct so the report is
 	// not a chaos casualty.
 	dialAddr := *addr
-	if *chaosReset > 0 || *chaosDelay > 0 || (*chaosPartEvery > 0 && *chaosPartFor > 0) {
+	if *chaosReset > 0 || *chaosDelay > 0 || *chaosGarbage || (*chaosPartEvery > 0 && *chaosPartFor > 0) {
 		p, err := chaos.New(chaos.Options{
 			Target:         *addr,
 			ResetEvery:     *chaosReset,
 			Delay:          *chaosDelay,
 			PartitionEvery: *chaosPartEvery,
 			PartitionFor:   *chaosPartFor,
+			Garbage:        *chaosGarbage,
 			Seed:           *chaosSeed,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -193,6 +198,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos: proxying %s via %s\n", *addr, dialAddr)
 	}
 	copts := client.Options{Reconnect: *reconnect, FailOpen: *failOpen}
+
+	// Flood mode probes the daemon's overload protection instead of running
+	// the workload: it reports a shed: line and exits. The workload flags
+	// (and -record) do not apply.
+	if *flood {
+		if tw != nil {
+			tw.Close()
+			tf.Close()
+		}
+		os.Exit(runFlood(dialAddr, *addr, *prefix, *clients, *floodChecks, copts))
+	}
 
 	var wg sync.WaitGroup
 	results := make([]result, *clients)
@@ -336,6 +352,127 @@ func main() {
 	if nerr > 0 {
 		os.Exit(1)
 	}
+}
+
+// runFlood probes the daemon's overload-protection layer: every client
+// dials and registers at once (a barrier holds admitted clients until the
+// whole fleet has a register outcome, so the admitted/busy split is pinned
+// by the daemon's -max-sessions bound, not by scheduling luck). Admitted
+// clients then run back-to-back Check calls — the advisory traffic the
+// daemon sheds first — followed by the minimal grant cycle (Inform, Wait,
+// Release, End), so each admitted client earns exactly one grant and
+// grants == admitted is the conservation invariant overload smoke tests
+// assert. Busy rejects at the session bound and overloaded replies (shed
+// or rate-limited requests, retried here after a backoff) are counted
+// into the shed: line; with a fixed fleet against a fresh daemon the
+// clients/admitted/busy/grants/errors fields are deterministic, while
+// overloaded depends on timing.
+func runFlood(dialAddr, addr, prefix string, clients, checks int, opts client.Options) int {
+	type floodResult struct {
+		admitted   bool
+		busy       bool
+		overloaded int
+		grants     int
+		err        error
+	}
+	results := make([]floodResult, clients)
+	var regWG, wg sync.WaitGroup
+	regWG.Add(clients)
+	wg.Add(clients)
+	registered := make(chan struct{})
+	go func() { regWG.Wait(); close(registered) }()
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			regDone := false
+			defer func() {
+				if !regDone {
+					regWG.Done()
+				}
+			}()
+			c, err := client.DialOptions(dialAddr, opts)
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer c.Close()
+			// Retry-in-place on overloaded replies: the rate limiter answers
+			// the first over-budget request with one retryable overloaded
+			// error and disconnects only on sustained abuse, so backing off
+			// after each one keeps the connection alive at the limit.
+			over := func(f func() error) error {
+				for {
+					err := f()
+					var re *client.ReplyError
+					if err != nil && errors.As(err, &re) && re.Code == wire.CodeOverloaded {
+						r.overloaded++
+						time.Sleep(50 * time.Millisecond)
+						continue
+					}
+					return err
+				}
+			}
+			name := fmt.Sprintf("%s-%04d", prefix, i)
+			err = over(func() error { return c.Register(name, 1) })
+			regDone = true
+			regWG.Done()
+			if err != nil {
+				var re *client.ReplyError
+				if errors.As(err, &re) && re.Code == wire.CodeBusy {
+					r.busy = true
+				} else {
+					r.err = err
+				}
+				return
+			}
+			r.admitted = true
+			<-registered
+			tg := c.Target("")
+			for k := 0; k < checks; k++ {
+				if r.err = over(func() error { _, err := tg.Check(); return err }); r.err != nil {
+					return
+				}
+			}
+			steps := []func() error{
+				tg.Inform,
+				tg.Wait,
+				func() error { return tg.Release(0) },
+				tg.End,
+			}
+			for _, step := range steps {
+				if r.err = over(step); r.err != nil {
+					return
+				}
+			}
+			r.grants++
+		}(i)
+	}
+	wg.Wait()
+
+	admitted, busy, overloaded, grants, nerr := 0, 0, 0, 0, 0
+	for i := range results {
+		if results[i].admitted {
+			admitted++
+		}
+		if results[i].busy {
+			busy++
+		}
+		overloaded += results[i].overloaded
+		grants += results[i].grants
+		if results[i].err != nil {
+			nerr++
+			fmt.Fprintf(os.Stderr, "%s-%04d: %v\n", prefix, i, results[i].err)
+		}
+	}
+	fmt.Printf("shed: clients=%d admitted=%d busy=%d overloaded=%d grants=%d errors=%d\n",
+		clients, admitted, busy, overloaded, grants, nerr)
+	policy, daemonGrants := daemonView(addr)
+	fmt.Printf("daemon: policy=%s grants-served=%d\n", policy, daemonGrants)
+	if nerr > 0 {
+		return 1
+	}
+	return 0
 }
 
 // buildTasks constructs the workload: the synthetic phase mix, or one task

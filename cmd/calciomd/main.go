@@ -68,6 +68,9 @@ func main() {
 	admin := flag.String("admin", "", "serve /metrics, /healthz, /statusz and pprof on this address, e.g. 127.0.0.1:9596 (overrides config)")
 	logLevel := flag.String("log-level", "", "grant-lifecycle event logging to stderr: debug|info|warn|error; empty = off (overrides config)")
 	logSample := flag.Int("log-sample", -1, "log every Nth grant event; lifecycle events always log (overrides config)")
+	maxSessions := flag.Int("max-sessions", 0, "reject registrations beyond this many live sessions with a retryable busy error; 0 = unlimited (overrides config)")
+	handshakeTimeout := flag.Float64("handshake-timeout", -1, "drop connections that have not registered within this many seconds; 0 disables (overrides config)")
+	maxRPS := flag.Float64("max-requests-per-sec", -1, "per-connection request rate limit; 0 disables (overrides config)")
 	drainLinger := flag.Duration("drain-linger", 0, "after a drain signal, keep /healthz answering \"draining\" this long (or until a second signal) before shutting down")
 	flag.Parse()
 
@@ -102,6 +105,15 @@ func main() {
 	}
 	if *logSample >= 0 {
 		d.LogSample = *logSample
+	}
+	if *maxSessions > 0 {
+		d.MaxSessions = *maxSessions
+	}
+	if *handshakeTimeout >= 0 {
+		d.HandshakeTimeoutS = *handshakeTimeout
+	}
+	if *maxRPS >= 0 {
+		d.MaxRequestsPerSec = *maxRPS
 	}
 	if err := d.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -149,16 +161,19 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		ListenAddr:     d.Addr(),
-		Policy:         pol,
-		Model:          d.Model(),
-		SessionTimeout: d.SessionTimeout(),
-		GrantGrace:     d.GrantGrace(),
-		LogBound:       d.DecisionLog,
-		Logf:           logf,
-		Trace:          tw,
-		Metrics:        reg,
-		Events:         evlog,
+		ListenAddr:       d.Addr(),
+		Policy:           pol,
+		Model:            d.Model(),
+		SessionTimeout:   d.SessionTimeout(),
+		GrantGrace:       d.GrantGrace(),
+		MaxSessions:      d.MaxSessions,
+		HandshakeTimeout: d.HandshakeTimeout(),
+		RateLimit:        d.MaxRequestsPerSec,
+		LogBound:         d.DecisionLog,
+		Logf:             logf,
+		Trace:            tw,
+		Metrics:          reg,
+		Events:           evlog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -384,4 +384,56 @@
 // by value through a fixed-capacity channel to a formatting goroutine,
 // overflow is dropped and counted, never blocked on — the recording
 // subsystem's discipline, applied to logging.
+//
+// # Overload model
+//
+// The daemon protects itself from more load than it can coordinate, in
+// three layers applied in fixed order — admission, then shedding, then
+// rate limiting — each answering with a typed retryable error rather than
+// degrading silently:
+//
+//   - Admission control (-max-sessions / max_sessions): registrations of
+//     fresh names beyond the bound are rejected with the retryable code
+//     "busy"; resumes of existing names are always admitted (a reconnecting
+//     holder must never be locked out of its own grants). Alongside it,
+//     -handshake-timeout (handshake_timeout_s, shorter than the idle
+//     session timeout) drops connections that never register — the
+//     slow-loris hole idle eviction cannot see, because eviction only
+//     covers registered sessions.
+//   - Load shedding: each shard queue has a high-water mark (3/4 of
+//     capacity) above which advisory verbs — inform, progress, check,
+//     stats — are answered from the reader goroutine with the retryable
+//     code "overloaded" instead of being enqueued. State-critical verbs
+//     (register, prepare, complete, wait, release, end) are never shed:
+//     shedding a release or end would wedge the grant pipeline behind a
+//     holder the daemon itself refused to hear from. Brownout exit is
+//     hysteretic (low-water mark at 1/4), so the daemon does not flap at
+//     the threshold; while any queue is hot, /healthz reports "overloaded".
+//   - Per-connection rate limiting (-max-requests-per-sec /
+//     max_requests_per_sec): a token bucket per connection (burst = one
+//     second's worth), maintained as plain locals on the reader goroutine —
+//     zero allocation, zero locks. The first over-limit request gets one
+//     retryable "overloaded" reply; a second violation with no compliant
+//     request in between disconnects the connection.
+//
+// The client contract: "busy" and "overloaded" are retryable-in-place
+// (wire.Retryable) — a reconnecting client backs off exponentially and
+// retries on the same connection, unlike "draining" which cycles the
+// connection. Clients that are too slow to drain their response buffer are
+// disconnected (calciomd_slow_disconnects_total) rather than allowed to
+// stall arbitration, and with a grace window their grants survive for a
+// resume. Every layer is observable: calciomd_busy_rejects_total,
+// calciomd_sheds_total (per target), calciomd_stats_sheds_total,
+// calciomd_rate_limited_total, calciomd_handshake_timeouts_total, and
+// busy-reject/shed/rate-limited events in the -log-level stream.
+//
+// The decoder boundary below all of this is fuzzed: FuzzReadFrame and
+// FuzzDecodeRequest (internal/wire) and FuzzReader (internal/trace, strict
+// and lenient modes) run in CI, seeded from the golden-bytes corpora, so
+// arbitrary bytes on a socket or in a trace file fail with an error — never
+// a panic or an unbounded allocation. calciom-load provides the probes:
+// -flood registers a whole fleet at once against the session bound and
+// asserts grant conservation (grants == admitted), and -chaos-garbage makes
+// the chaos proxy inject seeded bit flips and junk frames into live
+// connections.
 package repro

@@ -40,6 +40,17 @@ type Options struct {
 	// and refuses new ones for PartitionFor.
 	PartitionEvery time.Duration
 	PartitionFor   time.Duration
+	// Garbage, when true, injects protocol garbage into the client→daemon
+	// byte stream on the seeded schedule: roughly one forwarded chunk in
+	// sixteen has a random byte's bit flipped in place, and roughly one in
+	// sixty-four is preceded by a junk frame (a well-formed length prefix
+	// over random bytes). The daemon must reject what it can see — never
+	// panic, never over-allocate — but a flip landing in a length prefix
+	// desyncs the framing invisibly (the daemon just waits for bytes that
+	// will never come), so the proxy tears the corrupted pair shortly after
+	// the injection; the reconnect layer must absorb the torn session either
+	// way.
+	Garbage bool
 	// Seed makes the jitter deterministic; 0 means seed 1.
 	Seed int64
 	// Logf, when set, receives one line per injected fault.
@@ -215,8 +226,8 @@ func (p *Proxy) serve(conn, up net.Conn, resetAfter time.Duration) {
 	}
 	var cp sync.WaitGroup
 	cp.Add(2)
-	go func() { defer cp.Done(); p.pump(up, conn) }()
-	go func() { defer cp.Done(); p.pump(conn, up) }()
+	go func() { defer cp.Done(); p.pump(up, conn, p.opts.Garbage) }()
+	go func() { defer cp.Done(); p.pump(conn, up, false) }()
 	cp.Wait()
 	if timer != nil {
 		timer.Stop()
@@ -228,8 +239,10 @@ func (p *Proxy) serve(conn, up net.Conn, resetAfter time.Duration) {
 	p.mu.Unlock()
 }
 
-// pump copies src→dst in chunks, applying the configured per-chunk delay.
-func (p *Proxy) pump(dst, src net.Conn) {
+// pump copies src→dst in chunks, applying the configured per-chunk delay
+// and, with garble set (the client→daemon direction under Garbage), the
+// seeded corruption schedule.
+func (p *Proxy) pump(dst, src net.Conn, garble bool) {
 	buf := make([]byte, 4096)
 	for {
 		n, err := src.Read(buf)
@@ -237,8 +250,28 @@ func (p *Proxy) pump(dst, src net.Conn) {
 			if p.opts.Delay > 0 {
 				time.Sleep(p.opts.Delay)
 			}
+			injected := false
+			if garble {
+				junk, hit := p.garble(buf[:n])
+				injected = hit
+				if junk != nil {
+					if _, werr := dst.Write(junk); werr != nil {
+						break
+					}
+				}
+			}
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				break
+			}
+			if injected {
+				// A corrupted stream may be invisibly desynced (a flipped
+				// length prefix leaves the daemon waiting forever), so give
+				// the bytes a moment to land and then tear the pair — the
+				// same fate as a reset, which the reconnect layer absorbs.
+				time.AfterFunc(100*time.Millisecond, func() {
+					dst.Close()
+					src.Close()
+				})
 			}
 		}
 		if err != nil {
@@ -252,4 +285,39 @@ func (p *Proxy) pump(dst, src net.Conn) {
 	// tears the pair, which is also what a real reset does.
 	dst.Close()
 	src.Close()
+}
+
+// garble applies the seeded garbage schedule to one forwarded chunk: it
+// may flip a bit of chunk in place, and it may return a junk frame to
+// inject ahead of the chunk (nil means nothing to inject); hit reports
+// whether either fault fired. The rng is shared across pumps, so the
+// schedule is deterministic only for a fixed interleaving — what the seed
+// pins down is the corruption mix, not which connection eats which fault.
+func (p *Proxy) garble(chunk []byte) (junk []byte, hit bool) {
+	p.mu.Lock()
+	roll := p.rng.Intn(64)
+	var flipAt, flipBit = -1, byte(0)
+	if roll < 4 {
+		flipAt = p.rng.Intn(len(chunk))
+		flipBit = 1 << p.rng.Intn(8)
+	}
+	if roll == 4 {
+		// A well-formed length prefix over random bytes: frames fine,
+		// decodes to garbage.
+		n := 1 + p.rng.Intn(32)
+		junk = make([]byte, 4+n)
+		junk[3] = byte(n)
+		for i := 4; i < len(junk); i++ {
+			junk[i] = byte(p.rng.Intn(256))
+		}
+	}
+	p.mu.Unlock()
+	if flipAt >= 0 {
+		chunk[flipAt] ^= flipBit
+		p.opts.Logf("chaos: garbage: flipped bit %#02x at offset %d of a %d-byte chunk", flipBit, flipAt, len(chunk))
+	}
+	if junk != nil {
+		p.opts.Logf("chaos: garbage: injected %d-byte junk frame", len(junk))
+	}
+	return junk, flipAt >= 0 || junk != nil
 }

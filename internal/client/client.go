@@ -60,7 +60,9 @@ var ErrClosed = errors.New("client: closed")
 // ReplyError is an error reply from the daemon: the protocol-level failure
 // of one request, as opposed to a transport failure. Code classifies it
 // (see the wire.Code* constants); Retryable codes name transient daemon
-// conditions (draining) a reconnecting client retries transparently.
+// conditions — draining (retried through a reconnect cycle), busy and
+// overloaded (retried in place after an exponential backoff) — that a
+// reconnecting client retries transparently.
 type ReplyError struct {
 	Code string
 	Msg  string
@@ -338,8 +340,13 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 			// the request's (resolved) target; caching it here — the single
 			// writer, in arrival order — means a pushed revocation can
 			// never be overwritten by a caller goroutine finishing an older
-			// round trip late.
-			c.setAuth(resp.Target, resp.Authorized)
+			// round trip late. Overload replies (busy, shed, rate-limited)
+			// are the exception: the daemon emits them from its reader
+			// goroutine without sight of shard state, so their Authorized
+			// bit carries no information.
+			if resp.Code != wire.CodeBusy && resp.Code != wire.CodeOverloaded {
+				c.setAuth(resp.Target, resp.Authorized)
+			}
 			c.mu.Lock()
 			ch := c.pending[resp.Seq]
 			delete(c.pending, resp.Seq)
@@ -693,8 +700,10 @@ func (c *Client) rawCall(req wire.Request) (wire.Response, error) {
 
 // call wraps rawCall with the recovery loop for requests with no per-target
 // journal (stats): transport errors wait out the outage and retry;
-// retryable daemon errors (draining) force a reconnect cycle first.
+// retryable daemon errors force a reconnect cycle (draining) or an
+// in-place backoff (busy/overloaded) first.
 func (c *Client) call(req wire.Request) (wire.Response, error) {
+	overload := 0
 	for {
 		m, _, err := c.mode()
 		switch m {
@@ -720,10 +729,38 @@ func (c *Client) call(req wire.Request) (wire.Response, error) {
 		}
 		var re *ReplyError
 		if errors.As(err, &re) && wire.Retryable(re.Code) {
-			c.kickReconnect()
+			if overload = c.retryReply(re.Code, overload); overload < 0 {
+				return wire.Response{}, ErrClosed
+			}
 			continue
 		}
 		return resp, err
+	}
+}
+
+// retryReply handles one retryable daemon error inside a retry loop:
+// draining cycles the connection (the daemon is going away; the successor
+// is reached by redial), while the overload codes — busy at admission,
+// overloaded under shedding or rate limiting — back off in place, because
+// the connection is healthy and cycling it would only add load to a daemon
+// already protecting itself. attempt counts prior overload backoffs (for
+// the exponential schedule); the return is the next attempt count, or -1
+// when the client closed mid-backoff and the caller must give up.
+func (c *Client) retryReply(code string, attempt int) int {
+	if code == wire.CodeDraining {
+		c.kickReconnect()
+		return attempt
+	}
+	d := c.opts.BackoffMin << min(attempt, 16)
+	if d <= 0 || d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	select {
+	case <-time.After(d):
+		return attempt + 1
+	case <-c.done:
+		return -1
 	}
 }
 
@@ -858,10 +895,12 @@ func (c *Client) selfServe(t Target, req wire.Request) wire.Response {
 
 // invoke is the robust round trip for one coordination verb on one target:
 // degraded mode self-serves, a stale journal resyncs first, transport
-// errors wait out the outage and retry, and retryable daemon errors
-// (draining) force a reconnect cycle. On success the journal advances.
+// errors wait out the outage and retry, and retryable daemon errors force
+// a reconnect cycle (draining) or an in-place backoff (busy/overloaded).
+// On success the journal advances.
 func (t Target) invoke(req wire.Request) (wire.Response, error) {
 	c := t.c
+	overload := 0
 	for {
 		m, _, err := c.mode()
 		switch m {
@@ -894,7 +933,9 @@ func (t Target) invoke(req wire.Request) (wire.Response, error) {
 		}
 		var re *ReplyError
 		if errors.As(err, &re) && wire.Retryable(re.Code) {
-			c.kickReconnect()
+			if overload = c.retryReply(re.Code, overload); overload < 0 {
+				return wire.Response{}, ErrClosed
+			}
 			continue
 		}
 		return resp, err
@@ -956,6 +997,7 @@ func (c *Client) RegisterOn(name string, cores int, target string) error {
 		c.traceReg.Store(true)
 		c.rec(trace.Event{Type: trace.EvRegister, Time: at, App: name, Cores: int32(cores), Target: target})
 	}
+	overload := 0
 	for {
 		m, _, err := c.mode()
 		switch m {
@@ -998,7 +1040,9 @@ func (c *Client) RegisterOn(name string, cores int, target string) error {
 		}
 		var re *ReplyError
 		if errors.As(err, &re) && wire.Retryable(re.Code) {
-			c.kickReconnect()
+			if overload = c.retryReply(re.Code, overload); overload < 0 {
+				return ErrClosed
+			}
 			continue
 		}
 		return err

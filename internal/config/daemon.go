@@ -69,6 +69,20 @@ type Daemon struct {
 	// grant is logged (lifecycle events are never sampled away). 0 or 1
 	// logs every grant.
 	LogSample int `json:"log_sample,omitempty"`
+	// MaxSessions bounds concurrently registered sessions; registrations
+	// beyond it are rejected with the retryable code "busy". 0 means
+	// unlimited. Resumes of existing names never count against the bound.
+	MaxSessions int `json:"max_sessions,omitempty"`
+	// HandshakeTimeoutS drops connections that have not completed register
+	// within this many seconds of connecting, closing the slow-loris hole
+	// (idle eviction only covers registered sessions). 0 disables the
+	// deadline. Must be shorter than session_timeout_s when both are set.
+	HandshakeTimeoutS float64 `json:"handshake_timeout_s,omitempty"`
+	// MaxRequestsPerSec rate-limits each connection with a token bucket of
+	// this rate (burst equal to the rate): a violator gets one retryable
+	// "overloaded" reply, then is disconnected on sustained abuse. 0
+	// disables per-connection rate limiting.
+	MaxRequestsPerSec float64 `json:"max_requests_per_sec,omitempty"`
 }
 
 // DefaultListenAddr is used when listen_addr is omitted.
@@ -84,10 +98,33 @@ func ParseDaemon(r io.Reader) (Daemon, error) {
 	if err := strictUnmarshal(data, &d); err != nil {
 		return Daemon{}, err
 	}
+	if err := d.validateAt(data); err != nil {
+		return Daemon{}, err
+	}
 	if err := d.Validate(); err != nil {
 		return Daemon{}, err
 	}
 	return d, nil
+}
+
+// validateAt re-checks the overload-protection settings against the raw
+// document so the error carries a line:column position pointing at the
+// offending key, like strictUnmarshal's own errors. Only checks that need
+// the document are here: an explicit max_sessions below 1 (indistinguishable
+// from "unset" after unmarshal — 0 is the unlimited default when the key is
+// absent) and a handshake deadline at or past the idle-eviction timeout.
+func (d Daemon) validateAt(data []byte) error {
+	if off := findKey(data, "max_sessions"); off >= 0 && d.MaxSessions < 1 {
+		line, col := lineCol(data, off)
+		return fmt.Errorf("config: line %d:%d: max_sessions must be >= 1 (omit the key for unlimited)", line, col)
+	}
+	if d.HandshakeTimeoutS > 0 && d.SessionTimeoutS > 0 && d.HandshakeTimeoutS >= d.SessionTimeoutS {
+		if off := findKey(data, "handshake_timeout_s"); off >= 0 {
+			line, col := lineCol(data, off)
+			return fmt.Errorf("config: line %d:%d: handshake_timeout_s must be shorter than session_timeout_s", line, col)
+		}
+	}
+	return nil
 }
 
 // LoadDaemon reads a daemon configuration file.
@@ -145,6 +182,18 @@ func (d Daemon) Validate() error {
 	}
 	if d.LogSample < 0 {
 		return fmt.Errorf("config: log_sample must be >= 0")
+	}
+	if d.MaxSessions < 0 {
+		return fmt.Errorf("config: max_sessions must be >= 1, or 0 for unlimited")
+	}
+	if d.HandshakeTimeoutS < 0 {
+		return fmt.Errorf("config: handshake_timeout_s must be >= 0")
+	}
+	if d.HandshakeTimeoutS > 0 && d.SessionTimeoutS > 0 && d.HandshakeTimeoutS >= d.SessionTimeoutS {
+		return fmt.Errorf("config: handshake_timeout_s must be shorter than session_timeout_s")
+	}
+	if d.MaxRequestsPerSec < 0 {
+		return fmt.Errorf("config: max_requests_per_sec must be >= 0")
 	}
 	return nil
 }
@@ -210,6 +259,11 @@ func (d Daemon) SessionTimeout() time.Duration {
 // GrantGrace returns the disconnect grace window as a duration.
 func (d Daemon) GrantGrace() time.Duration {
 	return time.Duration(d.GrantGraceS * float64(time.Second))
+}
+
+// HandshakeTimeout returns the pre-register deadline as a duration.
+func (d Daemon) HandshakeTimeout() time.Duration {
+	return time.Duration(d.HandshakeTimeoutS * float64(time.Second))
 }
 
 // TraceOptions returns the recording options (buffer and crash-consistency

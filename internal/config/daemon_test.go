@@ -219,6 +219,62 @@ func TestParseDaemon(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "overload settings",
+			in: `{"max_sessions": 128, "handshake_timeout_s": 5,
+			     "session_timeout_s": 60, "max_requests_per_sec": 500}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.MaxSessions != 128 || d.MaxRequestsPerSec != 500 {
+					t.Fatalf("overload settings = %+v", d)
+				}
+				if d.HandshakeTimeout() != 5*time.Second {
+					t.Fatalf("handshake timeout = %v", d.HandshakeTimeout())
+				}
+			},
+		},
+		{
+			// An explicit zero is rejected with a position: after unmarshal it
+			// is indistinguishable from "unset", so the raw document decides.
+			name: "explicit max_sessions zero with line",
+			in:   "{\n  \"max_sessions\": 0\n}",
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "line 2") ||
+					!strings.Contains(err.Error(), "max_sessions") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+		{
+			name: "handshake deadline at the eviction timeout with line",
+			in:   "{\n  \"session_timeout_s\": 30,\n  \"handshake_timeout_s\": 30\n}",
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "line 3") ||
+					!strings.Contains(err.Error(), "shorter than session_timeout_s") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+		{
+			name: "negative handshake timeout",
+			in:   `{"handshake_timeout_s": -1}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "handshake_timeout_s") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
+		{
+			name: "negative rate limit",
+			in:   `{"max_requests_per_sec": -5}`,
+			check: func(t *testing.T, d Daemon, err error) {
+				if err == nil || !strings.Contains(err.Error(), "max_requests_per_sec") {
+					t.Fatalf("err = %v", err)
+				}
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -18,6 +18,9 @@ const (
 	EvGraceExpire                   // a disconnected session's grace window ran out
 	EvDrain                         // pending Waits answered with retryable draining
 	EvDisconnect                    // a session dropped
+	EvBusy                          // a register was rejected at the session bound
+	EvShed                          // an advisory request was shed under brownout (sampled)
+	EvRateLimit                     // a connection tripped its rate limit (Queue = strike)
 )
 
 // Event is one grant-lifecycle record, passed by value from the emitting
@@ -52,6 +55,7 @@ type EventLog struct {
 	done    chan struct{}
 	sample  uint64
 	grants  atomic.Uint64
+	sheds   atomic.Uint64
 	dropped atomic.Uint64
 }
 
@@ -60,10 +64,10 @@ type EventLog struct {
 const DefaultEventBuffer = 4096
 
 // NewEventLog starts an event log writing to logger. sample thins the
-// high-frequency grant events: only every sample-th EvGrant is logged
-// (<= 1 logs them all); lifecycle events (register, resume, revoke, grace
-// expiry, drain, disconnect) are never sampled away. buffer <= 0 means
-// DefaultEventBuffer.
+// high-frequency events: only every sample-th EvGrant (and EvShed) is
+// logged (<= 1 logs them all); lifecycle events (register, resume, revoke,
+// grace expiry, drain, disconnect, busy rejects, rate limiting) are never
+// sampled away. buffer <= 0 means DefaultEventBuffer.
 func NewEventLog(logger *slog.Logger, sample int, buffer int) *EventLog {
 	if buffer <= 0 {
 		buffer = DefaultEventBuffer
@@ -89,8 +93,14 @@ func (l *EventLog) Emit(ev Event) {
 	if l == nil {
 		return
 	}
-	if ev.Kind == EvGrant {
+	switch ev.Kind {
+	case EvGrant:
 		if (l.grants.Add(1)-1)%l.sample != 0 {
+			return
+		}
+	case EvShed:
+		// Sheds are as high-frequency as grants under overload; same stride.
+		if (l.sheds.Add(1)-1)%l.sample != 0 {
 			return
 		}
 	}
@@ -177,5 +187,16 @@ func (l *EventLog) emit(ev Event) {
 	case EvDisconnect:
 		l.log.LogAttrs(ctx, slog.LevelInfo, "disconnect",
 			slog.Float64("t", ev.Time), slog.String("app", ev.App))
+	case EvBusy:
+		l.log.LogAttrs(ctx, slog.LevelWarn, "busy-reject",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App))
+	case EvShed:
+		l.log.LogAttrs(ctx, slog.LevelDebug, "shed",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App),
+			slog.String("target", ev.Target))
+	case EvRateLimit:
+		l.log.LogAttrs(ctx, slog.LevelWarn, "rate-limited",
+			slog.Float64("t", ev.Time), slog.String("app", ev.App),
+			slog.Int("strike", int(ev.Queue)))
 	}
 }

@@ -21,6 +21,7 @@ type shardMetrics struct {
 	queueDepth     *obs.Gauge
 	waitSeconds    *obs.Histogram
 	holdSeconds    *obs.Histogram
+	sheds          *obs.Counter
 }
 
 func newShardMetrics(r *obs.Registry, target string) *shardMetrics {
@@ -44,6 +45,8 @@ func newShardMetrics(r *obs.Registry, target string) *shardMetrics {
 		holdSeconds: r.Histogram("calciomd_hold_seconds",
 			"Grant hold time in seconds, from serve to release/end/revoke.",
 			obs.DefaultLatencyBuckets, l),
+		sheds: r.Counter("calciomd_sheds_total",
+			"Advisory requests shed with code overloaded while the target's queue was in brownout.", l),
 	}
 }
 
@@ -53,6 +56,15 @@ type serverMetrics struct {
 	selfGrants      *obs.Counter
 	degradedSeconds *obs.FloatCounter
 	resumes         *obs.Counter
+
+	// Overload-protection counters: admission rejects, stats sheds on the
+	// control queue, per-connection rate-limit violations, handshake
+	// deadline drops, and slow-client write-buffer disconnects.
+	busyRejects       *obs.Counter
+	statsSheds        *obs.Counter
+	rateLimited       *obs.Counter
+	handshakeTimeouts *obs.Counter
+	slowDisconnects   *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -63,6 +75,16 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Seconds clients reported spending in degraded (uncoordinated) mode."),
 		resumes: r.Counter("calciomd_resumes_total",
 			"Successful resume registrations (connection churn)."),
+		busyRejects: r.Counter("calciomd_busy_rejects_total",
+			"Registrations rejected with code busy at the max_sessions bound."),
+		statsSheds: r.Counter("calciomd_stats_sheds_total",
+			"Stats requests shed with code overloaded while the control queue was in brownout."),
+		rateLimited: r.Counter("calciomd_rate_limited_total",
+			"Per-connection rate-limit violations (code overloaded; sustained abuse disconnects)."),
+		handshakeTimeouts: r.Counter("calciomd_handshake_timeouts_total",
+			"Connections dropped for not completing register within handshake_timeout_s."),
+		slowDisconnects: r.Counter("calciomd_slow_disconnects_total",
+			"Clients disconnected because their response buffer overflowed (too slow to drain)."),
 	}
 }
 
@@ -74,9 +96,26 @@ func (srv *Server) Draining() bool {
 	return srv.draining && !srv.closed
 }
 
+// Overloaded reports whether any request queue — a shard's or the control
+// goroutine's — is currently in brownout (shedding advisory verbs).
+func (srv *Server) Overloaded() bool {
+	if srv.ctrlHot.Load() {
+		return true
+	}
+	srv.shmu.RLock()
+	defer srv.shmu.RUnlock()
+	for _, sh := range srv.shardList {
+		if sh.hot.Load() {
+			return true
+		}
+	}
+	return false
+}
+
 // Health returns the daemon's health word for /healthz: "closed",
-// "draining", "degraded" (some client has reported fail-open coordination)
-// or "serving".
+// "draining", "overloaded" (a request queue is in brownout and advisory
+// verbs are being shed), "degraded" (some client has reported fail-open
+// coordination) or "serving".
 func (srv *Server) Health() string {
 	srv.mu.Lock()
 	closed, draining := srv.closed, srv.draining
@@ -86,6 +125,8 @@ func (srv *Server) Health() string {
 		return "closed"
 	case draining:
 		return "draining"
+	case srv.Overloaded():
+		return "overloaded"
 	case srv.degradedSeen.Load():
 		return "degraded"
 	default:

@@ -106,6 +106,28 @@ type Config struct {
 	// event log's own goroutine. The caller owns the log and must Close it
 	// only after the server has shut down.
 	Events *obs.EventLog
+	// MaxSessions bounds concurrently registered application sessions:
+	// a register that would grow the name table past it is rejected with
+	// the retryable wire.CodeBusy. Resumes of held names never count
+	// against the bound (they replace a session, not add one). 0 means
+	// unlimited.
+	MaxSessions int
+	// HandshakeTimeout drops a connection that has not completed register
+	// within it, so an idle unregistered socket cannot live forever (idle
+	// eviction only covers registered sessions). 0 disables the deadline.
+	HandshakeTimeout time.Duration
+	// RateLimit caps each connection's sustained request rate in requests
+	// per second, enforced by a per-connection token bucket (burst equal
+	// to the rate) on the reader goroutine — no locks, no allocation. The
+	// first violation is answered with the retryable wire.CodeOverloaded;
+	// a second consecutive violation disconnects the client. 0 disables
+	// per-connection rate limiting.
+	RateLimit float64
+	// WriteBuffer overrides each connection's response-buffer capacity
+	// (default 256). A client too slow to drain it is disconnected rather
+	// than allowed to stall arbitration; tests shrink the buffer to drive
+	// that path deterministically.
+	WriteBuffer int
 }
 
 // envelope kinds. kindConnect/kindDisconnect/kindStats and control-plane
@@ -128,6 +150,22 @@ const (
 	// kindDrain fails the shard's pending Waits with a retryable draining
 	// error and refuses new ones (shard-bound; ackCh closed when done).
 	kindDrain
+	// kindHandshakeExpire is an unregistered connection's handshake
+	// deadline (control-bound): if the session still has no identity the
+	// slow-loris connection is dropped.
+	kindHandshakeExpire
+)
+
+// Shard request queues and the control queue share one capacity; the
+// shedding water marks hang off it. A shard enters brownout when its queue
+// reaches shedHiWater (advisory verbs are answered with the retryable
+// wire.CodeOverloaded instead of being enqueued) and exits only once the
+// queue has drained to shedLoWater — hysteresis wide enough that a queue
+// oscillating near one mark cannot flap the brownout bit.
+const (
+	queueCap    = 256
+	shedHiWater = queueCap * 3 / 4
+	shedLoWater = queueCap / 4
 )
 
 type envelope struct {
@@ -176,6 +214,15 @@ type session struct {
 	// coordination state until the timer fires or a resume reclaims it.
 	limbo      bool
 	graceTimer *time.Timer
+	// handshake is the pre-register deadline timer, armed before the
+	// kindConnect envelope is enqueued and owned by the control goroutine
+	// afterwards; a successful register (or resume, or drop) disarms it.
+	handshake *time.Timer
+	// slowDrops, resolved at accept, counts this path: send disconnecting
+	// the client because its response buffer overflowed. Nil without a
+	// metrics registry. Incremented from shard goroutines, hence a counter
+	// pointer rather than a trip through the control goroutine.
+	slowDrops *obs.Counter
 	// viaControl counts this session's coordination frames still in
 	// flight through the control goroutine (frames read before the
 	// session had an identity). While it is nonzero the reader keeps
@@ -188,6 +235,14 @@ type session struct {
 
 // touch stamps the session's idle-eviction clock.
 func (s *session) touch(now float64) { s.lastSeen.Store(math.Float64bits(now)) }
+
+// disarmHandshake stops the pre-register deadline. Control goroutine only.
+func (s *session) disarmHandshake() {
+	if s.handshake != nil {
+		s.handshake.Stop()
+		s.handshake = nil
+	}
+}
 
 func (s *session) seen() float64 { return math.Float64frombits(s.lastSeen.Load()) }
 
@@ -212,8 +267,20 @@ func (s *session) send(r wire.Response) {
 	case s.out <- r:
 	default:
 		s.dead.Store(true)
+		if s.slowDrops != nil {
+			s.slowDrops.Inc()
+		}
 		s.conn.Close()
 	}
+}
+
+// name returns the session's registered application name, or "" before
+// register. Safe from any goroutine.
+func (s *session) name() string {
+	if id := s.id.Load(); id != nil {
+		return id.name
+	}
+	return ""
 }
 
 // binding is one session's coordination state on one storage target, owned
@@ -266,6 +333,12 @@ type shard struct {
 	// or event log. Shard goroutines touch them without further lookups.
 	m  *shardMetrics
 	ev *obs.EventLog
+
+	// hot is the brownout bit: set by reader goroutines when the queue
+	// crosses shedHiWater, cleared (by readers or the shard goroutine)
+	// once it drains to shedLoWater. While set, advisory verbs are shed
+	// with the retryable wire.CodeOverloaded instead of enqueued.
+	hot atomic.Bool
 
 	// Owned by the shard's arbitration goroutine.
 	bindings     map[*session]*binding
@@ -347,6 +420,10 @@ type Server struct {
 	// feeds Health.
 	m            *serverMetrics
 	degradedSeen atomic.Bool
+	// ctrlHot is the control queue's brownout bit (same hysteresis as a
+	// shard's): while set, stats requests are shed so session lifecycle
+	// traffic keeps flowing.
+	ctrlHot atomic.Bool
 }
 
 // New validates the configuration and builds a server (not yet listening).
@@ -378,7 +455,7 @@ func New(cfg Config) (*Server, error) {
 		clock:     clock,
 		set:       set,
 		m:         m,
-		reqCh:     make(chan envelope, 256),
+		reqCh:     make(chan envelope, queueCap),
 		stop:      make(chan struct{}),
 		serveDone: make(chan struct{}),
 		loopDone:  make(chan struct{}),
@@ -440,7 +517,7 @@ func (srv *Server) shardFor(target string) (*shard, error) {
 		srv:      srv,
 		target:   target,
 		arb:      srv.set.Get(target),
-		ch:       make(chan envelope, 256),
+		ch:       make(chan envelope, queueCap),
 		done:     make(chan struct{}),
 		bindings: make(map[*session]*binding),
 		ev:       srv.cfg.Events,
@@ -660,16 +737,101 @@ func (srv *Server) Stats() wire.Stats {
 }
 
 func (srv *Server) startSession(conn net.Conn) {
-	s := &session{conn: conn, out: make(chan wire.Response, 256), quit: make(chan struct{})}
+	buf := srv.cfg.WriteBuffer
+	if buf <= 0 {
+		buf = 256
+	}
+	s := &session{conn: conn, out: make(chan wire.Response, buf), quit: make(chan struct{})}
+	if srv.m != nil {
+		s.slowDrops = srv.m.slowDisconnects
+	}
+	// The handshake timer is armed before the kindConnect handoff, so the
+	// control goroutine (which disarms it at register) observes it fully
+	// formed via the channel send.
+	if d := srv.cfg.HandshakeTimeout; d > 0 {
+		s.handshake = time.AfterFunc(d, func() {
+			select {
+			case srv.reqCh <- envelope{kind: kindHandshakeExpire, s: s}:
+			case <-srv.stop:
+			}
+		})
+	}
 	select {
 	case srv.reqCh <- envelope{kind: kindConnect, s: s}:
 	case <-srv.stop:
+		if s.handshake != nil {
+			s.handshake.Stop()
+		}
 		conn.Close()
 		return
 	}
 	srv.wg.Add(2)
 	go srv.readLoop(s)
 	go srv.writeLoop(s)
+}
+
+// sheddable reports whether a verb may be answered with CodeOverloaded
+// under brownout. Advisory verbs only: a shed inform/check/progress/stats
+// costs the client a backoff and a retry. State-critical verbs — register,
+// prepare/complete, wait, release, end — are always admitted: shedding a
+// release or end would wedge the grant pipeline behind a holder the daemon
+// itself refused to hear from.
+func sheddable(t string) bool {
+	switch t {
+	case wire.TypeInform, wire.TypeProgress, wire.TypeCheck, wire.TypeStats:
+		return true
+	}
+	return false
+}
+
+// shed reports whether the shard is in brownout, updating the hysteresis
+// bit from the current queue depth. Called by reader goroutines before
+// enqueueing an advisory verb; racing readers may briefly disagree near a
+// water mark, which is harmless — every shed is individually retryable.
+func (sh *shard) shed() bool {
+	q := len(sh.ch)
+	if sh.hot.Load() {
+		if q <= shedLoWater {
+			sh.hot.Store(false)
+			return false
+		}
+		return true
+	}
+	if q >= shedHiWater {
+		sh.hot.Store(true)
+		return true
+	}
+	return false
+}
+
+// ctrlShed is shed for the control queue (stats requests).
+func (srv *Server) ctrlShed() bool {
+	q := len(srv.reqCh)
+	if srv.ctrlHot.Load() {
+		if q <= shedLoWater {
+			srv.ctrlHot.Store(false)
+			return false
+		}
+		return true
+	}
+	if q >= shedHiWater {
+		srv.ctrlHot.Store(true)
+		return true
+	}
+	return false
+}
+
+// shedReply answers one shed request. The response carries no Authorized
+// bit — the reader goroutine cannot see shard state — which is why the
+// client library ignores the bit on busy/overloaded replies.
+func (srv *Server) shedReply(s *session, seq uint64, verb, target string, now float64) {
+	if srv.cfg.Events != nil {
+		srv.cfg.Events.Emit(obs.Event{Kind: obs.EvShed, Time: now,
+			App: s.name(), Target: target})
+	}
+	s.send(wire.Response{Seq: seq, Type: wire.TypeResp,
+		Err: "overloaded: " + verb + " shed, back off and retry",
+		Code: wire.CodeOverloaded, Target: target})
 }
 
 // readLoop routes each request to the goroutine owning its state: register
@@ -682,6 +844,21 @@ func (srv *Server) startSession(conn net.Conn) {
 func (srv *Server) readLoop(s *session) {
 	defer srv.wg.Done()
 	dec := wire.NewReader(bufio.NewReader(s.conn))
+	// Per-connection token bucket, plain locals on this goroutine: zero
+	// allocation, zero locks, refilled from the server clock so injected
+	// logical clocks keep tests deterministic. Burst equals the rate (at
+	// least 1), so a client may front-load one second's worth of requests.
+	limit := srv.cfg.RateLimit
+	burst := limit
+	if burst < 1 {
+		burst = 1
+	}
+	tokens := burst
+	var last float64
+	if limit > 0 {
+		last = srv.clock()
+	}
+	strikes := 0
 	for {
 		var req wire.Request
 		if err := dec.Read(&req); err != nil {
@@ -689,6 +866,36 @@ func (srv *Server) readLoop(s *session) {
 		}
 		if req.Seq == 0 {
 			break // reserved for pushes; a zero Seq is a client bug
+		}
+		if limit > 0 {
+			now := srv.clock()
+			tokens += (now - last) * limit
+			if tokens > burst {
+				tokens = burst
+			}
+			last = now
+			if tokens < 1 {
+				// Over the limit: one retryable warning, then sustained
+				// abuse (a second violation with no compliant request in
+				// between) disconnects the client.
+				strikes++
+				if srv.m != nil {
+					srv.m.rateLimited.Inc()
+				}
+				if strikes > 1 {
+					srv.cfg.Events.Emit(obs.Event{Kind: obs.EvRateLimit,
+						Time: now, App: s.name(), Queue: int32(strikes)})
+					break
+				}
+				srv.cfg.Events.Emit(obs.Event{Kind: obs.EvRateLimit,
+					Time: now, App: s.name(), Queue: 1})
+				s.send(wire.Response{Seq: req.Seq, Type: wire.TypeResp,
+					Err: "overloaded: per-connection rate limit exceeded, back off",
+					Code: wire.CodeOverloaded, Target: req.Target})
+				continue
+			}
+			tokens--
+			strikes = 0
 		}
 		ch := srv.reqCh
 		coordination := req.Type != wire.TypeRegister && req.Type != wire.TypeStats
@@ -698,9 +905,22 @@ func (srv *Server) readLoop(s *session) {
 				s.reply(req.Seq, err, req.Target)
 				continue
 			}
+			if sheddable(req.Type) && sh.shed() {
+				if sh.m != nil {
+					sh.m.sheds.Inc()
+				}
+				srv.shedReply(s, req.Seq, req.Type, sh.target, srv.clock())
+				continue
+			}
 			ch = sh.ch
 		} else if coordination {
 			s.viaControl.Add(1)
+		} else if req.Type == wire.TypeStats && srv.ctrlShed() {
+			if srv.m != nil {
+				srv.m.statsSheds.Inc()
+			}
+			srv.shedReply(s, req.Seq, req.Type, req.Target, srv.clock())
+			continue
 		}
 		select {
 		case ch <- envelope{kind: kindRequest, s: s, req: req}:
@@ -763,6 +983,12 @@ func (srv *Server) loop() {
 		select {
 		case env := <-srv.reqCh:
 			srv.dispatch(env)
+			// Clear a stale brownout once the queue has drained: readers
+			// only re-evaluate the bit when a request arrives, so an idle
+			// daemon would otherwise report overloaded forever.
+			if srv.ctrlHot.Load() && len(srv.reqCh) <= shedLoWater {
+				srv.ctrlHot.Store(false)
+			}
 		case <-evict:
 			srv.evictIdle()
 		case <-srv.stop:
@@ -779,6 +1005,17 @@ func (srv *Server) dispatch(env envelope) {
 		env.s.touch(srv.clock())
 	case kindDisconnect:
 		srv.disconnect(env.s)
+	case kindHandshakeExpire:
+		// The pre-register deadline. A register disarms the timer, but a
+		// firing racing the disarm can still deliver this envelope — the
+		// identity check makes it a no-op then.
+		if !env.s.gone.Load() && !env.s.limbo && env.s.id.Load() == nil {
+			if srv.m != nil {
+				srv.m.handshakeTimeouts.Inc()
+			}
+			srv.logf("calciomd: dropping unregistered connection: handshake timeout")
+			srv.drop(env.s, "handshake timeout")
+		}
 	case kindExpire:
 		// The grace deadline of a limbo session. A resume stops the timer,
 		// but a firing racing the stop can still deliver this envelope —
@@ -872,11 +1109,25 @@ func (srv *Server) register(s *session, req wire.Request, now float64) {
 		}
 		return
 	}
+	// Admission control: the bound gates only fresh names (the resume path
+	// above replaces a session rather than adding one), and the reply is
+	// the retryable CodeBusy — capacity frees as sessions end or are
+	// evicted, so the client backs off instead of failing.
+	if max := srv.cfg.MaxSessions; max > 0 && len(srv.names) >= max {
+		if srv.m != nil {
+			srv.m.busyRejects.Inc()
+		}
+		srv.cfg.Events.Emit(obs.Event{Kind: obs.EvBusy, Time: now, App: req.App})
+		s.replyCode(req.Seq, wire.CodeBusy,
+			fmt.Errorf("server: at session limit %d, try again later", max), req.Target)
+		return
+	}
 	srv.sidSeq++
 	id := &ident{name: req.App, cores: req.Cores, sid: srv.sidSeq,
 		defTarget: req.Target, incarnation: req.Incarnation}
 	srv.names[req.App] = s
 	s.id.Store(id)
+	s.disarmHandshake()
 	// Incarnation > 1 on a fresh name is still a resume from the client's
 	// point of view: its earlier incarnation registered with a daemon that
 	// has since restarted.
@@ -897,6 +1148,7 @@ func (srv *Server) resume(s, old *session, req wire.Request) {
 		defTarget: req.Target, incarnation: req.Incarnation}
 	srv.names[req.App] = s
 	s.id.Store(id)
+	s.disarmHandshake()
 	if old.graceTimer != nil {
 		old.graceTimer.Stop()
 		old.graceTimer = nil
@@ -1027,6 +1279,7 @@ func (srv *Server) drop(s *session, why string) {
 		s.graceTimer.Stop()
 		s.graceTimer = nil
 	}
+	s.disarmHandshake()
 	delete(srv.sessions, s)
 	if id := s.id.Load(); id != nil {
 		delete(srv.names, id.name)
@@ -1120,6 +1373,11 @@ func (sh *shard) run() {
 		select {
 		case env := <-sh.ch:
 			sh.dispatch(env)
+			// Clear a stale brownout once the queue has drained (readers
+			// only re-evaluate on arrival; see Server.loop).
+			if sh.hot.Load() && len(sh.ch) <= shedLoWater {
+				sh.hot.Store(false)
+			}
 		case <-sh.srv.stop:
 			return
 		}

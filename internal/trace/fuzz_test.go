@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSample encodes a valid trace in memory for the fuzz corpus (the
+// *testing.F twin of writeSample).
+func fuzzSample(f *testing.F, hdr Header, opts Options, evs []Event) []byte {
+	f.Helper()
+	var b bytes.Buffer
+	w, err := NewWriterOptions(&b, hdr, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ev := range evs {
+		w.Record(ev)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// FuzzReader feeds arbitrary bytes through the trace reader, in both strict
+// and lenient (truncation-tolerant) modes: calciom-replay opens operator
+// files, and a corrupt or truncated trace must produce an error or a
+// truncation report, never a panic or a runaway allocation. Seeds are the
+// golden-bytes corpus: a plain version-3 file, one with sync records, the
+// version-1 and version-2 encodings pinned by the compatibility tests, and
+// a mid-record truncation.
+func FuzzReader(f *testing.F) {
+	events := []Event{
+		{Type: EvRegister, Time: 1.5, SID: 7, App: "ab", Cores: 3},
+		{Type: EvPrepare, Time: 2, SID: 7, Info: map[string]string{"b": "2", "a": "1"}},
+		{Type: EvInform, Time: 2.5, SID: 7, Bytes: 8, Target: "bb1"},
+		{Type: EvGrant, Time: 2.5, SID: 7, Target: "bb1"},
+	}
+	hdr := Header{Source: SourceDaemon, Policy: "fcfs"}
+	plain := fuzzSample(f, hdr, Options{}, events)
+	f.Add(plain)
+	f.Add(fuzzSample(f, hdr, Options{SyncEvery: 1}, events))
+	f.Add(plain[:len(plain)-9]) // trailer cut mid-record
+	f.Add(plain[:14])           // header cut mid-JSON
+	f.Add([]byte("CALTRACE\x03\x00\xff\xff")) // header length past EOF
+	f.Add([]byte("" +
+		"CALTRACE" + "\x02\x00" + "\x25\x00" +
+		`{"source":"calciomd","policy":"fcfs"}` +
+		"\x01\x00\x00\x00\x00\x00\x00\xf8\x3f\x07\x00\x00\x00\x00\x00\x02\x00ab\x03\x00\x00\x00" +
+		"\xff\x00\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("" +
+		"CALTRACE" + "\x01\x00" + "\x25\x00" +
+		`{"source":"calciomd","policy":"fcfs"}` +
+		"\x01\x00\x00\x00\x00\x00\x00\xf8\x3f\x07\x00\x00\x00\x02\x00ab\x03\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, lenient := range []bool{false, true} {
+			r, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+			r.SetLenient(lenient)
+			var ev Event
+			// Every successful Next consumes at least a record prelude, so
+			// the loop is bounded by the input length; the cap is a backstop.
+			for i := 0; i <= len(data); i++ {
+				if err := r.Next(&ev); err != nil {
+					break
+				}
+			}
+		}
+	})
+}

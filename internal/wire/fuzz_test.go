@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader: whatever
+// arrives on a daemon socket — truncated frames, hostile length prefixes,
+// garbage JSON — must surface as an error, never a panic or an unbounded
+// allocation. Seeds cover well-formed single and pipelined frames plus the
+// classic malformations.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(v any) []byte {
+		var b bytes.Buffer
+		if err := Write(&b, v); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	f.Add(frame(Request{Seq: 1, Type: TypeRegister, App: "A", Cores: 64, Incarnation: 1}))
+	f.Add(frame(Request{Seq: 2, Type: TypePrepare, Info: map[string]string{"bytes_total": "1000"}}))
+	f.Add(append(frame(Request{Seq: 3, Type: TypeInform, Target: "pfs0"}),
+		frame(Request{Seq: 4, Type: TypeWait})...))
+	f.Add(frame(Response{Seq: 1, Type: TypeResp, OK: true, Authorized: true, Target: "bb1"}))
+	f.Add([]byte{0, 0, 0, 0})                  // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'}) // length far past MaxFrame
+	f.Add([]byte{0x00, 0x10, 0x00, 0x00, '{'}) // truncated payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			var req Request
+			if err := d.Read(&req); err != nil {
+				return // malformed input must fail with an error, not a panic
+			}
+		}
+	})
+}
+
+// FuzzDecodeRequest fuzzes the payload layer under a well-formed length
+// prefix, reaching the JSON decoding a hostile client fully controls. A
+// payload that decodes must also re-encode: the daemon echoes request
+// fields (Seq, Target) into responses through the same marshaller, so a
+// decodable-but-unmarshalable request would let a client crash replies.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"type":"register","app":"A","cores":4}`))
+	f.Add([]byte(`{"seq":9,"type":"wait","target":"pfs0"}`))
+	f.Add([]byte(`{"seq":2,"type":"release","bytes_done":1e300}`))
+	f.Add([]byte(`{"seq":1,"type":"register","incarnation":18446744073709551615}`))
+	f.Add([]byte(`{"seq":1,"type":"prepare","info":{"a":"1","b":"2"}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("\x00"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) == 0 || len(payload) > MaxFrame {
+			t.Skip()
+		}
+		var b bytes.Buffer
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		b.Write(hdr[:])
+		b.Write(payload)
+		var req Request
+		if err := Read(&b, &req); err != nil {
+			return
+		}
+		// Escaping can grow a re-encoded string up to 6x (one control byte
+		// becomes \u00XX), so only payloads with re-encode headroom under
+		// MaxFrame assert the round trip.
+		if len(payload) <= MaxFrame/8 {
+			if err := Write(io.Discard, req); err != nil {
+				t.Fatalf("decoded request failed to re-encode: %v (payload %q)", err, payload)
+			}
+		}
+	})
+}

@@ -104,12 +104,22 @@ const (
 	// CodeProtocol: the request violated the coordination protocol state
 	// machine (complete without prepare, release while idle, ...). Fatal.
 	CodeProtocol = "protocol"
+	// CodeBusy: admission control rejected a new registration because the
+	// daemon is at its max_sessions bound. Retryable — capacity frees as
+	// sessions end or are evicted.
+	CodeBusy = "busy"
+	// CodeOverloaded: the daemon shed this request under load (a shard over
+	// its queue high-water mark sheds advisory verbs; a connection over its
+	// rate limit is throttled). Retryable after backing off.
+	CodeOverloaded = "overloaded"
 )
 
 // Retryable reports whether an error code names a transient condition worth
 // backing off and retrying, as opposed to a protocol violation or a lost
 // resume race that no retry can fix.
-func Retryable(code string) bool { return code == CodeDraining }
+func Retryable(code string) bool {
+	return code == CodeDraining || code == CodeBusy || code == CodeOverloaded
+}
 
 // Request is a client → server message.
 type Request struct {
