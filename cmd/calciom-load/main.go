@@ -68,6 +68,7 @@ import (
 	"repro/internal/swf"
 	"repro/internal/trace"
 	"repro/internal/wire"
+	"repro/internal/wirebin"
 )
 
 const miB = float64(1 << 20)
@@ -131,6 +132,9 @@ func main() {
 	chaosGarbage := flag.Bool("chaos-garbage", false, "chaos proxy: inject seeded protocol garbage (bit flips, junk frames) into the client→daemon stream")
 	flood := flag.Bool("flood", false, "overload probe: every client registers at once, admitted clients run max-rate check loops and earn one grant each; prints a shed: line instead of the workload blocks")
 	floodChecks := flag.Int("flood-checks", 8, "flood: back-to-back Check calls per admitted client")
+	churn := flag.Bool("churn", false, "connection-churn probe: every client repeatedly connects, registers, runs one coordinated phase and disconnects; prints a churn: line instead of the workload blocks")
+	churnLoops := flag.Int("churn-loops", 8, "churn: connect/register/phase/disconnect loops per client")
+	codec := flag.String("codec", "json", "wire codec: json (v1, the default protocol) or binary (negotiate the v2 binary codec at connect)")
 	scrape := flag.String("scrape", "", "after the burst, fetch the daemon's Prometheus endpoint at this URL (e.g. http://127.0.0.1:9596/metrics) and print a byte-stable scrape: line")
 	flag.Parse()
 	if *failOpen > 0 {
@@ -198,6 +202,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaos: proxying %s via %s\n", *addr, dialAddr)
 	}
 	copts := client.Options{Reconnect: *reconnect, FailOpen: *failOpen}
+	switch *codec {
+	case "json":
+	case "binary":
+		copts.Codec = wirebin.Codec{}
+	default:
+		fmt.Fprintf(os.Stderr, "calciom-load: unknown -codec %q (want json or binary)\n", *codec)
+		os.Exit(2)
+	}
 
 	// Flood mode probes the daemon's overload protection instead of running
 	// the workload: it reports a shed: line and exits. The workload flags
@@ -208,6 +220,17 @@ func main() {
 			tf.Close()
 		}
 		os.Exit(runFlood(dialAddr, *addr, *prefix, *clients, *floodChecks, copts))
+	}
+
+	// Churn mode probes the connect path — accept, codec negotiation,
+	// register, one grant cycle, teardown — instead of steady-state
+	// throughput. It reports a churn: line and exits.
+	if *churn {
+		if tw != nil {
+			tw.Close()
+			tf.Close()
+		}
+		os.Exit(runChurn(dialAddr, *addr, *prefix, *clients, *churnLoops, copts))
 	}
 
 	var wg sync.WaitGroup
@@ -325,11 +348,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "calciom-load: scrape: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("scrape: grants=%d waits-immediate=%d waits-deferred=%d wait-count=%d\n",
+		fmt.Printf("scrape: grants=%d waits-immediate=%d waits-deferred=%d wait-count=%d connections=%d\n",
 			sums["calciomd_grants_total"],
 			sums["calciomd_waits_immediate_total"],
 			sums["calciomd_waits_deferred_total"],
-			sums["calciomd_wait_seconds_count"])
+			sums["calciomd_wait_seconds_count"],
+			sums["calciomd_connections_total"])
 	}
 	fmt.Printf("timing: elapsed=%.3fs throughput=%.0f grants/s\n",
 		elapsed.Seconds(), float64(tot.grants)/elapsed.Seconds())
@@ -467,6 +491,81 @@ func runFlood(dialAddr, addr, prefix string, clients, checks int, opts client.Op
 	}
 	fmt.Printf("shed: clients=%d admitted=%d busy=%d overloaded=%d grants=%d errors=%d\n",
 		clients, admitted, busy, overloaded, grants, nerr)
+	policy, daemonGrants := daemonView(addr)
+	fmt.Printf("daemon: policy=%s grants-served=%d\n", policy, daemonGrants)
+	if nerr > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runChurn probes the connect path instead of steady-state throughput:
+// every client repeatedly dials, registers under a loop-unique name,
+// runs the minimal grant cycle (Inform, Wait, Release, End) and
+// disconnects, so the daemon's accept loop, codec negotiation and session
+// teardown are exercised clients*loops times. Names are unique per loop
+// (prefix-iiii-l) so a fresh connection can never race the previous
+// loop's unregistering session. Against a fresh daemon the churn: line is
+// byte-stable: connects and grants both equal clients*loops on a clean
+// run, and any failure is an error (no shed/busy tolerance — churn mode
+// assumes an unloaded daemon).
+func runChurn(dialAddr, addr, prefix string, clients, loops int, opts client.Options) int {
+	type churnResult struct {
+		connects int
+		grants   int
+		errs     []error
+	}
+	results := make([]churnResult, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			for l := 0; l < loops; l++ {
+				err := func() error {
+					c, err := client.DialOptions(dialAddr, opts)
+					if err != nil {
+						return err
+					}
+					defer c.Close()
+					if err := c.Register(fmt.Sprintf("%s-%04d-%d", prefix, i, l), 1); err != nil {
+						return err
+					}
+					r.connects++
+					tg := c.Target("")
+					for _, step := range []func() error{
+						tg.Inform,
+						tg.Wait,
+						func() error { return tg.Release(0) },
+						tg.End,
+					} {
+						if err := step(); err != nil {
+							return err
+						}
+					}
+					r.grants++
+					return nil
+				}()
+				if err != nil {
+					r.errs = append(r.errs, fmt.Errorf("loop %d: %w", l, err))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	connects, grants, nerr := 0, 0, 0
+	for i := range results {
+		connects += results[i].connects
+		grants += results[i].grants
+		nerr += len(results[i].errs)
+		for _, err := range results[i].errs {
+			fmt.Fprintf(os.Stderr, "%s-%04d: %v\n", prefix, i, err)
+		}
+	}
+	fmt.Printf("churn: clients=%d loops=%d connects=%d grants=%d errors=%d\n",
+		clients, loops, connects, grants, nerr)
 	policy, daemonGrants := daemonView(addr)
 	fmt.Printf("daemon: policy=%s grants-served=%d\n", policy, daemonGrants)
 	if nerr > 0 {

@@ -71,6 +71,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "reject registrations beyond this many live sessions with a retryable busy error; 0 = unlimited (overrides config)")
 	handshakeTimeout := flag.Float64("handshake-timeout", -1, "drop connections that have not registered within this many seconds; 0 disables (overrides config)")
 	maxRPS := flag.Float64("max-requests-per-sec", -1, "per-connection request rate limit; 0 disables (overrides config)")
+	acceptLoops := flag.Int("accept-loops", -1, "shard the listener accept loop across this many goroutines; 0 or 1 = single loop (overrides config)")
+	sockBuffer := flag.Int("sock-buffer", -1, "kernel socket read/write buffer bytes per connection; 0 = OS default (overrides config)")
 	drainLinger := flag.Duration("drain-linger", 0, "after a drain signal, keep /healthz answering \"draining\" this long (or until a second signal) before shutting down")
 	flag.Parse()
 
@@ -114,6 +116,12 @@ func main() {
 	}
 	if *maxRPS >= 0 {
 		d.MaxRequestsPerSec = *maxRPS
+	}
+	if *acceptLoops >= 0 {
+		d.AcceptLoops = *acceptLoops
+	}
+	if *sockBuffer >= 0 {
+		d.SockBufferBytes = *sockBuffer
 	}
 	if err := d.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -169,6 +177,8 @@ func main() {
 		MaxSessions:      d.MaxSessions,
 		HandshakeTimeout: d.HandshakeTimeout(),
 		RateLimit:        d.MaxRequestsPerSec,
+		AcceptLoops:      d.AcceptLoops,
+		SockBuffer:       d.SockBufferBytes,
 		LogBound:         d.DecisionLog,
 		Logf:             logf,
 		Trace:            tw,

@@ -72,6 +72,40 @@
 //	end       Target?                 end the I/O phase
 //	stats     —                       LASSi-style live metrics snapshot
 //
+// That JSON framing is protocol version 1 and remains the default: a
+// client that never negotiates gets today's protocol, byte for byte. A
+// client that wants the binary codec (version 2, internal/wirebin) opens
+// with a two-byte hello [0xCB, 2] pipelined in front of its first
+// request; the daemon sniffs the first byte — a v1 length prefix always
+// starts 0x00 because the frame cap is far below 2^24, so 0xCB is
+// unambiguous — answers with the same two bytes, and both directions
+// switch. An unknown version closes the connection. Negotiation costs no
+// extra round trip, and a session keeps its codec for the connection's
+// lifetime (a reconnecting client renegotiates on the fresh connection).
+//
+// The v2 frame is a uvarint payload length (0 and oversize rejected)
+// followed by the payload. A request payload is verb (u8: register=1,
+// prepare=2, complete=3, inform=4, progress=5, check=6, wait=7,
+// release=8, end=9, stats=10), seq (uvarint), a flags byte, then the
+// optional fields in fixed order — target (flag 1), bytes_done (flag 2,
+// IEEE-754 bits little-endian), the prepare info map (flag 4, count then
+// key/value pairs, keys sorted ascending so encoding is canonical) and
+// the register extras app+cores (flag 8, only valid on register).
+// Strings are uvarint length + bytes. A response payload is type (u8:
+// resp=1, grant=2, revoke=3), seq (uvarint), flags (ok=1, authorized=2,
+// err=4, code=8, target=16, stats=32) and the present fields in that
+// order; the stats snapshot crosses as a JSON blob (cold path, not worth
+// a schema). Decoders reject unknown verbs, unknown flag bits and
+// trailing bytes, and intern the small recurring strings (targets, app
+// names, error codes), so steady-state encode and decode allocate
+// nothing on either side of the wire — the internal/trace discipline
+// applied to the protocol. On this workload's grant cycle the wire cost
+// drops from ~120 to ~16 bytes per request (see ROADMAP's performance
+// table). Per-connection machinery rides along: reused read/write
+// buffers, write coalescing (one syscall per flush when the response
+// queue drains), -accept-loops listener sharding and -sock-buffer kernel
+// socket buffer tuning.
+//
 // Quickstart (two terminals):
 //
 //	go run ./cmd/calciomd -listen 127.0.0.1:9595 -policy fcfs
@@ -368,7 +402,10 @@
 // calciomd_wait_seconds (request-to-grant, immediate waits observe 0) and
 // calciomd_hold_seconds (grant-to-release). The control goroutine adds the
 // fault-tolerance counters (calciomd_self_grants_total,
-// calciomd_degraded_seconds_total, calciomd_resumes_total), and scrape time
+// calciomd_degraded_seconds_total, calciomd_resumes_total), the connection
+// layer counts negotiated codecs (calciomd_connections_total, label codec)
+// and raw wire traffic beneath the codec buffers (calciomd_bytes_in_total,
+// calciomd_bytes_out_total), and scrape time
 // adds the stats-merge view: calciomd_sessions, calciomd_cpu_seconds_wasted
 // and the per-application calciomd_app_* rows (labels app, target). The
 // wait histograms also ride the stats merge into wire.Stats.WaitHist, so
@@ -428,7 +465,9 @@
 // busy-reject/shed/rate-limited events in the -log-level stream.
 //
 // The decoder boundary below all of this is fuzzed: FuzzReadFrame and
-// FuzzDecodeRequest (internal/wire) and FuzzReader (internal/trace, strict
+// FuzzDecodeRequest (internal/wire), FuzzReadFrameBinary and
+// FuzzDecodeRequestBinary (internal/wirebin, the latter checking the
+// canonical re-encode round trip) and FuzzReader (internal/trace, strict
 // and lenient modes) run in CI, seeded from the golden-bytes corpora, so
 // arbitrary bytes on a socket or in a trace file fail with an error — never
 // a panic or an unbounded allocation. calciom-load provides the probes:

@@ -40,8 +40,10 @@ package client
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -111,6 +113,13 @@ type Options struct {
 	// Observation happens when a window closes (connection re-adopted or
 	// final report), never on the coordination path.
 	DegradedHist *obs.Histogram
+	// Codec selects the wire encoding. Nil (or wire.JSON) speaks the v1
+	// length-prefixed JSON protocol byte for byte. wirebin.Codec negotiates
+	// the v2 binary codec: the client pipelines the two-byte hello with its
+	// first request, so negotiation adds no round trip, but the daemon must
+	// understand the hello — a binary client cannot talk to a pre-v2
+	// daemon.
+	Codec wire.Codec
 }
 
 // tjournal is the client's per-target protocol journal: enough intended
@@ -142,8 +151,13 @@ type Client struct {
 	stateCh   chan struct{} // non-nil while down/degraded; closed on any mode change
 	recovering bool         // a recoverLoop goroutine is running
 
+	// codec is the negotiated wire format, resolved once at dial (nil
+	// Options.Codec means wire.JSON) and immutable afterwards.
+	codec wire.Codec
+
 	wmu sync.Mutex
 	bw  *bufio.Writer
+	enc wire.RequestWriter // encodes into bw; rebuilt with it at adopt
 
 	seq atomic.Uint64
 
@@ -219,10 +233,14 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	c := &Client{
 		addr:    addr,
 		opts:    opts,
+		codec:   opts.Codec,
 		pending: make(map[uint64]chan wire.Response),
 		auth:    make(map[string]bool),
 		journal: make(map[string]*tjournal),
 		done:    make(chan struct{}),
+	}
+	if c.codec == nil {
+		c.codec = wire.JSON
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -235,7 +253,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		go c.recoverLoop()
 		return c, nil
 	}
-	c.adopt(conn)
+	c.adopt(conn, false)
 	return c, nil
 }
 
@@ -295,7 +313,12 @@ func (c *Client) Close() error {
 }
 
 // adopt installs a (re)established connection and wakes blocked callers.
-func (c *Client) adopt(conn net.Conn) {
+// negotiated reports whether codec negotiation already happened on the
+// connection (the resume handshake does it before adopt); when it has not
+// and the codec is binary, the two-byte hello is buffered here — flushed
+// with the first request, so negotiation costs no round trip — and the read
+// loop strips the daemon's ack before the first frame.
+func (c *Client) adopt(conn net.Conn, negotiated bool) {
 	c.cmu.Lock()
 	c.conn = conn
 	c.gen++
@@ -310,10 +333,15 @@ func (c *Client) adopt(conn net.Conn) {
 	c.stateCh = nil
 	c.cmu.Unlock()
 	c.epoch.Add(1)
+	expectAck := !negotiated && c.codec.Name() != "json"
 	c.wmu.Lock()
 	c.bw = bufio.NewWriter(conn)
+	if expectAck {
+		c.bw.Write([]byte{wire.HelloMagic, wire.VersionBinary})
+	}
+	c.enc = c.codec.NewRequestWriter(c.bw)
 	c.wmu.Unlock()
-	go c.readLoop(conn, gen)
+	go c.readLoop(conn, gen, expectAck)
 	if st != nil {
 		close(st)
 	}
@@ -322,9 +350,21 @@ func (c *Client) adopt(conn net.Conn) {
 // readLoop dispatches responses to their waiting callers and folds
 // unsolicited grant/revoke pushes into the cached authorization state. One
 // runs per adopted connection; on exit it reports the loss.
-func (c *Client) readLoop(conn net.Conn, gen uint64) {
-	dec := wire.NewReader(bufio.NewReader(conn))
+func (c *Client) readLoop(conn net.Conn, gen uint64, expectAck bool) {
+	br := bufio.NewReader(conn)
 	var err error
+	if expectAck {
+		var ack [2]byte
+		if _, err = io.ReadFull(br, ack[:]); err == nil &&
+			(ack[0] != wire.HelloMagic || ack[1] != wire.VersionBinary) {
+			err = fmt.Errorf("client: bad codec negotiation ack %x", ack)
+		}
+		if err != nil {
+			c.connLost(gen, err)
+			return
+		}
+	}
+	dec := c.codec.NewResponseReader(br)
 	for {
 		var resp wire.Response
 		if err = dec.Read(&resp); err != nil {
@@ -423,7 +463,7 @@ func (c *Client) recoverLoop() {
 		if err == nil {
 			ferr, fatal := c.handshake(conn)
 			if ferr == nil {
-				c.adopt(conn)
+				c.adopt(conn, true)
 				return
 			}
 			conn.Close()
@@ -446,37 +486,70 @@ func (c *Client) recoverLoop() {
 
 // handshake re-registers on a fresh connection before it is adopted: the
 // resume carries the same name, the next incarnation, and the accumulated
-// degraded report. A client that never registered has nothing to resume.
+// degraded report, pipelined behind the codec hello when the codec is
+// binary (so adopt never re-negotiates a handshaken connection). A client
+// that never registered resumes nothing but still negotiates the codec.
 // Returns (nil, _) on success; fatal reports an unrecoverable rejection
 // (another incarnation won the name).
 func (c *Client) handshake(conn net.Conn) (error, bool) {
+	binary := c.codec.Name() != "json"
 	c.regMu.Lock()
-	if !c.registered {
-		c.regMu.Unlock()
-		return nil, false
-	}
-	c.incarnation++
-	req := wire.Request{
-		Seq:         c.seq.Add(1),
-		Type:        wire.TypeRegister,
-		App:         c.regName,
-		Cores:       c.regCores,
-		Target:      c.defTarget,
-		Incarnation: c.incarnation,
+	registered := c.registered
+	var req wire.Request
+	if registered {
+		c.incarnation++
+		req = wire.Request{
+			Seq:         c.seq.Add(1),
+			Type:        wire.TypeRegister,
+			App:         c.regName,
+			Cores:       c.regCores,
+			Target:      c.defTarget,
+			Incarnation: c.incarnation,
+		}
 	}
 	c.regMu.Unlock()
-	reportSelf, reportDeg := c.snapshotReport()
-	req.SelfGrants = reportSelf
-	req.DegradedS = reportDeg
+	if !registered && !binary {
+		return nil, false
+	}
+	var reportSelf uint64
+	var reportDeg float64
+	var hs bytes.Buffer
+	if binary {
+		hs.Write([]byte{wire.HelloMagic, wire.VersionBinary})
+	}
+	if registered {
+		reportSelf, reportDeg = c.snapshotReport()
+		req.SelfGrants = reportSelf
+		req.DegradedS = reportDeg
+		if err := c.codec.NewRequestWriter(&hs).Write(&req); err != nil {
+			return err, false
+		}
+	}
 
 	conn.SetDeadline(time.Now().Add(5 * time.Second))
 	defer conn.SetDeadline(time.Time{})
-	if err := wire.Write(conn, req); err != nil {
+	if _, err := conn.Write(hs.Bytes()); err != nil {
 		return err, false
 	}
+	if binary {
+		var ack [2]byte
+		if _, err := io.ReadFull(conn, ack[:]); err != nil {
+			return err, false
+		}
+		if ack[0] != wire.HelloMagic || ack[1] != wire.VersionBinary {
+			return fmt.Errorf("client: bad codec negotiation ack %x", ack), false
+		}
+	}
+	if !registered {
+		return nil, false
+	}
+	// Reading on the raw connection (no buffering) cannot over-read past
+	// the register answer, so the reader the adopted connection builds
+	// later sees a clean frame boundary.
+	dec := c.codec.NewResponseReader(conn)
 	for {
 		var resp wire.Response
-		if err := wire.Read(conn, &resp); err != nil {
+		if err := dec.Read(&resp); err != nil {
 			return err, false
 		}
 		if resp.Type != wire.TypeResp || resp.Seq != req.Seq {
@@ -665,10 +738,10 @@ func (c *Client) rawCall(req wire.Request) (wire.Response, error) {
 
 	c.wmu.Lock()
 	var err error
-	if c.bw == nil {
+	if c.enc == nil {
 		err = errors.New("not connected")
 	} else {
-		if err = wire.Write(c.bw, req); err == nil {
+		if err = c.enc.Write(&req); err == nil {
 			err = c.bw.Flush()
 		}
 	}

@@ -1,0 +1,59 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/wirebin"
+)
+
+// TestBinaryResumeAfterCut drives the reconnect/resume machinery over the
+// binary codec: the resume handshake must renegotiate the codec on the
+// fresh connection (hello pipelined with the re-register) and re-drive the
+// session state, exactly like the JSON path.
+func TestBinaryResumeAfterCut(t *testing.T) {
+	_, addr := startServer(t, server.Config{GrantGrace: 5 * time.Second})
+	p, err := chaos.New(chaos.Options{Target: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := client.DialOptions(p.Addr(), client.Options{
+		Reconnect: true, Codec: wirebin.Codec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	sess := client.NewSession(c)
+	if err := sess.Begin(info(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Cut()
+	done := make(chan error, 1)
+	go func() {
+		if err := sess.Yield(50); err != nil {
+			done <- err
+			return
+		}
+		done <- sess.End(100)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("binary session after cut: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("binary session hung after disconnect-resume")
+	}
+	if r := c.DegradedReport(); r.SelfGrants != 0 {
+		t.Fatalf("coordinated binary resume self-granted %d times", r.SelfGrants)
+	}
+}

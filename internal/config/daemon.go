@@ -83,6 +83,14 @@ type Daemon struct {
 	// "overloaded" reply, then is disconnected on sustained abuse. 0
 	// disables per-connection rate limiting.
 	MaxRequestsPerSec float64 `json:"max_requests_per_sec,omitempty"`
+	// AcceptLoops shards the listener's accept loop across this many
+	// goroutines so connection-churn bursts are not serialized behind one
+	// accept caller. 0 (or 1) means a single loop.
+	AcceptLoops int `json:"accept_loops,omitempty"`
+	// SockBufferBytes, when positive, sets the kernel read and write buffer
+	// sizes (SO_RCVBUF/SO_SNDBUF) on every accepted connection. 0 keeps
+	// the OS defaults.
+	SockBufferBytes int `json:"sock_buffer_bytes,omitempty"`
 }
 
 // DefaultListenAddr is used when listen_addr is omitted.
@@ -194,6 +202,12 @@ func (d Daemon) Validate() error {
 	}
 	if d.MaxRequestsPerSec < 0 {
 		return fmt.Errorf("config: max_requests_per_sec must be >= 0")
+	}
+	if d.AcceptLoops < 0 {
+		return fmt.Errorf("config: accept_loops must be >= 0")
+	}
+	if d.SockBufferBytes < 0 {
+		return fmt.Errorf("config: sock_buffer_bytes must be >= 0")
 	}
 	return nil
 }

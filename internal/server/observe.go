@@ -65,6 +65,14 @@ type serverMetrics struct {
 	rateLimited       *obs.Counter
 	handshakeTimeouts *obs.Counter
 	slowDisconnects   *obs.Counter
+
+	// Connection-machinery counters: connections by negotiated wire codec,
+	// and raw wire bytes in each direction (counted per syscall-level read
+	// and write beneath the per-connection buffers).
+	connsJSON   *obs.Counter
+	connsBinary *obs.Counter
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -85,6 +93,16 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Connections dropped for not completing register within handshake_timeout_s."),
 		slowDisconnects: r.Counter("calciomd_slow_disconnects_total",
 			"Clients disconnected because their response buffer overflowed (too slow to drain)."),
+		connsJSON: r.Counter("calciomd_connections_total",
+			"Connections that completed codec negotiation, by wire codec.",
+			obs.Label{Key: "codec", Value: "json"}),
+		connsBinary: r.Counter("calciomd_connections_total",
+			"Connections that completed codec negotiation, by wire codec.",
+			obs.Label{Key: "codec", Value: "binary"}),
+		bytesIn: r.Counter("calciomd_bytes_in_total",
+			"Wire bytes read from client connections."),
+		bytesOut: r.Counter("calciomd_bytes_out_total",
+			"Wire bytes written to client connections."),
 	}
 }
 

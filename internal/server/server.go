@@ -27,6 +27,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
+	"repro/internal/wirebin"
 )
 
 // Config parameterizes a daemon.
@@ -128,6 +130,15 @@ type Config struct {
 	// than allowed to stall arbitration; tests shrink the buffer to drive
 	// that path deterministically.
 	WriteBuffer int
+	// AcceptLoops sets how many goroutines run the listener's accept loop
+	// (default 1). Sharding the accept loop keeps connection-churn-heavy
+	// workloads (100k-session rolling restarts) from serializing behind a
+	// single accept caller. Values below 1 mean 1.
+	AcceptLoops int
+	// SockBuffer, when positive, sets the kernel read and write buffer
+	// sizes (SO_RCVBUF/SO_SNDBUF) on every accepted TCP connection. 0
+	// keeps the OS defaults.
+	SockBuffer int
 }
 
 // envelope kinds. kindConnect/kindDisconnect/kindStats and control-plane
@@ -199,9 +210,21 @@ type ident struct {
 // coordination state lives in bindings owned by shard goroutines.
 type session struct {
 	conn net.Conn
-	out  chan wire.Response
-	quit chan struct{} // closed at teardown; the write loop drains and exits
-	dead atomic.Bool
+	// rd and wr are the connection's byte streams, wrapped for byte
+	// accounting when a metrics registry is configured. The reader and
+	// writer goroutines buffer on top of them.
+	rd io.Reader
+	wr io.Writer
+	// codec is the wire format negotiated from the connection's first byte
+	// (see wire.HelloMagic), written by the reader goroutine before it
+	// closes codecReady; the write loop blocks on codecReady and must not
+	// touch the connection until then (the negotiation ack is written by
+	// the reader).
+	codec      wire.Codec
+	codecReady chan struct{}
+	out        chan wire.Response
+	quit       chan struct{} // closed at teardown; the write loop drains and exits
+	dead       atomic.Bool
 
 	id           atomic.Pointer[ident]
 	gone         atomic.Bool   // dropped; shards ignore later envelopes
@@ -587,24 +610,44 @@ func (srv *Server) Serve(ln net.Listener) error {
 		go sh.run()
 	}
 	srv.shmu.Unlock()
-	// Closed when the accept loop has returned: after that, no new
+	// Closed when every accept loop has returned: after that, no new
 	// startSession can run, which Close relies on for a complete teardown.
 	defer close(srv.serveDone)
 	go srv.loop()
 	srv.logf("calciomd: serving on %s (policy %s)", ln.Addr(), srv.cfg.Policy.Name())
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			srv.mu.Lock()
-			clean := srv.closed || srv.draining
-			srv.mu.Unlock()
-			if clean {
-				return nil
+	accept := func() error {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return err
 			}
-			return err
+			if tc, ok := conn.(*net.TCPConn); ok && srv.cfg.SockBuffer > 0 {
+				tc.SetReadBuffer(srv.cfg.SockBuffer)
+				tc.SetWriteBuffer(srv.cfg.SockBuffer)
+			}
+			srv.startSession(conn)
 		}
-		srv.startSession(conn)
 	}
+	// Accept-loop sharding: extra goroutines accept from the same listener
+	// so bursts of connection churn are not serialized behind one accept
+	// caller. Closing the listener unblocks every loop.
+	var extra sync.WaitGroup
+	for i := 1; i < srv.cfg.AcceptLoops; i++ {
+		extra.Add(1)
+		go func() {
+			defer extra.Done()
+			accept()
+		}()
+	}
+	err := accept()
+	extra.Wait()
+	srv.mu.Lock()
+	clean := srv.closed || srv.draining
+	srv.mu.Unlock()
+	if clean {
+		return nil
+	}
+	return err
 }
 
 // Drain begins a graceful shutdown: the listener stops accepting, every
@@ -741,9 +784,13 @@ func (srv *Server) startSession(conn net.Conn) {
 	if buf <= 0 {
 		buf = 256
 	}
-	s := &session{conn: conn, out: make(chan wire.Response, buf), quit: make(chan struct{})}
+	s := &session{conn: conn, rd: conn, wr: conn,
+		codecReady: make(chan struct{}),
+		out:        make(chan wire.Response, buf), quit: make(chan struct{})}
 	if srv.m != nil {
 		s.slowDrops = srv.m.slowDisconnects
+		s.rd = countReader{conn, srv.m.bytesIn}
+		s.wr = countWriter{conn, srv.m.bytesOut}
 	}
 	// The handshake timer is armed before the kindConnect handoff, so the
 	// control goroutine (which disarms it at register) observes it fully
@@ -834,6 +881,63 @@ func (srv *Server) shedReply(s *session, seq uint64, verb, target string, now fl
 		Code: wire.CodeOverloaded, Target: target})
 }
 
+// countReader and countWriter sit between a connection and its buffered
+// reader/writer, counting wire bytes into registry counters with one atomic
+// add per syscall-level read or write.
+type countReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.c.Add(uint64(n))
+	}
+	return n, err
+}
+
+// negotiate sniffs the connection's first byte to pick its wire codec. A v1
+// JSON client's first byte is always 0x00 (frame lengths are bounded far
+// below 1<<24), so anything but wire.HelloMagic falls through to the JSON
+// codec with the byte stream untouched. On a hello the reader consumes the
+// two hello bytes, writes the two-byte ack itself (the write loop is still
+// parked on codecReady), and switches the connection to the negotiated
+// codec before the first frame.
+func (srv *Server) negotiate(br *bufio.Reader, s *session) (wire.Codec, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if first[0] != wire.HelloMagic {
+		return wire.JSON, nil
+	}
+	var hello [2]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return nil, err
+	}
+	if hello[1] != wire.VersionBinary {
+		return nil, fmt.Errorf("unsupported codec version %d", hello[1])
+	}
+	if _, err := s.wr.Write([]byte{wire.HelloMagic, wire.VersionBinary}); err != nil {
+		return nil, err
+	}
+	return wirebin.Codec{}, nil
+}
+
 // readLoop routes each request to the goroutine owning its state: register
 // and stats to the control loop, coordination verbs to the shard of the
 // target they address. A coordination frame read before the session has an
@@ -843,7 +947,28 @@ func (srv *Server) shedReply(s *session, seq uint64, verb, target string, now fl
 // never misrouted to the wrong coordination domain.
 func (srv *Server) readLoop(s *session) {
 	defer srv.wg.Done()
-	dec := wire.NewReader(bufio.NewReader(s.conn))
+	br := bufio.NewReader(s.rd)
+	codec, err := srv.negotiate(br, s)
+	if err != nil {
+		// Negotiation failed (or the peer vanished before its first byte):
+		// no codec is ever installed and the write loop exits via quit when
+		// the control goroutine tears the session down.
+		select {
+		case srv.reqCh <- envelope{kind: kindDisconnect, s: s}:
+		case <-srv.stop:
+		}
+		return
+	}
+	s.codec = codec
+	close(s.codecReady)
+	if srv.m != nil {
+		if codec.Name() == "binary" {
+			srv.m.connsBinary.Inc()
+		} else {
+			srv.m.connsJSON.Inc()
+		}
+	}
+	dec := codec.NewRequestReader(br)
 	// Per-connection token bucket, plain locals on this goroutine: zero
 	// allocation, zero locks, refilled from the server clock so injected
 	// logical clocks keep tests deterministic. Burst equals the rate (at
@@ -937,9 +1062,18 @@ func (srv *Server) readLoop(s *session) {
 func (srv *Server) writeLoop(s *session) {
 	defer srv.wg.Done()
 	defer s.conn.Close()
-	bw := bufio.NewWriter(s.conn)
+	// The reader goroutine owns the connection until codec negotiation is
+	// done (it writes the two-byte binary ack itself); responses can only
+	// be produced by requests, which the reader has not decoded yet.
+	select {
+	case <-s.codecReady:
+	case <-s.quit:
+		return
+	}
+	bw := bufio.NewWriter(s.wr)
+	enc := s.codec.NewResponseWriter(bw)
 	write := func(resp wire.Response) {
-		if err := wire.Write(bw, resp); err != nil {
+		if err := enc.Write(&resp); err != nil {
 			s.dead.Store(true)
 		}
 		// Batch: flush only when no further response is queued.

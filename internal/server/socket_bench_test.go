@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wire"
+	"repro/internal/wirebin"
+)
+
+// The socket benchmarks measure the daemon end to end — TCP, codec
+// negotiation, framing, arbitration, grant push — where the arbitration
+// microbenchmarks (BenchmarkServerArbitrate*) stop at the handler. One op
+// is one grant cycle (Inform, Wait, Release, End: four requests, one
+// grant), driven by 8 workers over per-worker storage targets so cycles
+// on different workers arbitrate independently. Reported metrics:
+// grants/s, and bytes/req — daemon-side wire bytes (in+out) per request,
+// the codec-footprint number the ROADMAP performance table tracks.
+//
+// BenchmarkSocketGrants holds 256 concurrent sessions in process and fits
+// in a default 1024-fd limit. BenchmarkSocketGrants10k holds 10240
+// concurrent sessions with the daemon in a helper process (re-exec of the
+// test binary), because two 10k-connection endpoints cannot share one
+// 20000-fd process; it skips when RLIMIT_NOFILE cannot cover its side.
+// Run the big one with an explicit iteration count so the testing package
+// does not redial the fleet per b.N estimate:
+//
+//	go test -run xxx -bench SocketGrants10k -benchtime 20000x -benchmem ./internal/server
+
+const socketHelperEnv = "CALCIOM_SOCKET_BENCH_HELPER"
+
+const socketBenchWorkers = 8
+
+var socketBenchCodecs = []struct {
+	name  string
+	codec wire.Codec
+}{
+	{"json", wire.JSON},
+	{"binary", wirebin.Codec{}},
+}
+
+func BenchmarkSocketGrants(b *testing.B) {
+	for _, cc := range socketBenchCodecs {
+		b.Run(cc.name, func(b *testing.B) {
+			if got := raiseFDLimit(1024); got < 1024 {
+				b.Skipf("need 1024 fds for 256 two-endpoint sessions, limit %d", got)
+			}
+			reg := obs.NewRegistry()
+			srv, err := New(Config{Policy: core.FCFSPolicy{}, Metrics: reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			defer srv.Close()
+			runSocketBench(b, ln.Addr().String(), cc.codec, 256, func() (uint64, uint64) {
+				return srv.m.bytesIn.Value(), srv.m.bytesOut.Value()
+			})
+		})
+	}
+}
+
+func BenchmarkSocketGrants10k(b *testing.B) {
+	for _, cc := range socketBenchCodecs {
+		b.Run(cc.name, func(b *testing.B) {
+			benchSocketHelperProcess(b, cc.codec, 10240)
+		})
+	}
+}
+
+// TestSocketBenchHelperProcess is not a test: it is the daemon half of
+// BenchmarkSocketGrants10k, selected via -test.run when the benchmark
+// re-execs the test binary. It serves until stdin closes, answering
+// "stats" lines with the daemon-side byte counters so the parent can
+// bracket its timed region exactly.
+func TestSocketBenchHelperProcess(t *testing.T) {
+	if os.Getenv(socketHelperEnv) != "1" {
+		t.Skip("daemon helper process for BenchmarkSocketGrants10k")
+	}
+	raiseFDLimit(16000)
+	reg := obs.NewRegistry()
+	srv, err := New(Config{Policy: core.FCFSPolicy{}, Metrics: reg, AcceptLoops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("addr %s\n", ln.Addr().String())
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if sc.Text() == "stats" {
+			fmt.Printf("stats bytes_in=%d bytes_out=%d\n",
+				srv.m.bytesIn.Value(), srv.m.bytesOut.Value())
+		}
+	}
+}
+
+func benchSocketHelperProcess(b *testing.B, codec wire.Codec, sessions int) {
+	need := uint64(sessions) + 512
+	if got := raiseFDLimit(need); got < need {
+		b.Skipf("need %d fds for %d client connections, limit %d", need, sessions, got)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestSocketBenchHelperProcess$")
+	cmd.Env = append(os.Environ(), socketHelperEnv+"=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Wait()
+	}()
+	sc := bufio.NewScanner(stdout)
+	readLine := func(prefix string) string {
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), prefix) {
+				return strings.TrimPrefix(sc.Text(), prefix)
+			}
+		}
+		b.Fatalf("helper exited before %q line", prefix)
+		return ""
+	}
+	addr := readLine("addr ")
+	runSocketBench(b, addr, codec, sessions, func() (uint64, uint64) {
+		fmt.Fprintln(stdin, "stats")
+		var in, out uint64
+		if _, err := fmt.Sscanf(readLine("stats "), "bytes_in=%d bytes_out=%d", &in, &out); err != nil {
+			b.Fatalf("helper stats line: %v", err)
+		}
+		return in, out
+	})
+}
+
+// runSocketBench dials and registers the whole fleet, then times b.N
+// grant cycles spread across the workers; every registered session stays
+// connected for the duration, so the daemon holds `sessions` live
+// connections while serving. stats reads the daemon-side byte counters.
+func runSocketBench(b *testing.B, addr string, codec wire.Codec, sessions int, stats func() (uint64, uint64)) {
+	opts := client.Options{Codec: codec}
+	clients := make([]*client.Client, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64) // bound dial concurrency: 10k at once would blow handshake deadlines
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := client.DialOptions(addr, opts)
+			if err == nil {
+				err = c.Register(fmt.Sprintf("bench-%05d", i), 1)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			clients[i] = c
+		}(i)
+	}
+	wg.Wait()
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i, err := range errs {
+		if err != nil {
+			b.Fatalf("session %d: %v", i, err)
+		}
+	}
+
+	// Shard the fleet: worker w owns clients[i] with i%workers == w, all
+	// bound to target t<w>, and retires its cycles round-robin over them.
+	shards := make([][]client.Target, socketBenchWorkers)
+	for i, c := range clients {
+		w := i % socketBenchWorkers
+		shards[w] = append(shards[w], c.Target(fmt.Sprintf("t%d", w)))
+	}
+	cycle := func(tg client.Target) error {
+		if err := tg.Inform(); err != nil {
+			return err
+		}
+		if err := tg.Wait(); err != nil {
+			return err
+		}
+		if err := tg.Release(0); err != nil {
+			return err
+		}
+		return tg.End()
+	}
+	// Touch every worker's path once so negotiation and shard creation are
+	// out of the timed region.
+	for _, shard := range shards {
+		if err := cycle(shard[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	startIn, startOut := stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bwg sync.WaitGroup
+	for w := 0; w < socketBenchWorkers; w++ {
+		n := b.N / socketBenchWorkers
+		if w < b.N%socketBenchWorkers {
+			n++
+		}
+		bwg.Add(1)
+		go func(shard []client.Target, n int) {
+			defer bwg.Done()
+			for k := 0; k < n; k++ {
+				if err := cycle(shard[k%len(shard)]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(shards[w], n)
+	}
+	bwg.Wait()
+	b.StopTimer()
+	endIn, endOut := stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "grants/s")
+	reqs := float64(4 * b.N)
+	b.ReportMetric(float64((endIn-startIn)+(endOut-startOut))/reqs, "bytes/req")
+}
+
+// raiseFDLimit best-effort raises the soft RLIMIT_NOFILE to at least n
+// (capped at the hard limit) and returns the resulting soft limit.
+func raiseFDLimit(n uint64) uint64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	if rl.Cur >= n {
+		return rl.Cur
+	}
+	want := n
+	if want > rl.Max {
+		want = rl.Max
+	}
+	rl.Cur = want
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	return rl.Cur
+}
