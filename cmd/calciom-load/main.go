@@ -29,9 +29,17 @@
 // file (one session per client, timestamps on a shared clock) that
 // calciom-replay can re-arbitrate under any policy.
 //
+// With -mux-conns M the fleet shares M physical connections instead of
+// dialing one per client: sessions are dealt round-robin across the shared
+// connections as multiplexed streams (protocol v3, the mux extension of the
+// binary codec), so -clients 1024 -mux-conns 8 holds 1024 live sessions on
+// 8 sockets. The workload, the agg: block and the grant accounting are
+// unchanged — only the transport differs.
+//
 // With -scrape URL the tool fetches the daemon's /metrics endpoint after
 // the burst and prints a "scrape:" line (grants, waits and the
-// wait-histogram count, summed across targets). Against a fresh daemon and
+// wait-histogram count, summed across targets, plus the connection counter
+// split out by its mux label). Against a fresh daemon and
 // a fixed fault-free workload the grants and wait-count fields are
 // deterministic and must equal the agg block's grant count, so smoke tests
 // can diff the daemon's Prometheus view against client-side truth exactly;
@@ -135,6 +143,7 @@ func main() {
 	churn := flag.Bool("churn", false, "connection-churn probe: every client repeatedly connects, registers, runs one coordinated phase and disconnects; prints a churn: line instead of the workload blocks")
 	churnLoops := flag.Int("churn-loops", 8, "churn: connect/register/phase/disconnect loops per client")
 	codec := flag.String("codec", "json", "wire codec: json (v1, the default protocol) or binary (negotiate the v2 binary codec at connect)")
+	muxConns := flag.Int("mux-conns", 0, "multiplex the fleet over this many shared physical connections (negotiates the v3 mux extension of the binary codec; implies -codec binary; 0 = one plain connection per client)")
 	scrape := flag.String("scrape", "", "after the burst, fetch the daemon's Prometheus endpoint at this URL (e.g. http://127.0.0.1:9596/metrics) and print a byte-stable scrape: line")
 	flag.Parse()
 	if *failOpen > 0 {
@@ -211,6 +220,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// dial hands client i its connection. Without -mux-conns each client
+	// dials its own plain connection; with it, M shared physical connections
+	// are dialed up front (the mux handshake negotiates the v3 binary
+	// extension regardless of -codec) and the fleet's sessions are dealt
+	// round-robin across them as logical streams.
+	dial := func(int) (*client.Client, error) { return client.DialOptions(dialAddr, copts) }
+	if *muxConns > 0 {
+		if *flood || *churn {
+			fmt.Fprintln(os.Stderr, "calciom-load: -mux-conns applies to the workload modes, not -flood/-churn")
+			os.Exit(2)
+		}
+		muxes := make([]*client.Mux, *muxConns)
+		for i := range muxes {
+			m, err := client.DialMux(dialAddr, copts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "calciom-load: mux dial %d: %v\n", i, err)
+				os.Exit(2)
+			}
+			muxes[i] = m
+			defer m.Close()
+		}
+		conns := *muxConns
+		dial = func(i int) (*client.Client, error) { return muxes[i%conns].Client() }
+	}
+
 	// Flood mode probes the daemon's overload protection instead of running
 	// the workload: it reports a shed: line and exits. The workload flags
 	// (and -record) do not apply.
@@ -255,8 +289,9 @@ func main() {
 			if *stagger > 0 {
 				time.Sleep(time.Duration(i) * *stagger)
 			}
-			results[i], errs[i] = runClient(dialAddr, fmt.Sprintf("%s-%04d", *prefix, i), mine, *think,
-				tw, uint32(i+1), clock, copts, *registerTarget)
+			results[i], errs[i] = runClient(func() (*client.Client, error) { return dial(i) },
+				fmt.Sprintf("%s-%04d", *prefix, i), mine, *think,
+				tw, uint32(i+1), clock, *registerTarget)
 		}(i, mine)
 	}
 	wg.Wait()
@@ -348,12 +383,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "calciom-load: scrape: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("scrape: grants=%d waits-immediate=%d waits-deferred=%d wait-count=%d connections=%d\n",
+		fmt.Printf("scrape: grants=%d waits-immediate=%d waits-deferred=%d wait-count=%d connections=%d mux-connections=%d\n",
 			sums["calciomd_grants_total"],
 			sums["calciomd_waits_immediate_total"],
 			sums["calciomd_waits_deferred_total"],
 			sums["calciomd_wait_seconds_count"],
-			sums["calciomd_connections_total"])
+			sums["calciomd_connections_total"],
+			sums[muxConnsKey])
 	}
 	fmt.Printf("timing: elapsed=%.3fs throughput=%.0f grants/s\n",
 		elapsed.Seconds(), float64(tot.grants)/elapsed.Seconds())
@@ -623,7 +659,9 @@ func buildTasks(swfPath string, clients, phases, steps int, mib float64, cores, 
 	return tasks, nil
 }
 
-// runClient performs one connection's tasks: for each phase it runs the
+// runClient performs one session's tasks over the connection dial hands it
+// (a plain per-client connection, or a logical stream on a shared mux
+// connection): for each phase it runs the
 // canonical CALCioM sequence (Prepare, Inform, Wait, steps × [access,
 // Release/Inform/Wait], Complete, End) on the phase's storage target,
 // timing every Wait. A non-nil tw captures the traffic client-side under
@@ -632,11 +670,11 @@ func buildTasks(swfPath string, clients, phases, steps int, mib float64, cores, 
 // daemon-coordinated grants; self-grants land in result.degraded. (The
 // per-target grant counters keep counting all served waits — per-target
 // self-grant attribution is not tracked.)
-func runClient(addr, name string, tasks []task, think time.Duration,
+func runClient(dial func() (*client.Client, error), name string, tasks []task, think time.Duration,
 	tw *trace.Writer, sid uint32, clock func() float64,
-	opts client.Options, registerTarget string) (res result, err error) {
+	registerTarget string) (res result, err error) {
 	res = result{perTarget: map[string]counters{}}
-	c, err := client.DialOptions(addr, opts)
+	c, err := dial()
 	if err != nil {
 		return res, err
 	}
@@ -719,6 +757,12 @@ func runClient(addr, name string, tasks []task, think time.Duration,
 	return res, nil
 }
 
+// muxConnsKey is the synthetic sums entry scrapeMetrics fills with the
+// connections_total samples whose label set carries mux="true" — the
+// daemon's count of accepted multiplexed connections, which the scrape:
+// line reports separately from the all-codec connection total.
+const muxConnsKey = `calciomd_connections_total{mux="true"}`
+
 // scrapeMetrics fetches a Prometheus text-format endpoint and sums every
 // sample by family name (label sets collapse, so per-target series sum into
 // the fleet-wide total). Values are parsed as floats — the text format
@@ -744,14 +788,18 @@ func scrapeMetrics(url string) (map[string]uint64, error) {
 			continue
 		}
 		name := fields[0]
+		labels := ""
 		if i := strings.IndexByte(name, '{'); i >= 0 {
-			name = name[:i]
+			name, labels = name[:i], name[i:]
 		}
 		v, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil || v < 0 {
 			continue
 		}
 		sums[name] += uint64(v)
+		if name == "calciomd_connections_total" && strings.Contains(labels, `mux="true"`) {
+			sums[muxConnsKey] += uint64(v)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -106,6 +106,36 @@
 // queue drains), -accept-loops listener sharding and -sock-buffer kernel
 // socket buffer tuning.
 //
+// Version 3 is the mux extension of the binary codec: one physical
+// connection carries many logical sessions, each identified by a stream
+// id. The negotiation hello is the same two bytes with the version bumped:
+//
+//	[0xCB, 1]   never sent — absence of a hello IS version 1 (JSON)
+//	[0xCB, 2]   binary codec, one session per connection
+//	[0xCB, 3]   binary codec + session multiplexing
+//	other       unknown version or magic: connection closed
+//
+// A mux frame is the same uvarint-length-prefixed v2 frame whose payload
+// gains one field up front: a uvarint stream id (>= 1; stream 0 is
+// rejected in both directions), followed by the unchanged v2 request or
+// response payload. Streams are opened implicitly — the first frame
+// naming an unknown stream id creates that session daemon-side, with the
+// same register deadline a fresh connection gets — and each stream is an
+// ordinary session to the arbitration core: per-stream seq spaces,
+// grant/revoke pushes, grace windows and resume-by-incarnation all work
+// per stream. The transport is where the win is: one reader demuxes all
+// inbound frames, and one shared write loop group-commits — each wakeup
+// drains every response queued across all streams into one buffered
+// writer and flushes once, so K concurrent grant cycles cost ~1 write
+// syscall instead of K (client-side writes batch the same way). The v1
+// and v2 protocols are untouched: a client that negotiates 2 or nothing
+// gets the previous framing byte for byte. client.DialMux is the client
+// half (Mux.Client hands out logical *Client streams sharing one socket),
+// calciom-load -mux-conns M drives a whole fleet over M sockets, and
+// BenchmarkSocketGrantsMux / BenchmarkSocketGrants10k measure it (see
+// ROADMAP's performance table: ~3x grant throughput at 256 sessions,
+// 10240 live sessions on 64 sockets in-process).
+//
 // Quickstart (two terminals):
 //
 //	go run ./cmd/calciomd -listen 127.0.0.1:9595 -policy fcfs
@@ -403,9 +433,11 @@
 // calciomd_hold_seconds (grant-to-release). The control goroutine adds the
 // fault-tolerance counters (calciomd_self_grants_total,
 // calciomd_degraded_seconds_total, calciomd_resumes_total), the connection
-// layer counts negotiated codecs (calciomd_connections_total, label codec)
-// and raw wire traffic beneath the codec buffers (calciomd_bytes_in_total,
-// calciomd_bytes_out_total), and scrape time
+// layer counts negotiated codecs (calciomd_connections_total, labels codec
+// and mux), tracks live multiplexed streams (calciomd_mux_streams) and the
+// group-commit batch-size distribution (calciomd_mux_batch_frames), and
+// counts raw wire traffic beneath the codec buffers
+// (calciomd_bytes_in_total, calciomd_bytes_out_total), and scrape time
 // adds the stats-merge view: calciomd_sessions, calciomd_cpu_seconds_wasted
 // and the per-application calciomd_app_* rows (labels app, target). The
 // wait histograms also ride the stats merge into wire.Stats.WaitHist, so
@@ -465,9 +497,10 @@
 // busy-reject/shed/rate-limited events in the -log-level stream.
 //
 // The decoder boundary below all of this is fuzzed: FuzzReadFrame and
-// FuzzDecodeRequest (internal/wire), FuzzReadFrameBinary and
-// FuzzDecodeRequestBinary (internal/wirebin, the latter checking the
-// canonical re-encode round trip) and FuzzReader (internal/trace, strict
+// FuzzDecodeRequest (internal/wire), FuzzReadFrameBinary,
+// FuzzDecodeRequestBinary and FuzzDecodeMuxFrame (internal/wirebin, the
+// middle one checking the canonical re-encode round trip, the last
+// covering the stream-id prefix in both directions) and FuzzReader (internal/trace, strict
 // and lenient modes) run in CI, seeded from the golden-bytes corpora, so
 // arbitrary bytes on a socket or in a trace file fail with an error — never
 // a panic or an unbounded allocation. calciom-load provides the probes:

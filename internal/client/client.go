@@ -84,6 +84,43 @@ func isTransport(err error) bool {
 	return errors.As(err, &te)
 }
 
+// completion is the single message a pending call receives: the daemon's
+// response, or lost=true when the connection died (or the client closed)
+// under the call.
+type completion struct {
+	resp wire.Response
+	lost bool
+}
+
+// pendingCall parks one in-flight request. The channel has capacity one and
+// receives exactly one completion per round trip — whoever removes the entry
+// from the pending map (reader, connection-loss sweep, or the failed sender
+// itself) owns delivery — so the call object and its channel are pooled and
+// reused across requests instead of allocated per call.
+type pendingCall struct {
+	ch chan completion
+}
+
+var callPool = sync.Pool{New: func() any { return &pendingCall{ch: make(chan completion, 1)} }}
+
+// failPending completes every parked call with lost=true. With reconnect the
+// pending map is replaced (later calls park against the next connection);
+// otherwise it is retired and cause becomes the terminal receive error.
+func (c *Client) failPending(reconnect bool, cause error) {
+	c.mu.Lock()
+	pend := c.pending
+	if reconnect {
+		c.pending = make(map[uint64]*pendingCall)
+	} else {
+		c.pending = nil
+		c.err = cause
+	}
+	c.mu.Unlock()
+	for _, pc := range pend {
+		pc.ch <- completion{lost: true}
+	}
+}
+
 // Default backoff bounds for Options.Reconnect.
 const (
 	DefaultBackoffMin = 25 * time.Millisecond
@@ -141,15 +178,15 @@ type Client struct {
 	// cmu guards the connection state machine: the current connection and
 	// its generation, healthy/degraded/terminal mode, and the stateCh pulse
 	// callers park on while the connection is down.
-	cmu       sync.Mutex
-	conn      net.Conn
-	gen       uint64
-	healthy   bool
-	degraded  bool
-	termErr   error
-	closed    bool
-	stateCh   chan struct{} // non-nil while down/degraded; closed on any mode change
-	recovering bool         // a recoverLoop goroutine is running
+	cmu        sync.Mutex
+	conn       net.Conn
+	gen        uint64
+	healthy    bool
+	degraded   bool
+	termErr    error
+	closed     bool
+	stateCh    chan struct{} // non-nil while down/degraded; closed on any mode change
+	recovering bool          // a recoverLoop goroutine is running
 
 	// codec is the negotiated wire format, resolved once at dial (nil
 	// Options.Codec means wire.JSON) and immutable afterwards.
@@ -162,8 +199,15 @@ type Client struct {
 	seq atomic.Uint64
 
 	mu      sync.Mutex
-	pending map[uint64]chan wire.Response
+	pending map[uint64]*pendingCall
 	err     error // terminal receive error; set once (fail-fast mode)
+
+	// mx/stream are set on clients created by Mux.Client: the shared
+	// physical connection this logical session rides and its stream id.
+	// Such a client never owns conn/bw/enc — writes go through mx and the
+	// mux read loop dispatches responses by stream id.
+	mx     *Mux
+	stream uint64
 
 	// auth caches the server's per-target view, updated by responses and by
 	// pushed grant/revoke notifications (the server echoes the resolved
@@ -234,7 +278,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		addr:    addr,
 		opts:    opts,
 		codec:   opts.Codec,
-		pending: make(map[uint64]chan wire.Response),
+		pending: make(map[uint64]*pendingCall),
 		auth:    make(map[string]bool),
 		journal: make(map[string]*tjournal),
 		done:    make(chan struct{}),
@@ -306,6 +350,13 @@ func (c *Client) Close() error {
 	}
 	c.cmu.Unlock()
 	c.finish()
+	if c.mx != nil {
+		// A mux client owns no connection: leave the shared one alone and
+		// just remove the stream, so the daemon's idle eviction (or the mux
+		// closing) reclaims the server-side session.
+		c.mx.detach(c.stream)
+	}
+	c.failPending(false, ErrClosed)
 	if conn != nil {
 		conn.Close()
 	}
@@ -370,33 +421,41 @@ func (c *Client) readLoop(conn net.Conn, gen uint64, expectAck bool) {
 		if err = dec.Read(&resp); err != nil {
 			break
 		}
-		switch resp.Type {
-		case wire.TypeGrant:
-			c.setAuth(resp.Target, true)
-		case wire.TypeRevoke:
-			c.setAuth(resp.Target, false)
-		case wire.TypeResp:
-			// Every response carries the server's current authorization on
-			// the request's (resolved) target; caching it here — the single
-			// writer, in arrival order — means a pushed revocation can
-			// never be overwritten by a caller goroutine finishing an older
-			// round trip late. Overload replies (busy, shed, rate-limited)
-			// are the exception: the daemon emits them from its reader
-			// goroutine without sight of shard state, so their Authorized
-			// bit carries no information.
-			if resp.Code != wire.CodeBusy && resp.Code != wire.CodeOverloaded {
-				c.setAuth(resp.Target, resp.Authorized)
-			}
-			c.mu.Lock()
-			ch := c.pending[resp.Seq]
-			delete(c.pending, resp.Seq)
-			c.mu.Unlock()
-			if ch != nil {
-				ch <- resp
-			}
-		}
+		c.dispatch(&resp)
 	}
 	c.connLost(gen, err)
+}
+
+// dispatch folds one received response into the client: pushes update the
+// cached authorization, replies complete their pending call. Called from the
+// single reader of whichever connection serves this client — its own read
+// loop, or the shared mux read loop.
+func (c *Client) dispatch(resp *wire.Response) {
+	switch resp.Type {
+	case wire.TypeGrant:
+		c.setAuth(resp.Target, true)
+	case wire.TypeRevoke:
+		c.setAuth(resp.Target, false)
+	case wire.TypeResp:
+		// Every response carries the server's current authorization on
+		// the request's (resolved) target; caching it here — the single
+		// writer, in arrival order — means a pushed revocation can
+		// never be overwritten by a caller goroutine finishing an older
+		// round trip late. Overload replies (busy, shed, rate-limited)
+		// are the exception: the daemon emits them from its reader
+		// goroutine without sight of shard state, so their Authorized
+		// bit carries no information.
+		if resp.Code != wire.CodeBusy && resp.Code != wire.CodeOverloaded {
+			c.setAuth(resp.Target, resp.Authorized)
+		}
+		c.mu.Lock()
+		pc := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if pc != nil {
+			pc.ch <- completion{resp: *resp}
+		}
+	}
 }
 
 // connLost handles the death of the connection generation gen: parked calls
@@ -419,18 +478,7 @@ func (c *Client) connLost(gen uint64, cause error) {
 	}
 	c.cmu.Unlock()
 
-	c.mu.Lock()
-	pend := c.pending
-	if reconnect {
-		c.pending = make(map[uint64]chan wire.Response)
-	} else {
-		c.pending = nil
-		c.err = fmt.Errorf("client: connection lost: %w", cause)
-	}
-	c.mu.Unlock()
-	for _, ch := range pend {
-		close(ch)
-	}
+	c.failPending(reconnect, fmt.Errorf("client: connection lost: %w", cause))
 	if reconnect {
 		go c.recoverLoop()
 	} else {
@@ -726,37 +774,51 @@ func (c *Client) await() (mode, error) {
 // *ReplyError is the daemon's answer.
 func (c *Client) rawCall(req wire.Request) (wire.Response, error) {
 	req.Seq = c.seq.Add(1)
-	ch := make(chan wire.Response, 1)
+	pc := callPool.Get().(*pendingCall)
 	c.mu.Lock()
 	if c.pending == nil {
 		err := c.err
 		c.mu.Unlock()
+		callPool.Put(pc)
 		return wire.Response{}, err
 	}
-	c.pending[req.Seq] = ch
+	c.pending[req.Seq] = pc
 	c.mu.Unlock()
 
-	c.wmu.Lock()
 	var err error
-	if c.enc == nil {
-		err = errors.New("not connected")
+	if c.mx != nil {
+		err = c.mx.send(c.stream, &req)
 	} else {
-		if err = c.enc.Write(&req); err == nil {
-			err = c.bw.Flush()
+		c.wmu.Lock()
+		if c.enc == nil {
+			err = errors.New("not connected")
+		} else {
+			if err = c.enc.Write(&req); err == nil {
+				err = c.bw.Flush()
+			}
 		}
+		c.wmu.Unlock()
 	}
-	c.wmu.Unlock()
 	if err != nil {
+		// Reclaim the entry — unless a concurrent connection-loss sweep (or
+		// a response racing the send failure) already took it, in which case
+		// a completion is in flight and must be drained before reuse.
 		c.mu.Lock()
-		if c.pending != nil {
+		_, mine := c.pending[req.Seq]
+		if mine {
 			delete(c.pending, req.Seq)
 		}
 		c.mu.Unlock()
+		if !mine {
+			<-pc.ch
+		}
+		callPool.Put(pc)
 		return wire.Response{}, &transportError{fmt.Errorf("client: send: %w", err)}
 	}
 
-	resp, ok := <-ch
-	if !ok {
+	comp := <-pc.ch
+	callPool.Put(pc)
+	if comp.lost {
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
@@ -765,10 +827,10 @@ func (c *Client) rawCall(req wire.Request) (wire.Response, error) {
 		}
 		return wire.Response{}, err
 	}
-	if resp.Err != "" {
-		return resp, &ReplyError{Code: resp.Code, Msg: resp.Err}
+	if comp.resp.Err != "" {
+		return comp.resp, &ReplyError{Code: comp.resp.Code, Msg: comp.resp.Err}
 	}
-	return resp, nil
+	return comp.resp, nil
 }
 
 // call wraps rawCall with the recovery loop for requests with no per-target
@@ -840,6 +902,10 @@ func (c *Client) retryReply(code string, attempt int) int {
 // kickReconnect force-cycles the current connection (the daemon said it is
 // draining): closing it makes the read loop exit into the recovery path.
 func (c *Client) kickReconnect() {
+	if c.mx != nil {
+		c.mx.kick()
+		return
+	}
 	c.cmu.Lock()
 	if c.healthy && c.conn != nil {
 		c.conn.Close()

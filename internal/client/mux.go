@@ -1,0 +1,472 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/wirebin"
+)
+
+// muxWriteBufferBytes sizes the shared write buffer: larger than a single
+// client's because one flush carries requests for many streams.
+const muxWriteBufferBytes = 32 << 10
+
+// Mux shares one physical daemon connection across many logical sessions
+// (protocol version wire.VersionBinaryMux). Each Client() handle is a full
+// Client — register, coordinate, reconnect/resume, fail open — but its
+// frames ride the shared connection under a stream id instead of a socket
+// of their own, so N sessions cost one descriptor, one reader goroutine,
+// and (through group-committed writes) ~1 write syscall per burst of
+// concurrent requests instead of N.
+//
+// Writes group-commit: concurrent senders append to the shared buffered
+// writer and only the last writer in a burst flushes, so the syscall is
+// amortized across every stream that had a request in flight. The daemon
+// batches its responses the same way on its shared write loop.
+//
+// Connection failure is shared by construction: when the physical
+// connection dies every stream's parked calls fail together, and (with
+// Options.Reconnect) one redial resumes every registered stream — each
+// re-registers under its own name with a bumped incarnation, exactly as a
+// plain client would, before its callers unpark. Options.FailOpen degrades
+// every stream together on schedule.
+type Mux struct {
+	addr string
+	opts Options
+
+	// mu guards the connection state machine and the stream table.
+	mu         sync.Mutex
+	conn       net.Conn
+	gen        uint64
+	healthy    bool
+	closed     bool
+	recovering bool
+	dead       error // terminal: the connection is gone and reconnect is off
+	clients    map[uint64]*Client
+	nextStream uint64
+
+	// Group-commit write state: senders append frames to bw under wmu and
+	// nudge flushCh; the flusher goroutine runs once a sender parks for its
+	// response and flushes everything buffered in between with one syscall.
+	wmu     sync.Mutex
+	bw      *bufio.Writer
+	scratch []byte
+	flushCh chan struct{}
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// DialMux connects one multiplexed physical connection. The codec is the v2
+// binary wire format with the mux extension — Options.Codec is ignored. As
+// with DialOptions, a failed initial dial is fatal unless both Reconnect
+// and FailOpen are set, in which case the mux starts down and recovers (or
+// degrades) in the background.
+func DialMux(addr string, opts Options) (*Mux, error) {
+	if opts.BackoffMin <= 0 {
+		opts.BackoffMin = DefaultBackoffMin
+	}
+	if opts.BackoffMax < opts.BackoffMin {
+		opts.BackoffMax = DefaultBackoffMax
+	}
+	opts.Codec = wirebin.Codec{}
+	m := &Mux{
+		addr:    addr,
+		opts:    opts,
+		clients: make(map[uint64]*Client),
+		flushCh: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go m.flusher()
+	conn, err := m.dial()
+	if err != nil {
+		if !opts.Reconnect || opts.FailOpen <= 0 {
+			return nil, err
+		}
+		m.recovering = true
+		go m.recoverLoop()
+		return m, nil
+	}
+	m.adopt(conn)
+	return m, nil
+}
+
+// Client opens a new logical session on the mux. The handle is an ordinary
+// *Client; Close it to drop the stream without touching the shared
+// connection. Sessions created while the mux is down start down and unpark
+// when the connection recovers.
+func (m *Mux) Client() (*Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.nextStream++
+	c := &Client{
+		addr:    m.addr,
+		opts:    m.opts,
+		codec:   m.opts.Codec,
+		mx:      m,
+		stream:  m.nextStream,
+		pending: make(map[uint64]*pendingCall),
+		auth:    make(map[string]bool),
+		journal: make(map[string]*tjournal),
+		done:    make(chan struct{}),
+	}
+	if m.dead != nil {
+		c.termErr = m.dead
+	} else if m.healthy {
+		c.healthy = true
+	} else {
+		c.stateCh = make(chan struct{})
+		c.recovering = true
+	}
+	m.clients[c.stream] = c
+	return c, nil
+}
+
+// Close tears the mux down: the shared connection closes and every stream's
+// client closes with it.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conn := m.conn
+	clients := make([]*Client, 0, len(m.clients))
+	for _, c := range m.clients {
+		clients = append(clients, c)
+	}
+	m.mu.Unlock()
+	m.doneOnce.Do(func() { close(m.done) })
+	if conn != nil {
+		conn.Close()
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+	return nil
+}
+
+// detach removes a closed client's stream from the table.
+func (m *Mux) detach(stream uint64) {
+	m.mu.Lock()
+	delete(m.clients, stream)
+	m.mu.Unlock()
+}
+
+// dial establishes and negotiates one physical connection: the two-byte
+// mux hello, then the daemon's echoed ack. Unlike a plain binary client the
+// hello is not pipelined with a request — the round trip is paid once per
+// physical connection and amortized over every stream it will carry.
+func (m *Mux) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", m.addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	hello := [2]byte{wire.HelloMagic, wire.VersionBinaryMux}
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var ack [2]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if ack != hello {
+		conn.Close()
+		return nil, fmt.Errorf("client: bad mux negotiation ack %x", ack)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// adopt installs a negotiated connection, starts its reader, and resumes
+// every registered stream. Streams unpark one by one as their resume
+// register lands (an unregistered stream unparks immediately), so callers
+// never race their own re-registration.
+func (m *Mux) adopt(conn net.Conn) {
+	m.mu.Lock()
+	m.conn = conn
+	m.gen++
+	gen := m.gen
+	m.healthy = true
+	m.recovering = false
+	clients := make([]*Client, 0, len(m.clients))
+	for _, c := range m.clients {
+		clients = append(clients, c)
+	}
+	m.mu.Unlock()
+	m.wmu.Lock()
+	m.bw = bufio.NewWriterSize(conn, muxWriteBufferBytes)
+	m.wmu.Unlock()
+	go m.readLoop(conn, gen)
+	for _, c := range clients {
+		go m.resume(c)
+	}
+}
+
+// readLoop is the one reader of the shared connection: it demultiplexes
+// response frames by stream id into each client's dispatch — the same
+// single-writer arrival-order guarantee a private read loop gives.
+func (m *Mux) readLoop(conn net.Conn, gen uint64) {
+	br := bufio.NewReaderSize(conn, muxWriteBufferBytes)
+	dec := wirebin.NewMuxResponseReader(br)
+	var err error
+	for {
+		var resp wire.Response
+		var sid uint64
+		if sid, err = dec.Read(&resp); err != nil {
+			break
+		}
+		m.mu.Lock()
+		c := m.clients[sid]
+		m.mu.Unlock()
+		if c != nil {
+			c.dispatch(&resp)
+		}
+	}
+	m.connLost(gen, err)
+}
+
+// send encodes one stream's request into the shared write buffer and nudges
+// the flusher. Group commit: the flusher only runs once the sender has
+// yielded (usually parking for its response), so every stream that sends in
+// the meantime rides the same flush — one write syscall for the burst. A
+// flush error is not reported here; the broken connection fails the read
+// loop, which owns connection loss.
+func (m *Mux) send(stream uint64, req *wire.Request) error {
+	m.wmu.Lock()
+	var err error
+	if m.bw == nil {
+		err = errors.New("not connected")
+	} else {
+		m.scratch, err = wirebin.AppendMuxRequest(m.scratch[:0], stream, req)
+		if err == nil {
+			_, err = m.bw.Write(m.scratch)
+		}
+	}
+	m.wmu.Unlock()
+	if err == nil {
+		select {
+		case m.flushCh <- struct{}{}:
+		default: // a flush is already scheduled; it will carry this frame
+		}
+	}
+	return err
+}
+
+// flusher is the write loop's flush half, one per Mux for its lifetime: it
+// wakes after a burst of sends and commits whatever they buffered. The
+// channel holds at most one pending nudge — a flush commits everything
+// buffered so far, so one scheduled flush covers any number of writers.
+func (m *Mux) flusher() {
+	for {
+		select {
+		case <-m.flushCh:
+		case <-m.done:
+			return
+		}
+		// The nudge parks the flusher in the scheduler's run-next slot, ahead
+		// of every other runnable goroutine; step to the back of the queue so
+		// streams that are ready to send get their frames into this flush
+		// instead of each paying for their own.
+		runtime.Gosched()
+		m.wmu.Lock()
+		if m.bw != nil {
+			m.bw.Flush()
+		}
+		m.wmu.Unlock()
+	}
+}
+
+// connLost handles the death of connection generation gen: every stream
+// fails down together, then one recovery redials for all of them.
+func (m *Mux) connLost(gen uint64, cause error) {
+	m.mu.Lock()
+	if m.closed || gen != m.gen || !m.healthy {
+		m.mu.Unlock()
+		return
+	}
+	m.healthy = false
+	m.conn.Close()
+	reconnect := m.opts.Reconnect
+	if reconnect {
+		m.recovering = true
+	} else {
+		m.dead = fmt.Errorf("client: connection lost: %w", cause)
+	}
+	clients := make([]*Client, 0, len(m.clients))
+	for _, c := range m.clients {
+		clients = append(clients, c)
+	}
+	m.mu.Unlock()
+	for _, c := range clients {
+		c.muxDown(cause, reconnect)
+	}
+	if reconnect {
+		go m.recoverLoop()
+	}
+}
+
+// recoverLoop redials with exponential backoff plus jitter until a
+// connection is adopted or the mux closes. Past the FailOpen deadline every
+// stream degrades (new streams degrade on the next tick).
+func (m *Mux) recoverLoop() {
+	backoff := m.opts.BackoffMin
+	var failAt time.Time
+	if m.opts.FailOpen > 0 {
+		failAt = time.Now().Add(m.opts.FailOpen)
+	}
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		clients := make([]*Client, 0, len(m.clients))
+		for _, c := range m.clients {
+			clients = append(clients, c)
+		}
+		m.mu.Unlock()
+		if !failAt.IsZero() && time.Now().After(failAt) {
+			for _, c := range clients {
+				c.enterDegraded()
+			}
+		}
+		conn, err := m.dial()
+		if err == nil {
+			m.adopt(conn)
+			return
+		}
+		d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		select {
+		case <-time.After(d):
+		case <-m.done:
+			return
+		}
+		if backoff *= 2; backoff > m.opts.BackoffMax {
+			backoff = m.opts.BackoffMax
+		}
+	}
+}
+
+// resume re-establishes one stream on a fresh connection: a registered
+// client re-registers (same name, next incarnation, accumulated degraded
+// report) before its callers unpark; an unregistered one unparks
+// immediately. The register rides the new connection's ordinary request
+// path — the daemon opens the stream on its first frame, exactly like a
+// reconnecting plain client.
+func (m *Mux) resume(c *Client) {
+	c.regMu.Lock()
+	registered := c.registered
+	var req wire.Request
+	if registered {
+		c.incarnation++
+		req = wire.Request{
+			Type:        wire.TypeRegister,
+			App:         c.regName,
+			Cores:       c.regCores,
+			Target:      c.defTarget,
+			Incarnation: c.incarnation,
+		}
+	}
+	c.regMu.Unlock()
+	if !registered {
+		c.muxUp()
+		return
+	}
+	self, deg := c.snapshotReport()
+	req.SelfGrants = self
+	req.DegradedS = deg
+	_, err := c.rawCall(req)
+	if err != nil {
+		var re *ReplyError
+		if errors.As(err, &re) {
+			if !wire.Retryable(re.Code) {
+				c.terminal(re)
+				return
+			}
+			// Draining (or overload at register): cycle the shared
+			// connection; the next adoption retries every stream's resume.
+			m.kick()
+			return
+		}
+		// Transport loss: the connection died again and its connLost path
+		// owns the next recovery round. Leave the stream down.
+		return
+	}
+	c.markReported(self, deg)
+	c.muxUp()
+}
+
+// kick force-cycles the shared connection (the daemon said it is draining):
+// closing it sends every stream through the shared recovery path.
+func (m *Mux) kick() {
+	m.mu.Lock()
+	if m.healthy && m.conn != nil {
+		m.conn.Close()
+	}
+	m.mu.Unlock()
+	// Give the read loop a moment to observe the close; await handles the
+	// rest once connLost has run.
+	time.Sleep(time.Millisecond)
+}
+
+// muxDown fails one stream's client when the shared connection dies:
+// parked calls fail (retryable), and the client parks down (reconnect) or
+// dies (fail-fast), mirroring connLost without a connection of its own.
+func (c *Client) muxDown(cause error, reconnect bool) {
+	c.cmu.Lock()
+	if c.closed || !c.healthy {
+		c.cmu.Unlock()
+		return
+	}
+	c.healthy = false
+	if reconnect {
+		c.stateCh = make(chan struct{})
+		c.recovering = true
+	} else {
+		c.termErr = fmt.Errorf("client: connection lost: %w", cause)
+	}
+	c.cmu.Unlock()
+	c.failPending(reconnect, fmt.Errorf("client: connection lost: %w", cause))
+	if !reconnect {
+		c.finish()
+	}
+}
+
+// muxUp unparks one stream's client after the shared connection (and this
+// stream's resume, when it was registered) is back.
+func (c *Client) muxUp() {
+	c.cmu.Lock()
+	if c.closed || c.termErr != nil {
+		c.cmu.Unlock()
+		return
+	}
+	c.healthy = true
+	c.recovering = false
+	if c.degraded {
+		c.degraded = false
+		c.endWindow()
+	}
+	st := c.stateCh
+	c.stateCh = nil
+	c.cmu.Unlock()
+	c.epoch.Add(1)
+	if st != nil {
+		close(st)
+	}
+}

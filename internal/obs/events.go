@@ -11,16 +11,16 @@ type EventKind uint8
 
 // Grant-lifecycle event kinds, in rough protocol order.
 const (
-	EvRegister EventKind = iota + 1 // a session registered a fresh name
-	EvResume                        // a session resumed an existing name
-	EvGrant                         // a Wait was served (sampled by Sample)
-	EvRevoke                        // a holder's authorization was revoked
-	EvGraceExpire                   // a disconnected session's grace window ran out
-	EvDrain                         // pending Waits answered with retryable draining
-	EvDisconnect                    // a session dropped
-	EvBusy                          // a register was rejected at the session bound
-	EvShed                          // an advisory request was shed under brownout (sampled)
-	EvRateLimit                     // a connection tripped its rate limit (Queue = strike)
+	EvRegister    EventKind = iota + 1 // a session registered a fresh name
+	EvResume                           // a session resumed an existing name
+	EvGrant                            // a Wait was served (sampled by Sample)
+	EvRevoke                           // a holder's authorization was revoked
+	EvGraceExpire                      // a disconnected session's grace window ran out
+	EvDrain                            // pending Waits answered with retryable draining
+	EvDisconnect                       // a session dropped
+	EvBusy                             // a register was rejected at the session bound
+	EvShed                             // an advisory request was shed under brownout (sampled)
+	EvRateLimit                        // a connection tripped its rate limit (Queue = strike)
 )
 
 // Event is one grant-lifecycle record, passed by value from the emitting

@@ -13,12 +13,12 @@ import (
 
 func TestHistogramBucketBoundaries(t *testing.T) {
 	h := NewHistogram([]float64{0.001, 0.01, 0.1})
-	h.Observe(0)        // below first bound -> bucket 0
-	h.Observe(-1)       // negative clamps into bucket 0
-	h.Observe(0.001)    // exact edge -> le semantics, bucket 0
-	h.Observe(0.0011)   // just past the edge -> bucket 1
-	h.Observe(0.1)      // exact last bound -> bucket 2
-	h.Observe(99)       // above every bound -> +Inf overflow
+	h.Observe(0)      // below first bound -> bucket 0
+	h.Observe(-1)     // negative clamps into bucket 0
+	h.Observe(0.001)  // exact edge -> le semantics, bucket 0
+	h.Observe(0.0011) // just past the edge -> bucket 1
+	h.Observe(0.1)    // exact last bound -> bucket 2
+	h.Observe(99)     // above every bound -> +Inf overflow
 	h.Observe(math.Inf(1))
 	s := h.Snapshot()
 	want := []uint64{3, 1, 1, 2}

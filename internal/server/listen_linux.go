@@ -1,0 +1,51 @@
+//go:build linux
+
+package server
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT. The syscall package's Linux constants
+// predate the option, so it is spelled out here; the value is 15 on every
+// Linux architecture Go supports.
+const soReusePort = 0xf
+
+// reuseportAvailable gates ListenAndServe's listener sharding: on Linux,
+// accept_loops > 1 binds that many SO_REUSEPORT listeners so the kernel
+// spreads incoming connections across independent accept queues instead of
+// serializing every accept behind one listener lock.
+const reuseportAvailable = true
+
+// listenReuseport opens n TCP listeners on addr, each with SO_REUSEPORT
+// set. The first listen resolves addr (so ":0" picks the port exactly
+// once); the rest bind the resolved address. On any failure every listener
+// opened so far is closed.
+func listenReuseport(addr string, n int) ([]net.Listener, error) {
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	lns := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := lc.Listen(context.Background(), "tcp", addr)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns = append(lns, ln)
+		if i == 0 {
+			addr = ln.Addr().String()
+		}
+	}
+	return lns, nil
+}

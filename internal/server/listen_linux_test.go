@@ -1,0 +1,71 @@
+//go:build linux
+
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+// TestReuseportSharding exercises ListenAndServe's SO_REUSEPORT listener
+// sharding: AcceptLoops extra listeners bind the same port, the kernel
+// spreads incoming connections across their accept queues, and sessions
+// served off every listener coordinate normally. Drain/Close must retire
+// the extra listeners too (no dangling accept goroutines or bound ports).
+func TestReuseportSharding(t *testing.T) {
+	srv, err := New(Config{Policy: core.FCFSPolicy{}, ListenAddr: "127.0.0.1:0", AcceptLoops: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ListenAndServe()
+	t.Cleanup(func() { srv.Close() })
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never listened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv.mu.Lock()
+	extras := len(srv.extraLns)
+	srv.mu.Unlock()
+	if extras != 3 {
+		t.Fatalf("ListenAndServe with AcceptLoops=4 holds %d extra reuseport listeners, want 3", extras)
+	}
+
+	// Enough connections that the kernel's reuseport hash touches several
+	// queues; every one must negotiate and coordinate regardless of which
+	// listener accepted it.
+	addr := srv.Addr().String()
+	for i := 0; i < 16; i++ {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Close()
+		if err := c.Register(fmt.Sprintf("rp-%02d", i), 1); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+		sess := client.NewSessionOn(c, "shared")
+		if err := sess.Begin(info(1)); err != nil {
+			t.Fatalf("begin %d: %v", i, err)
+		}
+		if err := sess.End(1); err != nil {
+			t.Fatalf("end %d: %v", i, err)
+		}
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All listeners are closed: a fresh dial must fail.
+	if c, err := client.Dial(addr); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded after Close with reuseport listeners")
+	}
+}

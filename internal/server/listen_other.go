@@ -1,0 +1,16 @@
+//go:build !linux
+
+package server
+
+import (
+	"errors"
+	"net"
+)
+
+// reuseportAvailable is false off Linux: ListenAndServe falls back to the
+// shared-listener accept loops (AcceptLoops goroutines on one listener).
+const reuseportAvailable = false
+
+func listenReuseport(addr string, n int) ([]net.Listener, error) {
+	return nil, errors.New("server: SO_REUSEPORT listener sharding requires linux")
+}

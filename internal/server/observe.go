@@ -66,14 +66,37 @@ type serverMetrics struct {
 	handshakeTimeouts *obs.Counter
 	slowDisconnects   *obs.Counter
 
-	// Connection-machinery counters: connections by negotiated wire codec,
-	// and raw wire bytes in each direction (counted per syscall-level read
-	// and write beneath the per-connection buffers).
-	connsJSON   *obs.Counter
-	connsBinary *obs.Counter
-	bytesIn     *obs.Counter
-	bytesOut    *obs.Counter
+	// Connection-machinery counters: connections by negotiated wire codec
+	// and mux mode, and raw wire bytes in each direction (counted per
+	// syscall-level read and write beneath the per-connection buffers).
+	connsJSON      *obs.Counter
+	connsBinary    *obs.Counter
+	connsBinaryMux *obs.Counter
+	bytesIn        *obs.Counter
+	bytesOut       *obs.Counter
+
+	// Mux instrumentation: live logical streams across all mux connections,
+	// and how many response frames each group-commit flush carried (the
+	// batching the mux write loop exists to produce).
+	muxStreams     *obs.Gauge
+	muxBatchFrames *obs.Histogram
 }
+
+// conns returns the connection counter for a negotiated codec and mux mode.
+func (m *serverMetrics) conns(codec string, mux bool) *obs.Counter {
+	switch {
+	case mux:
+		return m.connsBinaryMux
+	case codec == "binary":
+		return m.connsBinary
+	default:
+		return m.connsJSON
+	}
+}
+
+// muxBatchBuckets bounds the group-commit batch-size histogram: powers of
+// two up to the default write-buffer capacity.
+var muxBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
 	return &serverMetrics{
@@ -94,15 +117,23 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		slowDisconnects: r.Counter("calciomd_slow_disconnects_total",
 			"Clients disconnected because their response buffer overflowed (too slow to drain)."),
 		connsJSON: r.Counter("calciomd_connections_total",
-			"Connections that completed codec negotiation, by wire codec.",
-			obs.Label{Key: "codec", Value: "json"}),
+			"Connections that completed codec negotiation, by wire codec and mux mode.",
+			obs.Label{Key: "codec", Value: "json"}, obs.Label{Key: "mux", Value: "false"}),
 		connsBinary: r.Counter("calciomd_connections_total",
-			"Connections that completed codec negotiation, by wire codec.",
-			obs.Label{Key: "codec", Value: "binary"}),
+			"Connections that completed codec negotiation, by wire codec and mux mode.",
+			obs.Label{Key: "codec", Value: "binary"}, obs.Label{Key: "mux", Value: "false"}),
+		connsBinaryMux: r.Counter("calciomd_connections_total",
+			"Connections that completed codec negotiation, by wire codec and mux mode.",
+			obs.Label{Key: "codec", Value: "binary"}, obs.Label{Key: "mux", Value: "true"}),
 		bytesIn: r.Counter("calciomd_bytes_in_total",
 			"Wire bytes read from client connections."),
 		bytesOut: r.Counter("calciomd_bytes_out_total",
 			"Wire bytes written to client connections."),
+		muxStreams: r.Gauge("calciomd_mux_streams",
+			"Live logical session streams across all mux connections."),
+		muxBatchFrames: r.Histogram("calciomd_mux_batch_frames",
+			"Response frames per group-commit flush on mux connections.",
+			muxBatchBuckets),
 	}
 }
 

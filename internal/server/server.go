@@ -216,15 +216,19 @@ type session struct {
 	rd io.Reader
 	wr io.Writer
 	// codec is the wire format negotiated from the connection's first byte
-	// (see wire.HelloMagic), written by the reader goroutine before it
-	// closes codecReady; the write loop blocks on codecReady and must not
-	// touch the connection until then (the negotiation ack is written by
-	// the reader).
-	codec      wire.Codec
-	codecReady chan struct{}
-	out        chan wire.Response
-	quit       chan struct{} // closed at teardown; the write loop drains and exits
-	dead       atomic.Bool
+	// (see wire.HelloMagic). serveConn completes negotiation before the
+	// session exists, so the write loop starts with the codec installed.
+	codec wire.Codec
+	out   chan wire.Response
+	quit  chan struct{} // closed at teardown; the write loop drains and exits
+	dead  atomic.Bool
+
+	// mc and stream are set on mux stream sessions only: the session is one
+	// logical stream of a shared mux connection. out and quit are nil then —
+	// responses go through mc's group-commit write loop, and teardown marks
+	// the stream dead without touching the shared connection.
+	mc     *muxConn
+	stream uint64
 
 	id           atomic.Pointer[ident]
 	gone         atomic.Bool   // dropped; shards ignore later envelopes
@@ -283,7 +287,14 @@ func (s *session) teardown() {
 // client too slow to drain its buffer is disconnected rather than allowed
 // to stall arbitration for everyone else.
 func (s *session) send(r wire.Response) {
-	if s.out == nil || s.dead.Load() {
+	if s.dead.Load() {
+		return
+	}
+	if s.mc != nil {
+		s.mc.send(s, r)
+		return
+	}
+	if s.out == nil {
 		return
 	}
 	select {
@@ -295,6 +306,18 @@ func (s *session) send(r wire.Response) {
 		}
 		s.conn.Close()
 	}
+}
+
+// replyGone answers a request that reached a dropped session. For plain
+// connections this is moot — drop tore the connection down, so the client
+// sees the disconnect — but a mux stream's connection outlives the stream,
+// and without an error reply the client would hang on the request forever.
+func (s *session) replyGone(seq uint64, target string) {
+	if s.mc == nil || seq == 0 {
+		return
+	}
+	s.mc.send(s, wire.Response{Seq: seq, Type: wire.TypeResp,
+		Err: "session dropped", Code: wire.CodeProtocol, Target: target})
 }
 
 // name returns the session's registered application name, or "" before
@@ -418,8 +441,12 @@ type Server struct {
 	shardList  []*shard // sorted by target
 	shardsLive bool     // serving: new shards start their own goroutine
 
-	mu        sync.Mutex
-	ln        net.Listener
+	mu sync.Mutex
+	ln net.Listener
+	// extraLns are additional SO_REUSEPORT listeners on the same address
+	// (ListenAndServe with AcceptLoops > 1 on Linux); Serve runs one accept
+	// loop per extra listener, and Drain/Close close them with ln.
+	extraLns  []net.Listener
 	closed    bool
 	draining  bool
 	serving   bool
@@ -578,8 +605,21 @@ func (srv *Server) routeTarget(s *session, target string) string {
 	return ""
 }
 
-// ListenAndServe listens on cfg.ListenAddr and serves until Close.
+// ListenAndServe listens on cfg.ListenAddr and serves until Close. With
+// AcceptLoops > 1 on Linux it shards the listener itself: one SO_REUSEPORT
+// socket per accept loop, so the kernel distributes connection bursts
+// across independent accept queues. Elsewhere (or if the sharded bind
+// fails) it falls back to AcceptLoops goroutines sharing one listener.
 func (srv *Server) ListenAndServe() error {
+	if n := srv.cfg.AcceptLoops; n > 1 && reuseportAvailable {
+		if lns, err := listenReuseport(srv.cfg.ListenAddr, n); err == nil {
+			srv.mu.Lock()
+			srv.extraLns = lns[1:]
+			srv.mu.Unlock()
+			srv.logf("calciomd: %d reuseport listeners on %s", n, lns[0].Addr())
+			return srv.Serve(lns[0])
+		}
+	}
 	ln, err := net.Listen("tcp", srv.cfg.ListenAddr)
 	if err != nil {
 		return err
@@ -615,7 +655,7 @@ func (srv *Server) Serve(ln net.Listener) error {
 	defer close(srv.serveDone)
 	go srv.loop()
 	srv.logf("calciomd: serving on %s (policy %s)", ln.Addr(), srv.cfg.Policy.Name())
-	accept := func() error {
+	accept := func(ln net.Listener) error {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
@@ -628,18 +668,33 @@ func (srv *Server) Serve(ln net.Listener) error {
 			srv.startSession(conn)
 		}
 	}
-	// Accept-loop sharding: extra goroutines accept from the same listener
-	// so bursts of connection churn are not serialized behind one accept
-	// caller. Closing the listener unblocks every loop.
+	// Accept-loop sharding. With SO_REUSEPORT listeners (ListenAndServe on
+	// Linux) each extra listener gets its own accept loop; otherwise extra
+	// goroutines accept from the shared listener so bursts of connection
+	// churn are not serialized behind one accept caller. Closing the
+	// listeners unblocks every loop.
+	srv.mu.Lock()
+	extras := srv.extraLns
+	srv.mu.Unlock()
 	var extra sync.WaitGroup
-	for i := 1; i < srv.cfg.AcceptLoops; i++ {
-		extra.Add(1)
-		go func() {
-			defer extra.Done()
-			accept()
-		}()
+	if len(extras) > 0 {
+		for _, eln := range extras {
+			extra.Add(1)
+			go func(eln net.Listener) {
+				defer extra.Done()
+				accept(eln)
+			}(eln)
+		}
+	} else {
+		for i := 1; i < srv.cfg.AcceptLoops; i++ {
+			extra.Add(1)
+			go func() {
+				defer extra.Done()
+				accept(ln)
+			}()
+		}
 	}
-	err := accept()
+	err := accept(ln)
 	extra.Wait()
 	srv.mu.Lock()
 	clean := srv.closed || srv.draining
@@ -665,9 +720,13 @@ func (srv *Server) Drain() {
 	}
 	srv.draining = true
 	ln, serving := srv.ln, srv.serving
+	extras := srv.extraLns
 	srv.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	for _, eln := range extras {
+		eln.Close()
 	}
 	srv.logf("calciomd: draining")
 	for _, sh := range srv.shardsSorted() {
@@ -703,10 +762,14 @@ func (srv *Server) Close() error {
 	}
 	srv.closed = true
 	ln, serving := srv.ln, srv.serving
+	extras := srv.extraLns
 	srv.mu.Unlock()
 	defer close(srv.closeDone)
 	if ln != nil {
 		ln.Close()
+	}
+	for _, eln := range extras {
+		eln.Close()
 	}
 	if serving {
 		// Wait for the accept loop first: once it has returned, no further
@@ -780,18 +843,79 @@ func (srv *Server) Stats() wire.Stats {
 }
 
 func (srv *Server) startSession(conn net.Conn) {
+	srv.wg.Add(1)
+	go srv.serveConn(conn)
+}
+
+// serveConn owns a freshly accepted connection: it negotiates the wire
+// codec first — under the handshake deadline, so a silent connection cannot
+// park in negotiation forever — and only then builds the session machinery
+// the negotiated mode needs. A mux connection gets a demux loop and a
+// shared group-commit write loop; a plain connection gets the classic
+// one-session reader/writer pair.
+func (srv *Server) serveConn(conn net.Conn) {
+	defer srv.wg.Done()
+	var rd io.Reader = conn
+	var wr io.Writer = conn
+	if srv.m != nil {
+		rd = countReader{conn, srv.m.bytesIn}
+		wr = countWriter{conn, srv.m.bytesOut}
+	}
+	if d := srv.cfg.HandshakeTimeout; d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+	br := bufio.NewReader(rd)
+	codec, mux, err := srv.negotiate(br, wr)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if srv.m != nil {
+				srv.m.handshakeTimeouts.Inc()
+			}
+			srv.logf("calciomd: dropping unregistered connection: handshake timeout")
+		}
+		conn.Close()
+		return
+	}
+	if srv.cfg.HandshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Time{})
+	}
+	if srv.m != nil {
+		srv.m.conns(codec.Name(), mux).Inc()
+	}
+	if mux {
+		srv.serveMux(conn, br, wr)
+		return
+	}
+	s := srv.newSession(conn, rd, wr)
+	s.codec = codec
+	if !srv.announce(s) {
+		conn.Close()
+		return
+	}
+	srv.wg.Add(1)
+	go srv.writeLoop(s)
+	srv.readLoop(s, br)
+}
+
+// newSession builds a plain (non-mux) session for an accepted connection.
+func (srv *Server) newSession(conn net.Conn, rd io.Reader, wr io.Writer) *session {
 	buf := srv.cfg.WriteBuffer
 	if buf <= 0 {
 		buf = 256
 	}
-	s := &session{conn: conn, rd: conn, wr: conn,
-		codecReady: make(chan struct{}),
-		out:        make(chan wire.Response, buf), quit: make(chan struct{})}
+	s := &session{conn: conn, rd: rd, wr: wr,
+		out: make(chan wire.Response, buf), quit: make(chan struct{})}
 	if srv.m != nil {
 		s.slowDrops = srv.m.slowDisconnects
-		s.rd = countReader{conn, srv.m.bytesIn}
-		s.wr = countWriter{conn, srv.m.bytesOut}
 	}
+	return s
+}
+
+// announce arms the session's register deadline and hands it to the control
+// goroutine. It returns false when the server is stopping — the session was
+// never adopted and the caller owns the connection's teardown.
+func (srv *Server) announce(s *session) bool {
 	// The handshake timer is armed before the kindConnect handoff, so the
 	// control goroutine (which disarms it at register) observes it fully
 	// formed via the channel send.
@@ -805,16 +929,13 @@ func (srv *Server) startSession(conn net.Conn) {
 	}
 	select {
 	case srv.reqCh <- envelope{kind: kindConnect, s: s}:
+		return true
 	case <-srv.stop:
 		if s.handshake != nil {
 			s.handshake.Stop()
 		}
-		conn.Close()
-		return
+		return false
 	}
-	srv.wg.Add(2)
-	go srv.readLoop(s)
-	go srv.writeLoop(s)
 }
 
 // sheddable reports whether a verb may be answered with CodeOverloaded
@@ -877,7 +998,7 @@ func (srv *Server) shedReply(s *session, seq uint64, verb, target string, now fl
 			App: s.name(), Target: target})
 	}
 	s.send(wire.Response{Seq: seq, Type: wire.TypeResp,
-		Err: "overloaded: " + verb + " shed, back off and retry",
+		Err:  "overloaded: " + verb + " shed, back off and retry",
 		Code: wire.CodeOverloaded, Target: target})
 }
 
@@ -913,29 +1034,31 @@ func (cw countWriter) Write(p []byte) (int, error) {
 // negotiate sniffs the connection's first byte to pick its wire codec. A v1
 // JSON client's first byte is always 0x00 (frame lengths are bounded far
 // below 1<<24), so anything but wire.HelloMagic falls through to the JSON
-// codec with the byte stream untouched. On a hello the reader consumes the
-// two hello bytes, writes the two-byte ack itself (the write loop is still
-// parked on codecReady), and switches the connection to the negotiated
-// codec before the first frame.
-func (srv *Server) negotiate(br *bufio.Reader, s *session) (wire.Codec, error) {
+// codec with the byte stream untouched. On a hello it consumes the two
+// hello bytes, writes the two-byte ack echoing the accepted version (no
+// write loop exists yet, so serveConn's goroutine owns the connection), and
+// switches the connection to the negotiated codec before the first frame.
+// The returned mux flag selects the session-multiplexed framing on top of
+// the binary codec (wire.VersionBinaryMux).
+func (srv *Server) negotiate(br *bufio.Reader, wr io.Writer) (wire.Codec, bool, error) {
 	first, err := br.Peek(1)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if first[0] != wire.HelloMagic {
-		return wire.JSON, nil
+		return wire.JSON, false, nil
 	}
 	var hello [2]byte
 	if _, err := io.ReadFull(br, hello[:]); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if hello[1] != wire.VersionBinary {
-		return nil, fmt.Errorf("unsupported codec version %d", hello[1])
+	if hello[1] != wire.VersionBinary && hello[1] != wire.VersionBinaryMux {
+		return nil, false, fmt.Errorf("unsupported codec version %d", hello[1])
 	}
-	if _, err := s.wr.Write([]byte{wire.HelloMagic, wire.VersionBinary}); err != nil {
-		return nil, err
+	if _, err := wr.Write(hello[:]); err != nil {
+		return nil, false, err
 	}
-	return wirebin.Codec{}, nil
+	return wirebin.Codec{}, hello[1] == wire.VersionBinaryMux, nil
 }
 
 // readLoop routes each request to the goroutine owning its state: register
@@ -945,45 +1068,9 @@ func (srv *Server) negotiate(br *bufio.Reader, s *session) (wire.Codec, error) {
 // goes to the control loop, which processes it strictly after the register
 // it was queued behind and forwards it to the right shard, so the frame is
 // never misrouted to the wrong coordination domain.
-func (srv *Server) readLoop(s *session) {
-	defer srv.wg.Done()
-	br := bufio.NewReader(s.rd)
-	codec, err := srv.negotiate(br, s)
-	if err != nil {
-		// Negotiation failed (or the peer vanished before its first byte):
-		// no codec is ever installed and the write loop exits via quit when
-		// the control goroutine tears the session down.
-		select {
-		case srv.reqCh <- envelope{kind: kindDisconnect, s: s}:
-		case <-srv.stop:
-		}
-		return
-	}
-	s.codec = codec
-	close(s.codecReady)
-	if srv.m != nil {
-		if codec.Name() == "binary" {
-			srv.m.connsBinary.Inc()
-		} else {
-			srv.m.connsJSON.Inc()
-		}
-	}
-	dec := codec.NewRequestReader(br)
-	// Per-connection token bucket, plain locals on this goroutine: zero
-	// allocation, zero locks, refilled from the server clock so injected
-	// logical clocks keep tests deterministic. Burst equals the rate (at
-	// least 1), so a client may front-load one second's worth of requests.
-	limit := srv.cfg.RateLimit
-	burst := limit
-	if burst < 1 {
-		burst = 1
-	}
-	tokens := burst
-	var last float64
-	if limit > 0 {
-		last = srv.clock()
-	}
-	strikes := 0
+func (srv *Server) readLoop(s *session, br *bufio.Reader) {
+	dec := s.codec.NewRequestReader(br)
+	rl := srv.newRateLimiter()
 	for {
 		var req wire.Request
 		if err := dec.Read(&req); err != nil {
@@ -992,64 +1079,14 @@ func (srv *Server) readLoop(s *session) {
 		if req.Seq == 0 {
 			break // reserved for pushes; a zero Seq is a client bug
 		}
-		if limit > 0 {
-			now := srv.clock()
-			tokens += (now - last) * limit
-			if tokens > burst {
-				tokens = burst
-			}
-			last = now
-			if tokens < 1 {
-				// Over the limit: one retryable warning, then sustained
-				// abuse (a second violation with no compliant request in
-				// between) disconnects the client.
-				strikes++
-				if srv.m != nil {
-					srv.m.rateLimited.Inc()
-				}
-				if strikes > 1 {
-					srv.cfg.Events.Emit(obs.Event{Kind: obs.EvRateLimit,
-						Time: now, App: s.name(), Queue: int32(strikes)})
-					break
-				}
-				srv.cfg.Events.Emit(obs.Event{Kind: obs.EvRateLimit,
-					Time: now, App: s.name(), Queue: 1})
-				s.send(wire.Response{Seq: req.Seq, Type: wire.TypeResp,
-					Err: "overloaded: per-connection rate limit exceeded, back off",
-					Code: wire.CodeOverloaded, Target: req.Target})
-				continue
-			}
-			tokens--
-			strikes = 0
+		admit, kill := rl.admit(srv, s, &req)
+		if kill {
+			break
 		}
-		ch := srv.reqCh
-		coordination := req.Type != wire.TypeRegister && req.Type != wire.TypeStats
-		if coordination && s.id.Load() != nil && s.viaControl.Load() == 0 {
-			sh, err := srv.shardFor(srv.routeTarget(s, req.Target))
-			if err != nil {
-				s.reply(req.Seq, err, req.Target)
-				continue
-			}
-			if sheddable(req.Type) && sh.shed() {
-				if sh.m != nil {
-					sh.m.sheds.Inc()
-				}
-				srv.shedReply(s, req.Seq, req.Type, sh.target, srv.clock())
-				continue
-			}
-			ch = sh.ch
-		} else if coordination {
-			s.viaControl.Add(1)
-		} else if req.Type == wire.TypeStats && srv.ctrlShed() {
-			if srv.m != nil {
-				srv.m.statsSheds.Inc()
-			}
-			srv.shedReply(s, req.Seq, req.Type, req.Target, srv.clock())
+		if !admit {
 			continue
 		}
-		select {
-		case ch <- envelope{kind: kindRequest, s: s, req: req}:
-		case <-srv.stop:
+		if !srv.route(s, req) {
 			return
 		}
 	}
@@ -1059,17 +1096,116 @@ func (srv *Server) readLoop(s *session) {
 	}
 }
 
+// rateLimiter is a per-connection token bucket, plain locals on the reader
+// goroutine: zero allocation, zero locks, refilled from the server clock so
+// injected logical clocks keep tests deterministic. Burst equals the rate
+// (at least 1), so a client may front-load one second's worth of requests.
+// On a mux connection one bucket covers all streams — the limit bounds the
+// physical connection, which is what the syscall budget cares about.
+type rateLimiter struct {
+	limit   float64
+	burst   float64
+	tokens  float64
+	last    float64
+	strikes int
+}
+
+func (srv *Server) newRateLimiter() rateLimiter {
+	limit := srv.cfg.RateLimit
+	burst := limit
+	if burst < 1 {
+		burst = 1
+	}
+	rl := rateLimiter{limit: limit, burst: burst, tokens: burst}
+	if limit > 0 {
+		rl.last = srv.clock()
+	}
+	return rl
+}
+
+// admit charges one request against the bucket. A false admit answered the
+// request (shed with a retryable warning); kill means sustained abuse and
+// the connection must be dropped.
+func (rl *rateLimiter) admit(srv *Server, s *session, req *wire.Request) (bool, bool) {
+	if rl.limit <= 0 {
+		return true, false
+	}
+	now := srv.clock()
+	rl.tokens += (now - rl.last) * rl.limit
+	if rl.tokens > rl.burst {
+		rl.tokens = rl.burst
+	}
+	rl.last = now
+	if rl.tokens < 1 {
+		// Over the limit: one retryable warning, then sustained abuse (a
+		// second violation with no compliant request in between)
+		// disconnects the client.
+		rl.strikes++
+		if srv.m != nil {
+			srv.m.rateLimited.Inc()
+		}
+		if rl.strikes > 1 {
+			srv.cfg.Events.Emit(obs.Event{Kind: obs.EvRateLimit,
+				Time: now, App: s.name(), Queue: int32(rl.strikes)})
+			return false, true
+		}
+		srv.cfg.Events.Emit(obs.Event{Kind: obs.EvRateLimit,
+			Time: now, App: s.name(), Queue: 1})
+		s.send(wire.Response{Seq: req.Seq, Type: wire.TypeResp,
+			Err:  "overloaded: per-connection rate limit exceeded, back off",
+			Code: wire.CodeOverloaded, Target: req.Target})
+		return false, false
+	}
+	rl.tokens--
+	rl.strikes = 0
+	return true, false
+}
+
+// route sends one decoded request toward the goroutine owning its state:
+// register and stats to the control loop, coordination verbs to the shard
+// of the target they address. A coordination frame read before the session
+// has an identity — a client pipelining ahead of its register response —
+// also goes to the control loop, which processes it strictly after the
+// register it was queued behind and forwards it to the right shard, so the
+// frame is never misrouted to the wrong coordination domain. Returns false
+// when the server is stopping.
+func (srv *Server) route(s *session, req wire.Request) bool {
+	ch := srv.reqCh
+	coordination := req.Type != wire.TypeRegister && req.Type != wire.TypeStats
+	if coordination && s.id.Load() != nil && s.viaControl.Load() == 0 {
+		sh, err := srv.shardFor(srv.routeTarget(s, req.Target))
+		if err != nil {
+			s.reply(req.Seq, err, req.Target)
+			return true
+		}
+		if sheddable(req.Type) && sh.shed() {
+			if sh.m != nil {
+				sh.m.sheds.Inc()
+			}
+			srv.shedReply(s, req.Seq, req.Type, sh.target, srv.clock())
+			return true
+		}
+		ch = sh.ch
+	} else if coordination {
+		s.viaControl.Add(1)
+	} else if req.Type == wire.TypeStats && srv.ctrlShed() {
+		if srv.m != nil {
+			srv.m.statsSheds.Inc()
+		}
+		srv.shedReply(s, req.Seq, req.Type, req.Target, srv.clock())
+		return true
+	}
+	select {
+	case ch <- envelope{kind: kindRequest, s: s, req: req}:
+	case <-srv.stop:
+		return false
+	}
+	return true
+}
+
 func (srv *Server) writeLoop(s *session) {
 	defer srv.wg.Done()
 	defer s.conn.Close()
-	// The reader goroutine owns the connection until codec negotiation is
-	// done (it writes the two-byte binary ack itself); responses can only
-	// be produced by requests, which the reader has not decoded yet.
-	select {
-	case <-s.codecReady:
-	case <-s.quit:
-		return
-	}
 	bw := bufio.NewWriter(s.wr)
 	enc := s.codec.NewResponseWriter(bw)
 	write := func(resp wire.Response) {
@@ -1165,6 +1301,7 @@ func (srv *Server) dispatch(env envelope) {
 		env.statsCh <- srv.snapshotLive()
 	case kindRequest:
 		if env.s.gone.Load() {
+			env.s.replyGone(env.req.Seq, env.req.Target)
 			return
 		}
 		now := srv.clock()
@@ -1522,6 +1659,7 @@ func (sh *shard) dispatch(env envelope) {
 	switch env.kind {
 	case kindRequest:
 		if env.s.gone.Load() {
+			env.s.replyGone(env.req.Seq, env.req.Target)
 			return
 		}
 		now := sh.srv.clock()

@@ -1,12 +1,8 @@
 package server
 
 import (
-	"bufio"
 	"fmt"
 	"net"
-	"os"
-	"os/exec"
-	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -27,19 +23,30 @@ import (
 // grants/s, and bytes/req — daemon-side wire bytes (in+out) per request,
 // the codec-footprint number the ROADMAP performance table tracks.
 //
-// BenchmarkSocketGrants holds 256 concurrent sessions in process and fits
-// in a default 1024-fd limit. BenchmarkSocketGrants10k holds 10240
-// concurrent sessions with the daemon in a helper process (re-exec of the
-// test binary), because two 10k-connection endpoints cannot share one
-// 20000-fd process; it skips when RLIMIT_NOFILE cannot cover its side.
-// Run the big one with an explicit iteration count so the testing package
+// BenchmarkSocketGrants holds 256 concurrent sessions in process, one
+// connection each, and fits in a default 1024-fd limit.
+// BenchmarkSocketGrantsMux holds the same 256 sessions as logical streams
+// over 8 multiplexed connections — the apples-to-apples number for the
+// session-mux extension. The 10k and 20k fleets ride mux connections too
+// (10240 and 20480 sessions over 64 physical connections), which is what
+// lets them run in process: the old helper-process re-exec existed only
+// because two 10k-connection endpoints cannot share one 20000-fd process.
+// Run the big ones with an explicit iteration count so the testing package
 // does not redial the fleet per b.N estimate:
 //
 //	go test -run xxx -bench SocketGrants10k -benchtime 20000x -benchmem ./internal/server
 
-const socketHelperEnv = "CALCIOM_SOCKET_BENCH_HELPER"
-
+// socketBenchWorkers is the one-connection-per-session harness's
+// concurrency: 8 parallel grant cycles over 8 independent targets, the
+// configuration every ROADMAP socket number since PR 9 was measured at.
 const socketBenchWorkers = 8
+
+// muxBenchWorkers drives the mux fleets harder: 64 concurrent grant cycles
+// over 64 targets, 8 live streams per physical connection, which is the
+// load shape session multiplexing exists for — the group-commit write
+// loops (both sides) amortize one flush across every stream with a frame
+// in flight.
+const muxBenchWorkers = 64
 
 var socketBenchCodecs = []struct {
 	name  string
@@ -49,119 +56,89 @@ var socketBenchCodecs = []struct {
 	{"binary", wirebin.Codec{}},
 }
 
+// startBenchServer runs an in-process daemon and returns its address plus a
+// reader for the daemon-side byte counters.
+func startBenchServer(b *testing.B) (string, func() (uint64, uint64)) {
+	reg := obs.NewRegistry()
+	srv, err := New(Config{Policy: core.FCFSPolicy{}, Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	b.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), func() (uint64, uint64) {
+		return srv.m.bytesIn.Value(), srv.m.bytesOut.Value()
+	}
+}
+
 func BenchmarkSocketGrants(b *testing.B) {
 	for _, cc := range socketBenchCodecs {
 		b.Run(cc.name, func(b *testing.B) {
 			if got := raiseFDLimit(1024); got < 1024 {
 				b.Skipf("need 1024 fds for 256 two-endpoint sessions, limit %d", got)
 			}
-			reg := obs.NewRegistry()
-			srv, err := New(Config{Policy: core.FCFSPolicy{}, Metrics: reg})
-			if err != nil {
-				b.Fatal(err)
-			}
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				b.Fatal(err)
-			}
-			go srv.Serve(ln)
-			defer srv.Close()
-			runSocketBench(b, ln.Addr().String(), cc.codec, 256, func() (uint64, uint64) {
-				return srv.m.bytesIn.Value(), srv.m.bytesOut.Value()
-			})
+			addr, stats := startBenchServer(b)
+			runSocketBench(b, addr, cc.codec, 256, stats)
 		})
 	}
+}
+
+func BenchmarkSocketGrantsMux(b *testing.B) {
+	benchSocketMux(b, 256, 8)
 }
 
 func BenchmarkSocketGrants10k(b *testing.B) {
-	for _, cc := range socketBenchCodecs {
-		b.Run(cc.name, func(b *testing.B) {
-			benchSocketHelperProcess(b, cc.codec, 10240)
-		})
-	}
+	benchSocketMux(b, 10240, 64)
 }
 
-// TestSocketBenchHelperProcess is not a test: it is the daemon half of
-// BenchmarkSocketGrants10k, selected via -test.run when the benchmark
-// re-execs the test binary. It serves until stdin closes, answering
-// "stats" lines with the daemon-side byte counters so the parent can
-// bracket its timed region exactly.
-func TestSocketBenchHelperProcess(t *testing.T) {
-	if os.Getenv(socketHelperEnv) != "1" {
-		t.Skip("daemon helper process for BenchmarkSocketGrants10k")
+func BenchmarkSocketGrants20k(b *testing.B) {
+	benchSocketMux(b, 20480, 64)
+}
+
+// benchSocketMux times a fleet of logical sessions multiplexed over conns
+// physical connections against an in-process daemon.
+func benchSocketMux(b *testing.B, sessions, conns int) {
+	if got := raiseFDLimit(1024); got < 1024 {
+		b.Skipf("need 1024 fds, limit %d", got)
 	}
-	raiseFDLimit(16000)
-	reg := obs.NewRegistry()
-	srv, err := New(Config{Policy: core.FCFSPolicy{}, Metrics: reg, AcceptLoops: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	go srv.Serve(ln)
-	defer srv.Close()
-	fmt.Printf("addr %s\n", ln.Addr().String())
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		if sc.Text() == "stats" {
-			fmt.Printf("stats bytes_in=%d bytes_out=%d\n",
-				srv.m.bytesIn.Value(), srv.m.bytesOut.Value())
+	addr, stats := startBenchServer(b)
+	muxes := make([]*client.Mux, conns)
+	for i := range muxes {
+		m, err := client.DialMux(addr, client.Options{})
+		if err != nil {
+			b.Fatal(err)
 		}
-	}
-}
-
-func benchSocketHelperProcess(b *testing.B, codec wire.Codec, sessions int) {
-	need := uint64(sessions) + 512
-	if got := raiseFDLimit(need); got < need {
-		b.Skipf("need %d fds for %d client connections, limit %d", need, sessions, got)
-	}
-	cmd := exec.Command(os.Args[0], "-test.run=^TestSocketBenchHelperProcess$")
-	cmd.Env = append(os.Environ(), socketHelperEnv+"=1")
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		b.Fatal(err)
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		b.Fatal(err)
-	}
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		b.Fatal(err)
+		muxes[i] = m
 	}
 	defer func() {
-		stdin.Close()
-		cmd.Wait()
+		for _, m := range muxes {
+			m.Close()
+		}
 	}()
-	sc := bufio.NewScanner(stdout)
-	readLine := func(prefix string) string {
-		for sc.Scan() {
-			if strings.HasPrefix(sc.Text(), prefix) {
-				return strings.TrimPrefix(sc.Text(), prefix)
-			}
-		}
-		b.Fatalf("helper exited before %q line", prefix)
-		return ""
-	}
-	addr := readLine("addr ")
-	runSocketBench(b, addr, codec, sessions, func() (uint64, uint64) {
-		fmt.Fprintln(stdin, "stats")
-		var in, out uint64
-		if _, err := fmt.Sscanf(readLine("stats "), "bytes_in=%d bytes_out=%d", &in, &out); err != nil {
-			b.Fatalf("helper stats line: %v", err)
-		}
-		return in, out
-	})
+	runSocketBenchDial(b, sessions, muxBenchWorkers, func(i int) (*client.Client, error) {
+		return muxes[i%conns].Client()
+	}, stats)
 }
 
-// runSocketBench dials and registers the whole fleet, then times b.N
-// grant cycles spread across the workers; every registered session stays
-// connected for the duration, so the daemon holds `sessions` live
-// connections while serving. stats reads the daemon-side byte counters.
+// runSocketBench is the one-connection-per-session harness: every session
+// dials its own socket with the given codec.
 func runSocketBench(b *testing.B, addr string, codec wire.Codec, sessions int, stats func() (uint64, uint64)) {
 	opts := client.Options{Codec: codec}
+	runSocketBenchDial(b, sessions, socketBenchWorkers, func(int) (*client.Client, error) {
+		return client.DialOptions(addr, opts)
+	}, stats)
+}
+
+// runSocketBenchDial dials and registers the whole fleet through the
+// injected dialer, then times b.N grant cycles spread across the workers;
+// every registered session stays connected for the duration, so the daemon
+// holds `sessions` live logical sessions while serving. stats reads the
+// daemon-side byte counters.
+func runSocketBenchDial(b *testing.B, sessions, workers int, dial func(i int) (*client.Client, error), stats func() (uint64, uint64)) {
 	clients := make([]*client.Client, sessions)
 	errs := make([]error, sessions)
 	var wg sync.WaitGroup
@@ -172,7 +149,7 @@ func runSocketBench(b *testing.B, addr string, codec wire.Codec, sessions int, s
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			c, err := client.DialOptions(addr, opts)
+			c, err := dial(i)
 			if err == nil {
 				err = c.Register(fmt.Sprintf("bench-%05d", i), 1)
 			}
@@ -199,9 +176,9 @@ func runSocketBench(b *testing.B, addr string, codec wire.Codec, sessions int, s
 
 	// Shard the fleet: worker w owns clients[i] with i%workers == w, all
 	// bound to target t<w>, and retires its cycles round-robin over them.
-	shards := make([][]client.Target, socketBenchWorkers)
+	shards := make([][]client.Target, workers)
 	for i, c := range clients {
-		w := i % socketBenchWorkers
+		w := i % workers
 		shards[w] = append(shards[w], c.Target(fmt.Sprintf("t%d", w)))
 	}
 	cycle := func(tg client.Target) error {
@@ -228,9 +205,9 @@ func runSocketBench(b *testing.B, addr string, codec wire.Codec, sessions int, s
 	b.ReportAllocs()
 	b.ResetTimer()
 	var bwg sync.WaitGroup
-	for w := 0; w < socketBenchWorkers; w++ {
-		n := b.N / socketBenchWorkers
-		if w < b.N%socketBenchWorkers {
+	for w := 0; w < workers; w++ {
+		n := b.N / workers
+		if w < b.N%workers {
 			n++
 		}
 		bwg.Add(1)

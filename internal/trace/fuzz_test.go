@@ -41,8 +41,8 @@ func FuzzReader(f *testing.F) {
 	plain := fuzzSample(f, hdr, Options{}, events)
 	f.Add(plain)
 	f.Add(fuzzSample(f, hdr, Options{SyncEvery: 1}, events))
-	f.Add(plain[:len(plain)-9]) // trailer cut mid-record
-	f.Add(plain[:14])           // header cut mid-JSON
+	f.Add(plain[:len(plain)-9])               // trailer cut mid-record
+	f.Add(plain[:14])                         // header cut mid-JSON
 	f.Add([]byte("CALTRACE\x03\x00\xff\xff")) // header length past EOF
 	f.Add([]byte("" +
 		"CALTRACE" + "\x02\x00" + "\x25\x00" +

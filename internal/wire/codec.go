@@ -26,6 +26,14 @@ const (
 
 	// VersionBinary is the v2 binary codec implemented by internal/wirebin.
 	VersionBinary = 2
+
+	// VersionBinaryMux is the v2 binary codec with session multiplexing: the
+	// connection carries many logical sessions (streams), every frame's
+	// payload is prefixed with a uvarint stream id, and both sides batch
+	// writes across streams into one flush (group commit). The framing is
+	// otherwise VersionBinary's; a daemon that predates mux rejects the
+	// hello and closes, exactly like any other unknown version.
+	VersionBinaryMux = 3
 )
 
 // RequestReader decodes a stream of requests (the server's read side).
@@ -71,9 +79,11 @@ type jsonCodec struct{}
 
 func (jsonCodec) Name() string { return "json" }
 
-func (jsonCodec) NewRequestReader(r io.Reader) RequestReader   { return &jsonRequestReader{NewReader(r)} }
-func (jsonCodec) NewRequestWriter(w io.Writer) RequestWriter   { return jsonRequestWriter{w} }
-func (jsonCodec) NewResponseReader(r io.Reader) ResponseReader { return &jsonResponseReader{NewReader(r)} }
+func (jsonCodec) NewRequestReader(r io.Reader) RequestReader { return &jsonRequestReader{NewReader(r)} }
+func (jsonCodec) NewRequestWriter(w io.Writer) RequestWriter { return jsonRequestWriter{w} }
+func (jsonCodec) NewResponseReader(r io.Reader) ResponseReader {
+	return &jsonResponseReader{NewReader(r)}
+}
 func (jsonCodec) NewResponseWriter(w io.Writer) ResponseWriter { return jsonResponseWriter{w} }
 
 type jsonRequestReader struct{ r *Reader }

@@ -294,11 +294,11 @@ type Stats struct {
 	// cumulative like GrantsServed: departed sessions' counters remain
 	// included, so the aggregates match what a replay of the full trace
 	// reports (the Apps list itself covers only live sessions).
-	WaitsImmediate uint64     `json:"waits_immediate,omitempty"`
-	WaitsDeferred  uint64     `json:"waits_deferred,omitempty"`
-	ConvoyWaitS    float64    `json:"convoy_wait_s,omitempty"`
-	ProtocolWaitS  float64    `json:"protocol_wait_s,omitempty"`
-	LastDecision   string     `json:"last_decision,omitempty"`
+	WaitsImmediate uint64  `json:"waits_immediate,omitempty"`
+	WaitsDeferred  uint64  `json:"waits_deferred,omitempty"`
+	ConvoyWaitS    float64 `json:"convoy_wait_s,omitempty"`
+	ProtocolWaitS  float64 `json:"protocol_wait_s,omitempty"`
+	LastDecision   string  `json:"last_decision,omitempty"`
 	// SelfGrants and DegradedS total the degraded (uncoordinated) windows
 	// clients have reported on resume: waits each client granted itself
 	// while the daemon was unreachable past its fail-open deadline, and the

@@ -81,6 +81,88 @@ func FuzzReadFrameBinary(f *testing.F) {
 	})
 }
 
+// FuzzDecodeMuxFrame tortures the mux demux layer: torn frames, duplicate
+// and unknown stream ids, stream 0, and stray negotiation bytes ([0xCB,
+// version] hellos spliced into the stream) must never panic — only yield
+// (stream, message) pairs or errors — and any mux request the decoder
+// accepts must round-trip canonically with its stream id intact.
+func FuzzDecodeMuxFrame(f *testing.F) {
+	muxFrames := func() [][]byte {
+		var frames [][]byte
+		reqs := []struct {
+			stream uint64
+			req    wire.Request
+		}{
+			{1, wire.Request{Seq: 1, Type: wire.TypeRegister, App: "app", Cores: 8}},
+			{2, wire.Request{Seq: 2, Type: wire.TypeInform, BytesDone: 1.5, Target: "t1"}},
+			{2, wire.Request{Seq: 3, Type: wire.TypeWait, Target: "t1"}},      // duplicate stream
+			{1 << 21, wire.Request{Seq: 4, Type: wire.TypeEnd, Target: "t1"}}, // unknown/huge stream
+		}
+		for i := range reqs {
+			frame, err := AppendMuxRequest(nil, reqs[i].stream, &reqs[i].req)
+			if err != nil {
+				f.Fatal(err)
+			}
+			frames = append(frames, frame)
+		}
+		resp := wire.Response{Type: wire.TypeGrant, Authorized: true, Target: "t1"}
+		frame, err := AppendMuxResponse(nil, 3, &resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return append(frames, frame)
+	}()
+	for _, frame := range muxFrames {
+		f.Add(frame)
+		// Torn variant: the frame cut mid-payload.
+		f.Add(frame[:len(frame)-1])
+		// Negotiation bytes interleaved before the frame.
+		f.Add(append([]byte{wire.HelloMagic, wire.VersionBinaryMux}, frame...))
+	}
+	// Stream id 0, and a frame that is only a stream id with no message.
+	f.Add([]byte{0x04, 0x00, 0x06, 0x01, 0x00})
+	f.Add([]byte{0x01, 0x05})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rr := NewMuxRequestReader(bytes.NewReader(data))
+		var req wire.Request
+		for i := 0; i < 64; i++ {
+			stream, err := rr.Read(&req)
+			if err != nil {
+				break
+			}
+			if stream == 0 {
+				t.Fatal("mux reader returned stream 0 without error")
+			}
+			first, err := AppendMuxRequest(nil, stream, &req)
+			if err != nil {
+				t.Fatalf("decoded mux request %+v failed to re-encode: %v", req, err)
+			}
+			var req2 wire.Request
+			stream2, err := NewMuxRequestReader(bytes.NewReader(first)).Read(&req2)
+			if err != nil {
+				t.Fatalf("canonical mux encoding %x failed to decode: %v", first, err)
+			}
+			if stream2 != stream {
+				t.Fatalf("stream id changed across round trip: %d -> %d", stream, stream2)
+			}
+			second, err := AppendMuxRequest(nil, stream2, &req2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("mux round trip not canonical: %x != %x", first, second)
+			}
+		}
+		pr := NewMuxResponseReader(bytes.NewReader(data))
+		var resp wire.Response
+		for i := 0; i < 64; i++ {
+			if _, err := pr.Read(&resp); err != nil {
+				break
+			}
+		}
+	})
+}
+
 // FuzzDecodeRequestBinary checks the decode/encode pair is a lossless,
 // canonical round trip: any payload the decoder accepts must re-encode, and
 // the re-encoding must decode back to an identical frame.

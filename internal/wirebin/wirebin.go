@@ -229,6 +229,10 @@ func (fr *frameReader) next() ([]byte, error) {
 
 var errShort = errors.New("wirebin: truncated payload")
 
+// errBadStream rejects stream id 0 on a mux frame: ids start at 1 so an
+// all-zero or truncated prefix can never alias a live stream.
+var errBadStream = errors.New("wirebin: invalid mux stream id 0")
+
 // dec is a cursor over one frame's payload.
 type dec struct {
 	buf []byte
@@ -324,6 +328,19 @@ func writeFrame(w io.Writer, payload []byte) error {
 // buf and returns the extended slice. It is the encoding primitive under
 // RequestWriter, exposed for golden tests and pipelined handshakes.
 func AppendRequest(buf []byte, req *wire.Request) ([]byte, error) {
+	return appendRequest(buf, 0, false, req)
+}
+
+// AppendMuxRequest is AppendRequest for a mux connection: the frame payload
+// starts with the uvarint stream id. Stream ids start at 1; 0 is invalid.
+func AppendMuxRequest(buf []byte, stream uint64, req *wire.Request) ([]byte, error) {
+	if stream == 0 {
+		return buf, errBadStream
+	}
+	return appendRequest(buf, stream, true, req)
+}
+
+func appendRequest(buf []byte, stream uint64, mux bool, req *wire.Request) ([]byte, error) {
 	verb, ok := verbCode[req.Type]
 	if !ok {
 		return buf, fmt.Errorf("wirebin: unknown request type %q", req.Type)
@@ -332,6 +349,9 @@ func AppendRequest(buf []byte, req *wire.Request) ([]byte, error) {
 	// Reserve a 1-byte length header, the common case; move the payload if
 	// it turns out longer.
 	buf = append(buf, 0)
+	if mux {
+		buf = appendUvarint(buf, stream)
+	}
 	buf = append(buf, verb)
 	buf = appendUvarint(buf, req.Seq)
 	var flags byte
@@ -379,12 +399,29 @@ func AppendRequest(buf []byte, req *wire.Request) ([]byte, error) {
 // AppendResponse appends the binary encoding of resp (header and payload)
 // to buf and returns the extended slice.
 func AppendResponse(buf []byte, resp *wire.Response) ([]byte, error) {
+	return appendResponse(buf, 0, false, resp)
+}
+
+// AppendMuxResponse is AppendResponse for a mux connection: the frame
+// payload starts with the uvarint stream id. Stream ids start at 1; 0 is
+// invalid.
+func AppendMuxResponse(buf []byte, stream uint64, resp *wire.Response) ([]byte, error) {
+	if stream == 0 {
+		return buf, errBadStream
+	}
+	return appendResponse(buf, stream, true, resp)
+}
+
+func appendResponse(buf []byte, stream uint64, mux bool, resp *wire.Response) ([]byte, error) {
 	tc, ok := respCodeOf[resp.Type]
 	if !ok {
 		return buf, fmt.Errorf("wirebin: unknown response type %q", resp.Type)
 	}
 	start := len(buf)
 	buf = append(buf, 0)
+	if mux {
+		buf = appendUvarint(buf, stream)
+	}
 	buf = append(buf, tc)
 	buf = appendUvarint(buf, resp.Seq)
 	var flags byte
@@ -663,4 +700,76 @@ func decodeResponse(payload []byte, resp *wire.Response, interns map[string]stri
 		return fmt.Errorf("wirebin: %d trailing bytes after response", len(d.buf))
 	}
 	return nil
+}
+
+// Mux framing (protocol version wire.VersionBinaryMux): identical frames to
+// the non-mux v2 codec, except every frame payload begins with the uvarint
+// stream id of the logical session the message belongs to. Stream ids start
+// at 1; 0 is rejected on both encode and decode.
+
+// muxStream consumes the leading uvarint stream id off a mux frame payload.
+func muxStream(payload []byte) (uint64, []byte, error) {
+	d := dec{payload}
+	stream, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if stream == 0 {
+		return 0, nil, errBadStream
+	}
+	return stream, d.buf, nil
+}
+
+// MuxRequestReader decodes mux request frames (the server's read side of a
+// mux connection). Read returns the frame's stream id alongside the decoded
+// request. All streams on a connection share one reader, one frame buffer,
+// and one intern table.
+type MuxRequestReader struct {
+	fr      *frameReader
+	interns map[string]string
+}
+
+func NewMuxRequestReader(r io.Reader) *MuxRequestReader {
+	return &MuxRequestReader{fr: newFrameReader(r)}
+}
+
+func (rr *MuxRequestReader) Read(req *wire.Request) (uint64, error) {
+	payload, err := rr.fr.next()
+	if err != nil {
+		return 0, err
+	}
+	stream, rest, err := muxStream(payload)
+	if err != nil {
+		return 0, err
+	}
+	if rr.interns == nil {
+		rr.interns = make(map[string]string)
+	}
+	return stream, decodeRequest(rest, req, rr.interns)
+}
+
+// MuxResponseReader decodes mux response frames (the client's read side of a
+// mux connection).
+type MuxResponseReader struct {
+	fr      *frameReader
+	interns map[string]string
+}
+
+func NewMuxResponseReader(r io.Reader) *MuxResponseReader {
+	return &MuxResponseReader{fr: newFrameReader(r)}
+}
+
+func (rr *MuxResponseReader) Read(resp *wire.Response) (uint64, error) {
+	payload, err := rr.fr.next()
+	if err != nil {
+		return 0, err
+	}
+	stream, rest, err := muxStream(payload)
+	if err != nil {
+		return 0, err
+	}
+	if rr.interns == nil {
+		rr.interns = make(map[string]string)
+	}
+	return stream, decodeResponse(rest, resp, rr.interns)
 }
